@@ -1,0 +1,42 @@
+# Convenience targets for the interference reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench results examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure, with paper-comparable
+# custom metrics (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
+
+# Regenerate every experiment's series into results/ (ASCII tables).
+results:
+	mkdir -p results
+	$(GO) run ./cmd/interference -exp all -runs 3 -o results -q
+
+# Run every example program.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/placement
+	$(GO) run ./examples/intensity
+	$(GO) run ./examples/kernels
+	$(GO) run ./examples/autotune
+	$(GO) run ./examples/distributed
+
+# Short fuzz pass over the fluid solver invariants.
+fuzz:
+	$(GO) test ./internal/fluid/ -fuzz FuzzSolverInvariants -fuzztime 30s
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

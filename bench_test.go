@@ -1,0 +1,232 @@
+package interference
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation. Each benchmark runs the corresponding
+// experiment driver end to end on the simulated henri cluster (the
+// machine the paper reports most results on) and reports, as custom
+// metrics, the headline quantities of that figure so `go test -bench`
+// output can be compared against the paper directly (see
+// EXPERIMENTS.md for the paper-vs-measured audit).
+//
+// Simulated time is decoupled from wall time: these benchmarks measure
+// the harness itself while asserting and exporting the modelled
+// results.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/topology"
+)
+
+// benchEnv is the single-run, noiseless environment used by the
+// benchmark harness: deterministic output, minimal wall time.
+func benchEnv() bench.Env {
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	return bench.Env{Spec: spec, Seed: 1, Runs: 1}
+}
+
+func BenchmarkFig1aFrequencyLatency(b *testing.B) {
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig1Frequencies(benchEnv(), []int64{4})
+		for _, p := range pts {
+			if p.UncoreGHz != 2.4 {
+				continue
+			}
+			switch p.CoreGHz {
+			case 1.0:
+				lo = p.Latency.Median * 1e6
+			case 2.3:
+				hi = p.Latency.Median * 1e6
+			}
+		}
+	}
+	b.ReportMetric(hi, "us-latency-2300MHz") // paper: 1.8
+	b.ReportMetric(lo, "us-latency-1000MHz") // paper: 3.1
+}
+
+func BenchmarkFig1bFrequencyBandwidth(b *testing.B) {
+	var hiU, loU float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig1Frequencies(benchEnv(), []int64{64 << 20})
+		for _, p := range pts {
+			if p.CoreGHz != 2.3 {
+				continue
+			}
+			switch p.UncoreGHz {
+			case 2.4:
+				hiU = p.Bandwidth() / 1e9
+			case 1.2:
+				loU = p.Bandwidth() / 1e9
+			}
+		}
+	}
+	b.ReportMetric(hiU, "GBps-uncore-2400MHz") // paper: 10.5
+	b.ReportMetric(loU, "GBps-uncore-1200MHz") // paper: 10.1
+}
+
+func BenchmarkFig2FrequencyTrace(b *testing.B) {
+	var alone, with float64
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig2FrequencyTrace(benchEnv())
+		alone = r.LatencyAlone.Median * 1e6
+		with = r.LatencyTogether.Median * 1e6
+	}
+	b.ReportMetric(alone, "us-latency-alone")       // paper: 1.7
+	b.ReportMetric(with, "us-latency-with-compute") // paper: 1.52
+}
+
+func BenchmarkFig3AVXLatency(b *testing.B) {
+	var f4, f20, lat float64
+	for i := 0; i < b.N; i++ {
+		rs := bench.Fig3AVX(benchEnv(), []int{4, 20})
+		f4 = rs[0].ComputeSecsWith.Median * 1e3
+		f20 = rs[1].ComputeSecsWith.Median * 1e3
+		lat = rs[1].LatencyWith.Median * 1e6
+	}
+	b.ReportMetric(f4, "ms-compute-4cores")    // paper: 135
+	b.ReportMetric(f20, "ms-compute-20cores")  // paper: 210
+	b.ReportMetric(lat, "us-latency-with-avx") // paper: 1.33
+}
+
+func BenchmarkFig4MemoryContention(b *testing.B) {
+	var latFactor, bwDrop float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig4Contention(benchEnv(), bench.ContentionConfig{
+			Data: bench.Near, CommThread: bench.Far, CoreCounts: []int{35},
+		})
+		pt := pts[0]
+		latFactor = pt.Latency.CommTogether.Median / pt.Latency.CommAlone.Median
+		bwDrop = 100 * (1 - pt.Bandwidth.BandwidthTogether()/pt.Bandwidth.BandwidthAlone())
+	}
+	b.ReportMetric(latFactor, "x-latency-35cores") // paper: ≈2
+	b.ReportMetric(bwDrop, "%-bw-drop-35cores")    // paper: ≈65
+}
+
+func BenchmarkFig5Placement(b *testing.B) {
+	var farFar, nearNear float64
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig5Placement(benchEnv(), []int{35})
+		ff := series["near/far"][0]
+		nn := series["near/near"][0]
+		farFar = ff.Latency.CommTogether.Median * 1e6
+		nearNear = nn.Latency.CommTogether.Median * 1e6
+	}
+	b.ReportMetric(farFar, "us-latency-thread-far")    // paper: ≈2×1.67
+	b.ReportMetric(nearNear, "us-latency-thread-near") // paper: ≈2
+}
+
+func BenchmarkTable1Summary(b *testing.B) {
+	var rows []bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table1(bench.Fig5Placement(benchEnv(), []int{5, 35}))
+	}
+	for _, r := range rows {
+		if r.Data == bench.Near && r.CommThread == bench.Far {
+			b.ReportMetric(r.LatencyIncrease, "x-latency-near-far")
+			b.ReportMetric(r.BandwidthDropFrac*100, "%-bw-drop-near-far")
+		}
+	}
+}
+
+func BenchmarkFig6MessageSize(b *testing.B) {
+	var onset float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig6MessageSize(benchEnv(), 35, []int64{4, 128, 4096, 64 << 10, 1 << 20})
+		onset = 0
+		for _, pt := range pts {
+			if pt.Result.CommTogether.Median > 1.3*pt.Result.CommAlone.Median {
+				onset = float64(pt.Size)
+				break
+			}
+		}
+	}
+	b.ReportMetric(onset, "B-degradation-onset-35cores") // paper: 128
+}
+
+func BenchmarkFig7Intensity(b *testing.B) {
+	var ridge float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig7Intensity(benchEnv(), 35, []int{1, 24, 48, 72, 96, 144, 288})
+		ridge = 0
+		for _, pt := range pts {
+			// The ridge: bandwidth back above 90% of nominal.
+			if pt.Bandwidth.BandwidthTogether() > 0.9*pt.Bandwidth.BandwidthAlone() {
+				ridge = pt.Intensity
+				break
+			}
+		}
+	}
+	b.ReportMetric(ridge, "flopPerByte-recovery-ridge") // paper: ≈6
+}
+
+func BenchmarkFig8RuntimeLatency(b *testing.B) {
+	var colocated, split float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig8Runtime(benchEnv())
+		for _, pt := range pts {
+			if pt.DataClose && pt.ThreadClose {
+				colocated = pt.Latency.Median * 1e6
+			}
+			if pt.DataClose && !pt.ThreadClose {
+				split = pt.Latency.Median * 1e6
+			}
+		}
+	}
+	b.ReportMetric(colocated, "us-colocated")
+	b.ReportMetric(split, "us-split") // paper: co-location matters most
+}
+
+func BenchmarkSec52Overhead(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		overhead = bench.RuntimeOverhead(benchEnv()).OverheadSeconds * 1e6
+	}
+	b.ReportMetric(overhead, "us-runtime-overhead") // paper: 38 on henri
+}
+
+func BenchmarkFig9Polling(b *testing.B) {
+	var def, paused float64
+	for i := 0; i < b.N; i++ {
+		for _, pt := range bench.Fig9Polling(benchEnv()) {
+			switch pt.Label {
+			case "default-32":
+				def = pt.Latency.Median * 1e6
+			case "paused":
+				paused = pt.Latency.Median * 1e6
+			}
+		}
+	}
+	b.ReportMetric(def, "us-default-polling")
+	b.ReportMetric(paused, "us-paused-workers") // paper: polling > paused
+}
+
+func BenchmarkFig10Kernels(b *testing.B) {
+	var cgDrop, gemmDrop, cgStall, gemmStall float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig10Kernels(benchEnv(), []int{2, 34})
+		base := map[string]float64{}
+		for _, pt := range pts {
+			if pt.Workers == 2 {
+				base[pt.Kernel] = pt.SendBandwidth
+			}
+		}
+		for _, pt := range pts {
+			if pt.Workers != 34 {
+				continue
+			}
+			drop := 100 * (1 - pt.SendBandwidth/base[pt.Kernel])
+			if pt.Kernel == "cg" {
+				cgDrop, cgStall = drop, pt.StallFraction*100
+			} else {
+				gemmDrop, gemmStall = drop, pt.StallFraction*100
+			}
+		}
+	}
+	b.ReportMetric(cgDrop, "%-cg-send-bw-loss")     // paper: up to 90
+	b.ReportMetric(gemmDrop, "%-gemm-send-bw-loss") // paper: ≤20
+	b.ReportMetric(cgStall, "%-cg-mem-stalls")      // paper: ≈70
+	b.ReportMetric(gemmStall, "%-gemm-mem-stalls")  // paper: ≈20
+}

@@ -1,0 +1,107 @@
+// Command interference runs the paper's experiments on the simulated
+// clusters and prints the tables/series behind every figure.
+//
+// Usage:
+//
+//	interference -list
+//	interference -cluster henri -exp fig4
+//	interference -cluster billy -exp all -format csv -o results/
+//	interference -cluster henri -exp fig7 -runs 5 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		cluster  = flag.String("cluster", "henri", "cluster preset: henri, bora, billy or pyxis")
+		specFile = flag.String("spec", "", "JSON machine spec file (overrides -cluster; see `topo -json`)")
+		exp      = flag.String("exp", "", "experiment ID (fig1..fig10, tab1, sec5.2) or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		format   = flag.String("format", "ascii", "output format: ascii or csv")
+		outDir   = flag.String("o", "", "write one file per experiment into this directory instead of stdout")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		runs     = flag.Int("runs", 3, "repetitions per configuration (decile bands)")
+		quiet    = flag.Bool("q", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "interference: -exp is required (or -list); e.g. -exp fig4")
+		os.Exit(2)
+	}
+	env, err := core.Env(*cluster, *seed, *runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interference:", err)
+		os.Exit(2)
+	}
+	if *specFile != "" {
+		spec, err := topology.LoadSpecFile(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "interference:", err)
+			os.Exit(2)
+		}
+		env.Spec = spec
+		*cluster = spec.Name
+	}
+
+	var todo []core.Experiment
+	if *exp == "all" {
+		todo = core.Experiments()
+	} else {
+		e, ok := core.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "interference: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		todo = []core.Experiment{e}
+	}
+
+	for _, e := range todo {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s on %s ...\n", e.ID, *cluster)
+		}
+		start := time.Now()
+		tables := e.Run(env)
+		var w io.Writer = os.Stdout
+		if *outDir != "" {
+			ext := ".txt"
+			if *format == "csv" {
+				ext = ".csv"
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("%s-%s%s", e.ID, *cluster, ext))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "interference:", err)
+				os.Exit(1)
+			}
+			w = f
+			defer f.Close()
+		}
+		if err := core.WriteTables(w, *format, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "interference:", err)
+			os.Exit(1)
+		}
+		if w == os.Stdout {
+			fmt.Println()
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s done in %v (wall)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command pingpong runs the NetPIPE-style ping-pong of §2.1 over a
+// sweep of message sizes on a simulated cluster, printing the same
+// latency/bandwidth series the paper's communication benchmarks use.
+//
+// Usage:
+//
+//	pingpong                       # henri, 4 B .. 64 MB
+//	pingpong -cluster bora -runs 5
+//	pingpong -min 64 -max 1048576 -near
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		cluster = flag.String("cluster", "henri", "cluster preset")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		runs    = flag.Int("runs", 3, "repetitions")
+		minSize = flag.Int64("min", 4, "smallest message size in bytes")
+		maxSize = flag.Int64("max", 64<<20, "largest message size in bytes")
+		near    = flag.Bool("near", false, "bind the communication thread near the NIC (default: far)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	env, err := core.Env(*cluster, *seed, *runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(2)
+	}
+	commCore := -1
+	if *near {
+		commCore = env.Spec.LastCoreOfNUMA(env.Spec.NIC.NUMA)
+	}
+
+	t := trace.NewTable(
+		fmt.Sprintf("ping-pong on %s (comm thread %s from NIC)", *cluster, farNear(*near)),
+		"size_B", "latency_us_median", "latency_us_p10", "latency_us_p90", "bandwidth_MBps")
+	for size := *minSize; size <= *maxSize; size *= 4 {
+		comm := bench.CommConfig{CommCore: commCore, BufNUMA: -1, Size: size, Iters: 15, Warmup: 3}
+		if size >= 1<<20 {
+			comm.Iters = 5
+		}
+		r := bench.Interference(env, comm, bench.ComputeConfig{})
+		lat := r.CommAlone
+		bw := 0.0
+		if lat.Median > 0 {
+			bw = float64(size) / lat.Median / 1e6
+		}
+		t.Add(size, lat.Median*1e6, lat.P10*1e6, lat.P90*1e6, bw)
+	}
+	if *csv {
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func farNear(near bool) string {
+	if near {
+		return "near"
+	}
+	return "far"
+}

@@ -1,0 +1,139 @@
+// Command plot renders an ASCII line chart from a CSV file produced by
+// `interference -format csv` (or any CSV with a numeric x column and
+// numeric y columns), so a figure's shape can be eyeballed in the
+// terminal without leaving the repository.
+//
+// Usage:
+//
+//	interference -exp fig4 -format csv -o results/
+//	plot -x cores -y latency_us_alone,latency_us_with_compute results/fig4-henri.csv
+//	plot -x size_B -logx -y bandwidth_MBps results/fig1-henri.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		xcol   = flag.String("x", "", "name of the x column")
+		ycols  = flag.String("y", "", "comma-separated y column names")
+		logx   = flag.Bool("logx", false, "log-scale x axis")
+		width  = flag.Int("w", 72, "plot width in characters")
+		height = flag.Int("h", 18, "plot height in characters")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *xcol == "" || *ycols == "" {
+		fmt.Fprintln(os.Stderr, "usage: plot -x <col> -y <col,col,...> [-logx] file.csv")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *xcol, strings.Split(*ycols, ","), *logx, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "plot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, xcol string, ycols []string, logx bool, width, height int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// The harness writes `# title` lines between CSV blocks; strip them
+	// and parse the first block containing the requested columns.
+	var rows [][]string
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	r.Comment = '#'
+	records, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	var header []string
+	for _, rec := range records {
+		if header == nil {
+			if contains(rec, xcol) {
+				header = rec
+			}
+			continue
+		}
+		if len(rec) != len(header) {
+			break // next block
+		}
+		rows = append(rows, rec)
+	}
+	if header == nil {
+		return fmt.Errorf("no CSV block with column %q in %s", xcol, path)
+	}
+	idx := func(name string) (int, error) {
+		for i, h := range header {
+			if h == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("column %q not found (have %v)", name, header)
+	}
+	xi, err := idx(xcol)
+	if err != nil {
+		return err
+	}
+	var xs []float64
+	ys := make([][]float64, len(ycols))
+	yi := make([]int, len(ycols))
+	for j, name := range ycols {
+		if yi[j], err = idx(name); err != nil {
+			return err
+		}
+	}
+	for _, rec := range rows {
+		x, err := strconv.ParseFloat(rec[xi], 64)
+		if err != nil {
+			continue // non-numeric row (e.g. labels)
+		}
+		ok := true
+		vals := make([]float64, len(ycols))
+		for j := range ycols {
+			v, err := strconv.ParseFloat(rec[yi[j]], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[j] = v
+		}
+		if !ok {
+			continue
+		}
+		xs = append(xs, x)
+		for j, v := range vals {
+			ys[j] = append(ys[j], v)
+		}
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("no numeric rows for x=%q", xcol)
+	}
+	ch := trace.NewChart(path, xs)
+	ch.XLabel, ch.YLabel = xcol, strings.Join(ycols, ", ")
+	ch.LogX = logx
+	ch.Width, ch.Height = width, height
+	for j, name := range ycols {
+		ch.AddSeries(name, ys[j])
+	}
+	return ch.Render(os.Stdout)
+}
+
+func contains(rec []string, v string) bool {
+	for _, c := range rec {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "series.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunParsesHarnessCSV(t *testing.T) {
+	path := writeCSV(t, `# Fig X — demo
+cores,latency_us,bandwidth
+1,1.5,100
+2,1.6,90
+4,2.0,70
+`)
+	if err := run(path, "cores", []string{"latency_us"}, false, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSkipsNonNumericRows(t *testing.T) {
+	path := writeCSV(t, `a,b
+x,1
+2,3
+`)
+	if err := run(path, "a", []string{"b"}, false, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeCSV(t, "a,b\n1,2\n")
+	if err := run(path, "missing", []string{"b"}, false, 40, 8); err == nil {
+		t.Fatal("missing x column accepted")
+	}
+	if err := run(path, "a", []string{"nope"}, false, 40, 8); err == nil {
+		t.Fatal("missing y column accepted")
+	}
+	if err := run("/nonexistent.csv", "a", []string{"b"}, false, 40, 8); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := writeCSV(t, "a,b\nx,y\n")
+	if err := run(empty, "a", []string{"b"}, false, 40, 8); err == nil {
+		t.Fatal("no numeric rows accepted")
+	}
+}
+
+func TestRunStopsAtNextBlock(t *testing.T) {
+	// The harness concatenates CSV blocks; parsing must stop at the
+	// next block's (different-width) header.
+	path := writeCSV(t, `cores,v
+1,10
+2,20
+# next block
+a,b,c
+9,9,9
+`)
+	if err := run(path, "cores", []string{"v"}, true, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Command topo inspects and validates the simulated cluster presets:
+// the machine models of the paper's henri, bora, billy and pyxis nodes.
+//
+// Usage:
+//
+//	topo            # summary of all presets
+//	topo henri      # detailed view of one preset
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	args := os.Args[1:]
+	asJSON := false
+	if len(args) > 0 && args[0] == "-json" {
+		asJSON = true
+		args = args[1:]
+	}
+	if len(args) > 0 {
+		spec := topology.Preset(args[0])
+		if spec == nil {
+			// Fall back to a JSON spec file, so users can validate and
+			// inspect their own machine models.
+			loaded, err := topology.LoadSpecFile(args[0])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topo: %q is neither a preset nor a readable spec file (%v)\n", args[0], err)
+				os.Exit(2)
+			}
+			spec = loaded
+		}
+		if asJSON {
+			if err := topology.WriteSpec(os.Stdout, spec); err != nil {
+				fmt.Fprintln(os.Stderr, "topo:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		detail(spec)
+		return
+	}
+	presets := topology.Presets()
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec := presets[name]
+		status := "ok"
+		if err := spec.Validate(); err != nil {
+			status = "INVALID: " + err.Error()
+		}
+		fmt.Printf("%-7s %2d cores, %d NUMA, NIC %v GB/s  [%s]\n",
+			name, spec.Cores(), spec.NUMANodes(), spec.NIC.WireGBs, status)
+	}
+}
+
+func detail(s *topology.NodeSpec) {
+	fmt.Printf("preset %s\n", s.Name)
+	fmt.Printf("  sockets           %d\n", s.Sockets)
+	fmt.Printf("  NUMA per socket   %d\n", s.NUMAPerSocket)
+	fmt.Printf("  cores per NUMA    %d  (total %d)\n", s.CoresPerNUMA, s.Cores())
+	fmt.Printf("  hyperthreading    %v (not modelled)\n", s.Hyperthreading)
+	fmt.Printf("  core frequency    %.2f–%.2f GHz (scalar all-core turbo %.2f)\n",
+		s.Freq.CoreMin, s.Freq.CoreBase, s.Freq.Turbo[topology.Scalar].Limit(s.Cores()))
+	fmt.Printf("  uncore frequency  %.2f–%.2f GHz\n", s.Freq.UncoreMin, s.Freq.UncoreMax)
+	fmt.Printf("  memory ctrl       %v GB/s per NUMA node\n", s.Mem.CtrlGBs)
+	fmt.Printf("  cross-socket bus  %v GB/s shared\n", s.Mem.LinkGBs)
+	fmt.Printf("  intra-socket mesh %v GB/s per pair\n", s.Mem.MeshGBs)
+	fmt.Printf("  per-core stream   %v GB/s\n", s.Mem.StreamPerCoreGBs)
+	fmt.Printf("  mem latency       %v ns local / %v ns remote\n",
+		s.Mem.LocalLatencyNs, s.Mem.RemoteLatencyNs)
+	fmt.Printf("  NIC               NUMA %d, wire %v GB/s, %v ns, PCIe %v GB/s\n",
+		s.NIC.NUMA, s.NIC.WireGBs, s.NIC.WireLatencyNs, s.NIC.PCIeGBs)
+	fmt.Printf("  eager threshold   %d B\n", s.NIC.EagerMax)
+	fmt.Printf("  runtime msg path  %.0f cycles\n", s.RuntimeCyclesPerMsg)
+	fmt.Println("  core → NUMA map:")
+	for numa := 0; numa < s.NUMANodes(); numa++ {
+		first := numa * s.CoresPerNUMA
+		last := s.LastCoreOfNUMA(numa)
+		tag := ""
+		if numa == s.NIC.NUMA {
+			tag = "  [NIC]"
+		}
+		fmt.Printf("    NUMA %d: cores %d–%d (socket %d)%s\n",
+			numa, first, last, s.SocketOfNUMA(numa), tag)
+	}
+	if err := s.Validate(); err != nil {
+		fmt.Printf("  VALIDATION FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("  validation        ok")
+}

@@ -1,0 +1,43 @@
+// Package interference reproduces the ICPP 2021 paper "Interferences
+// between Communications and Computations in Distributed HPC Systems"
+// (A. Denis, E. Jeannot, P. Swartvagher) on a deterministic simulator of
+// distributed HPC nodes.
+//
+// The paper is a measurement study: it quantifies how MPI communications
+// and computations degrade each other when they run side by side on the
+// same node, through three mechanisms — CPU core/uncore frequency
+// scaling (DVFS, turbo, AVX licences), memory-bus contention between
+// compute streams and NIC DMA/PIO traffic (including NUMA placement,
+// message size, arithmetic intensity), and task-based runtime systems
+// (software-path overhead, worker polling). Since the paper's hardware
+// (Xeon/EPYC/ThunderX2 testbeds, InfiniBand/Omni-Path fabrics, BIOS
+// access) is not reproducible in a Go process, this library rebuilds the
+// full stack as a calibrated performance model:
+//
+//   - a discrete-event kernel and a SimGrid-style max-min fair
+//     bandwidth-sharing solver (internal/sim, internal/fluid);
+//   - machine models of the paper's four clusters — henri, bora, billy,
+//     pyxis — with NUMA memory systems, frequency domains and NICs
+//     (internal/topology, internal/freq, internal/machine);
+//   - an MPI-like message-passing layer with eager/rendezvous protocols
+//     and a registration cache, plus the NetPIPE-style ping-pong
+//     (internal/net, internal/mpi);
+//   - the paper's compute kernels as roofline workloads: prime counting,
+//     AVX-512 FMA, STREAM COPY/TRIAD, the tunable-intensity TriadX, and
+//     CG/GEMM task shapes (internal/kernels);
+//   - a StarPU-like task runtime with polling workers and a
+//     communication thread (internal/taskrt);
+//   - the §2.1 benchmarking protocol and one driver per table/figure
+//     (internal/bench, internal/core).
+//
+// # Quick start
+//
+//	res, err := interference.PingPong(interference.Config{Cluster: "henri"}, 4)
+//	// res.LatencyMicros ≈ 1.7 (the paper's henri latency)
+//
+//	err = interference.Run(interference.Config{Cluster: "henri"}, "fig4", os.Stdout)
+//	// prints the Fig 4 contention sweep as an aligned table
+//
+// Every simulation is fully deterministic for a given Config.Seed; no
+// wall-clock time or host performance leaks into results.
+package interference

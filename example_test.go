@@ -1,0 +1,66 @@
+package interference_test
+
+import (
+	"fmt"
+	"os"
+
+	interference "repro"
+)
+
+// ExamplePingPong measures the nominal network performance of the
+// simulated henri cluster. Deterministic: the same seed always prints
+// the same numbers.
+func ExamplePingPong() {
+	cfg := interference.Config{Cluster: "henri", Seed: 1, Noiseless: true}
+	lat, _ := interference.PingPong(cfg, 4)
+	bw, _ := interference.PingPong(cfg, 64<<20)
+	fmt.Printf("latency %.2f us\n", lat.LatencyMicros)
+	fmt.Printf("bandwidth %.1f GB/s\n", bw.BandwidthMBps/1e3)
+	// Output:
+	// latency 2.28 us
+	// bandwidth 10.9 GB/s
+}
+
+// ExampleInterfere reproduces the paper's headline finding: a
+// memory-bound computation on every core starves the network, while a
+// CPU-bound one does not.
+func ExampleInterfere() {
+	cfg := interference.Config{Cluster: "henri", Seed: 1, Runs: 1, Noiseless: true}
+	mem, _ := interference.Interfere(cfg, interference.InterferenceOptions{
+		Workload:    interference.MemoryBound,
+		Cores:       35,
+		MessageSize: 64 << 20,
+		DataNearNIC: true,
+	})
+	cpu, _ := interference.Interfere(cfg, interference.InterferenceOptions{
+		Workload:    interference.CPUBound,
+		Cores:       35,
+		MessageSize: 64 << 20,
+		DataNearNIC: true,
+	})
+	fmt.Printf("STREAM:    %2.0f%% of nominal bandwidth left\n",
+		100*mem.BandwidthTogetherMBps/mem.BandwidthAloneMBps)
+	fmt.Printf("CPU-bound: %2.0f%% of nominal bandwidth left\n",
+		100*cpu.BandwidthTogetherMBps/cpu.BandwidthAloneMBps)
+	// Output:
+	// STREAM:    29% of nominal bandwidth left
+	// CPU-bound: 100% of nominal bandwidth left
+}
+
+// ExampleRun regenerates one of the paper's tables on stdout.
+func ExampleRun() {
+	cfg := interference.Config{Cluster: "henri", Seed: 1, Runs: 1, Noiseless: true}
+	_ = interference.Run(cfg, "sec5.2", os.Stdout)
+}
+
+// ExampleExperiments lists everything the harness can reproduce.
+func ExampleExperiments() {
+	for _, e := range interference.Experiments() {
+		if e.ID == "fig4" || e.ID == "fig10" {
+			fmt.Println(e.ID)
+		}
+	}
+	// Output:
+	// fig10
+	// fig4
+}

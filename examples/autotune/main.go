@@ -1,0 +1,26 @@
+// Autotune: demonstrate the paper's §8 future-work proposal — have the
+// runtime system select the number of workers automatically. For a
+// memory-bound, communication-heavy application the whole-program
+// optimum is well below the full machine: beyond the memory-controller
+// saturation point, extra workers add no compute throughput but keep
+// degrading the communications (the interference the paper measures).
+//
+// This example drives the extension experiments through the public API.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	cfg := interference.Config{Cluster: "henri", Seed: 1, Runs: 1, Noiseless: true}
+	for _, id := range []string{"ext-tuner", "ext-throttle", "ext-sched"} {
+		if err := interference.Run(cfg, id, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.WriteString("\n")
+	}
+}

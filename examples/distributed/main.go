@@ -1,0 +1,132 @@
+// Distributed: write a two-node program in the starpu_mpi_insert_task
+// style the paper's §6 applications use — every rank replays the same
+// task-insertion stream, the runtimes move data handles automatically,
+// and the §4 interference mechanisms apply to those transfers.
+//
+// The program is a toy distributed iteration: each rank owns half the
+// domain; every step updates the local half (memory-bound, CG-like
+// blocks) and then reads the remote boundary, which makes the runtimes
+// exchange it. We print per-rank execution traces and the sending
+// bandwidth the transfers achieved against the compute pressure.
+//
+// This example uses internal packages directly (it lives in the same
+// module); the library's public entry points remain the root package.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/taskrt"
+	"repro/internal/topology"
+)
+
+func main() {
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	cluster := machine.NewCluster(spec, 2, 1)
+	world := mpi.NewWorld(cluster, net.New(cluster))
+
+	var workers []int
+	for c := 1; c <= 24; c++ {
+		workers = append(workers, c)
+	}
+	var ds [2]*taskrt.DistRuntime
+	for i := 0; i < 2; i++ {
+		rt := taskrt.New(taskrt.Config{
+			Node:        cluster.Nodes[i],
+			Rank:        world.Rank(i),
+			MainCore:    0,
+			CommCore:    world.Rank(i).CommCore,
+			WorkerCores: workers,
+		})
+		rt.Start()
+		ds[i] = taskrt.NewDistRuntime(rt, 2)
+	}
+
+	const (
+		iterations = 4
+		halfBytes  = 32 << 20 // each rank's domain half
+		boundary   = 2 << 20  // exchanged halo
+	)
+
+	program := func(d *taskrt.DistRuntime, p *sim.Proc) {
+		// Identical insertion stream on both ranks (the model's rule).
+		half := [2]*taskrt.DistHandle{
+			d.RegisterData(0, halfBytes, 0),
+			d.RegisterData(1, halfBytes, 0),
+		}
+		halo := [2]*taskrt.DistHandle{
+			d.RegisterData(0, boundary, spec.NUMANodes()-1),
+			d.RegisterData(1, boundary, spec.NUMANodes()-1),
+		}
+		for it := 0; it < iterations; it++ {
+			for rank := 0; rank < 2; rank++ {
+				// Update the local half (8 memory-bound blocks) and
+				// refresh the outgoing halo.
+				for b := 0; b < 8; b++ {
+					d.Insert(p, &taskrt.DistTask{
+						Spec:     kernels.CGBlock(1024, 512, b%spec.NUMANodes()),
+						ExecRank: rank,
+						Accesses: []taskrt.DistAccess{{Handle: half[rank], Mode: taskrt.W}},
+					})
+				}
+				d.Insert(p, &taskrt.DistTask{
+					Spec:     kernels.CGBlock(256, 512, 0),
+					ExecRank: rank,
+					Accesses: []taskrt.DistAccess{
+						{Handle: half[rank], Mode: taskrt.R},
+						{Handle: halo[rank], Mode: taskrt.W},
+					},
+				})
+			}
+			for rank := 0; rank < 2; rank++ {
+				// Consume the peer's halo: this is what triggers the
+				// automatic transfer.
+				d.Insert(p, &taskrt.DistTask{
+					Spec:     kernels.CGBlock(256, 512, 0),
+					ExecRank: rank,
+					Accesses: []taskrt.DistAccess{
+						{Handle: halo[1-rank], Mode: taskrt.R},
+						{Handle: half[rank], Mode: taskrt.W},
+					},
+				})
+			}
+		}
+	}
+
+	done := 0
+	var finish sim.Time
+	for i := 0; i < 2; i++ {
+		d := ds[i]
+		cluster.K.Spawn(fmt.Sprintf("app.r%d", i), func(p *sim.Proc) {
+			program(d, p)
+			d.WaitAllDist(p)
+			done++
+			if done == 2 {
+				finish = p.Now()
+				ds[0].Runtime().Shutdown()
+				ds[1].Runtime().Shutdown()
+			}
+		})
+	}
+	cluster.K.RunUntil(cluster.K.Now().Add(sim.Duration(600 * sim.Second)))
+	if done != 2 {
+		log.Fatal("distributed program did not finish")
+	}
+
+	for i := 0; i < 2; i++ {
+		ctr := cluster.Nodes[i].Counters
+		fmt.Printf("rank %d: sent %5.1f MB, send bandwidth %6.0f MB/s, memory stalls %4.1f%%\n",
+			i, ctr.BytesSent/1e6, ctr.SendBandwidth()/1e6, 100*ctr.StallFraction())
+	}
+	fmt.Printf("total simulated time: %v\n", finish)
+	fmt.Println("\nEach iteration the halo handles migrate automatically between the")
+	fmt.Println("ranks; their transfers contend with the CG blocks exactly as §6's")
+	fmt.Println("measurements show (compare the send bandwidth with `-exp fig10`).")
+}

@@ -1,0 +1,44 @@
+// Intensity: sweep the arithmetic intensity of the computation (the
+// paper's §4.5 "cursor" benchmark) and watch the network bandwidth sink
+// while the code is memory-bound, then recover once it becomes
+// CPU-bound — the roofline ridge sits near 6 flop/B on henri.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	cfg := interference.Config{Cluster: "henri", Seed: 1, Runs: 1, Noiseless: true}
+	const cores = 35
+
+	fmt.Println("cursor  flop/B   net bandwidth together   compute ms/iter   ")
+	fmt.Println("------  -------  ------------------------ ----------------")
+	var nominal float64
+	for _, cursor := range []int{1, 4, 12, 24, 48, 72, 144, 288, 1200} {
+		sum, err := interference.Interfere(cfg, interference.InterferenceOptions{
+			Cursor:      cursor,
+			Cores:       cores,
+			MessageSize: 64 << 20,
+			DataNearNIC: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nominal == 0 {
+			nominal = sum.BandwidthAloneMBps
+		}
+		frac := sum.BandwidthTogetherMBps / nominal
+		bar := strings.Repeat("#", int(frac*24+0.5))
+		fmt.Printf("%6d  %7.2f  %7.0f MB/s %-24s  %7.1f\n",
+			cursor, float64(cursor)/12, sum.BandwidthTogetherMBps, bar,
+			sum.ComputeTogetherMs)
+	}
+	fmt.Printf("\nnominal bandwidth without computation: %.0f MB/s\n", nominal)
+	fmt.Println("low cursor = memory-bound (high pressure, network starved);")
+	fmt.Println("high cursor = CPU-bound (pressure gone, network back to nominal).")
+}

@@ -1,0 +1,61 @@
+// Quickstart: measure ping-pong performance on a simulated henri
+// cluster, then show the paper's headline effect — a memory-bound
+// computation on every core crushes the network bandwidth, while a
+// CPU-bound one leaves it untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := interference.Config{Cluster: "henri", Seed: 1, Runs: 3}
+
+	// Step 1: nominal network performance (no computation).
+	lat, err := interference.PingPong(cfg, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw, err := interference.PingPong(cfg, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nominal latency   : %6.2f µs  [%5.2f–%5.2f]\n",
+		lat.LatencyMicros, lat.P10Micros, lat.P90Micros)
+	fmt.Printf("nominal bandwidth : %6.0f MB/s\n\n", bw.BandwidthMBps)
+
+	// Step 2: run STREAM TRIAD on 35 cores beside the bandwidth
+	// benchmark (the paper's Fig 4b at full load).
+	mem, err := interference.Interfere(cfg, interference.InterferenceOptions{
+		Workload:    interference.MemoryBound,
+		Cores:       35,
+		MessageSize: 64 << 20,
+		DataNearNIC: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with 35 STREAM cores:\n")
+	fmt.Printf("  network bandwidth : %6.0f → %6.0f MB/s (%.0f%% lost)\n",
+		mem.BandwidthAloneMBps, mem.BandwidthTogetherMBps,
+		100*(1-mem.BandwidthTogetherMBps/mem.BandwidthAloneMBps))
+	fmt.Printf("  STREAM per core   : %6.2f → %6.2f GB/s\n\n",
+		mem.ComputeAloneGBps, mem.ComputeTogetherGBps)
+
+	// Step 3: the same with a CPU-bound kernel — no interference.
+	cpu, err := interference.Interfere(cfg, interference.InterferenceOptions{
+		Workload:    interference.CPUBound,
+		Cores:       35,
+		MessageSize: 64 << 20,
+		DataNearNIC: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with 35 CPU-bound cores:\n")
+	fmt.Printf("  network bandwidth : %6.0f → %6.0f MB/s (unaffected)\n",
+		cpu.BandwidthAloneMBps, cpu.BandwidthTogetherMBps)
+}

@@ -1,0 +1,223 @@
+package interference
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestPingPongHenriDefaults(t *testing.T) {
+	res, err := PingPong(Config{Noiseless: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper henri: ≈1.4–1.8 µs depending on setup.
+	if res.LatencyMicros < 1.2 || res.LatencyMicros > 2.5 {
+		t.Fatalf("4B latency %.2fµs", res.LatencyMicros)
+	}
+	if res.P10Micros > res.LatencyMicros || res.P90Micros < res.LatencyMicros {
+		t.Fatalf("decile band [%v,%v] does not bracket median %v",
+			res.P10Micros, res.P90Micros, res.LatencyMicros)
+	}
+}
+
+func TestPingPongAsymptoticBandwidth(t *testing.T) {
+	res, err := PingPong(Config{Noiseless: true}, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandwidthMBps < 10000 || res.BandwidthMBps > 11000 {
+		t.Fatalf("asymptotic bandwidth %.0f MB/s, want ≈10500", res.BandwidthMBps)
+	}
+}
+
+func TestPingPongErrors(t *testing.T) {
+	if _, err := PingPong(Config{Cluster: "nope"}, 4); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	if _, err := PingPong(Config{}, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestInterfereMemoryBoundDegradesComm(t *testing.T) {
+	sum, err := Interfere(Config{Noiseless: true, Runs: 1}, InterferenceOptions{
+		Workload:    MemoryBound,
+		Cores:       35,
+		MessageSize: 64 << 20,
+		DataNearNIC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.BandwidthTogetherMBps >= sum.BandwidthAloneMBps*0.6 {
+		t.Fatalf("35-core STREAM did not degrade bandwidth: %.0f → %.0f MB/s",
+			sum.BandwidthAloneMBps, sum.BandwidthTogetherMBps)
+	}
+}
+
+func TestInterfereCPUBoundHarmless(t *testing.T) {
+	sum, err := Interfere(Config{Noiseless: true, Runs: 1}, InterferenceOptions{
+		Workload: CPUBound,
+		Cores:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: CPU-bound computation does not hurt latency (it slightly
+	// helps via the uncore).
+	if sum.LatencyTogetherMicros > sum.LatencyAloneMicros*1.05 {
+		t.Fatalf("CPU-bound compute hurt latency: %.2f → %.2f µs",
+			sum.LatencyAloneMicros, sum.LatencyTogetherMicros)
+	}
+}
+
+func TestInterfereCursorSweepDirection(t *testing.T) {
+	low, err := Interfere(Config{Noiseless: true, Runs: 1}, InterferenceOptions{
+		Cursor: 1, Cores: 35, MessageSize: 64 << 20, DataNearNIC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Interfere(Config{Noiseless: true, Runs: 1}, InterferenceOptions{
+		Cursor: 1200, Cores: 35, MessageSize: 64 << 20, DataNearNIC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowDrop := 1 - low.BandwidthTogetherMBps/low.BandwidthAloneMBps
+	highDrop := 1 - high.BandwidthTogetherMBps/high.BandwidthAloneMBps
+	if lowDrop <= highDrop+0.2 {
+		t.Fatalf("memory-bound cursor (drop %.2f) not worse than CPU-bound (drop %.2f)",
+			lowDrop, highDrop)
+	}
+}
+
+func TestInterfereValidation(t *testing.T) {
+	if _, err := Interfere(Config{}, InterferenceOptions{Workload: "quantum"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Interfere(Config{}, InterferenceOptions{Cores: 99}); err == nil {
+		t.Fatal("out-of-range core count accepted")
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	es := Experiments()
+	if len(es) != 19 {
+		t.Fatalf("%d experiments, want 19", len(es))
+	}
+	ids := map[string]bool{}
+	for _, e := range es {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig1", "fig4", "fig7", "fig10", "tab1", "sec5.2"} {
+		if !ids[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestRunWritesTables(t *testing.T) {
+	var ascii, csv strings.Builder
+	if err := Run(Config{Noiseless: true, Runs: 1}, "sec5.2", &ascii); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "overhead_us") {
+		t.Fatalf("ascii output missing header:\n%s", ascii.String())
+	}
+	if err := RunCSV(Config{Noiseless: true, Runs: 1}, "sec5.2", &csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "#") {
+		t.Fatalf("csv output missing title comment:\n%s", csv.String())
+	}
+	if err := Run(Config{}, "nope", &ascii); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestClusterSpecText(t *testing.T) {
+	s, err := ClusterSpec("billy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "64 total") {
+		t.Fatalf("spec text %q", s)
+	}
+	if _, err := ClusterSpec("nope"); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	a, _ := PingPong(Config{Seed: 7}, 4096)
+	b, _ := PingPong(Config{Seed: 7}, 4096)
+	if a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestConfigSpecFile(t *testing.T) {
+	// Export a preset, tweak nothing, and run through the custom-spec
+	// path: results must match the named preset exactly.
+	dir := t.TempDir()
+	path := dir + "/henri.json"
+	spec := topology.Henri()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.WriteSpec(f, spec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a, err := PingPong(Config{SpecFile: path, Noiseless: true}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PingPong(Config{Cluster: "henri", Noiseless: true}, 4096)
+	if a != b {
+		t.Fatalf("spec-file run diverged from preset: %+v vs %+v", a, b)
+	}
+	if _, err := PingPong(Config{SpecFile: "/nope.json"}, 4); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func TestAutotunePublicAPI(t *testing.T) {
+	// A communication-dominated memory-bound app: extra workers past the
+	// saturation point only degrade the transfers.
+	res, err := Autotune(Config{Noiseless: true}, TuneOptions{
+		TaskMB:               2,
+		MessagesPerIteration: 12,
+		WorkerCounts:         []int{2, 16, 34},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 || res.Best.Workers == 0 {
+		t.Fatalf("sweep incomplete: %+v", res)
+	}
+	// Memory-bound default: the full machine must not win.
+	if res.Best.Workers == 34 {
+		t.Fatalf("memory-bound autotune picked the full machine: %+v", res.Series)
+	}
+	// CPU-bound: the full machine must win.
+	cpu, err := Autotune(Config{Noiseless: true}, TuneOptions{
+		Intensity:    200,
+		TaskMB:       2,
+		WorkerCounts: []int{2, 16, 34},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Best.Workers != 34 {
+		t.Fatalf("CPU-bound autotune picked %d workers: %+v", cpu.Best.Workers, cpu.Series)
+	}
+	if _, err := Autotune(Config{}, TuneOptions{Intensity: -1}); err == nil {
+		t.Fatal("negative intensity accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// Cross-cluster checks: the paper reports how the henri findings carry
+// over (or not) to bora (Omni-Path), billy (EPYC) and pyxis (ThunderX2).
+
+func TestBoraBandwidthImpactedLater(t *testing.T) {
+	// §4.2: "On bora nodes, the network bandwidth is impacted, but
+	// later: from 20 computing cores" (vs ≈3–5 on henri) — each bora
+	// socket has the full 6-channel controller.
+	onset := func(spec *topology.NodeSpec) int {
+		spec.NIC.NoiseFrac = 0
+		env := Env{Spec: spec, Seed: 1, Runs: 1}
+		pts := Fig4Contention(env, ContentionConfig{
+			Data: Near, CommThread: Far,
+			CoreCounts: []int{2, 5, 8, 12, 16, 20, 24, 30, 35},
+		})
+		for _, pt := range pts {
+			if pt.Bandwidth.BandwidthTogether() < 0.93*pt.Bandwidth.BandwidthAlone() {
+				return pt.Cores
+			}
+		}
+		return 99
+	}
+	henri := onset(topology.Henri())
+	bora := onset(topology.Bora())
+	if bora <= henri {
+		t.Fatalf("bora onset (%d cores) not later than henri's (%d)", bora, henri)
+	}
+	if bora < 8 || bora > 30 {
+		t.Fatalf("bora onset %d cores, want ≈20", bora)
+	}
+}
+
+func TestBoraOmniPathWideDeviation(t *testing.T) {
+	// §2.2/§3.2: Omni-Path bandwidth shows a much wider run-to-run
+	// deviation than InfiniBand.
+	spread := func(spec *topology.NodeSpec) float64 {
+		env := Env{Spec: spec, Seed: 1, Runs: 3}
+		r := Interference(env, BandwidthConfig(), ComputeConfig{})
+		return r.CommAlone.RelSpread()
+	}
+	ib := spread(topology.Henri())
+	opa := spread(topology.Bora())
+	if opa <= ib*2 {
+		t.Fatalf("Omni-Path spread %.4f not well above InfiniBand's %.4f", opa, ib)
+	}
+}
+
+func TestBillyContentionShapeHolds(t *testing.T) {
+	// §4.2: "Results on billy and pyxis nodes are similar to those
+	// observed on henri": full-load bandwidth drop and latency rise.
+	spec := topology.Billy()
+	spec.NIC.NoiseFrac = 0
+	env := Env{Spec: spec, Seed: 1, Runs: 1}
+	pts := Fig4Contention(env, ContentionConfig{
+		Data: Near, CommThread: Far, CoreCounts: []int{spec.Cores() - 1},
+	})
+	pt := pts[0]
+	drop := 1 - pt.Bandwidth.BandwidthTogether()/pt.Bandwidth.BandwidthAlone()
+	if drop < 0.4 {
+		t.Fatalf("billy full-load bandwidth drop %.2f, want substantial", drop)
+	}
+	latFactor := pt.Latency.CommTogether.Median / pt.Latency.CommAlone.Median
+	if latFactor < 1.15 {
+		t.Fatalf("billy full-load latency factor %.2f, want a visible rise", latFactor)
+	}
+}
+
+func TestPyxisContentionShapeHolds(t *testing.T) {
+	spec := topology.Pyxis()
+	spec.NIC.NoiseFrac = 0
+	env := Env{Spec: spec, Seed: 1, Runs: 1}
+	pts := Fig4Contention(env, ContentionConfig{
+		Data: Near, CommThread: Far, CoreCounts: []int{spec.Cores() - 1},
+	})
+	pt := pts[0]
+	drop := 1 - pt.Bandwidth.BandwidthTogether()/pt.Bandwidth.BandwidthAlone()
+	if drop < 0.3 {
+		t.Fatalf("pyxis full-load bandwidth drop %.2f, want substantial", drop)
+	}
+}
+
+func TestBillyIntensityRidgeHigherThanHenri(t *testing.T) {
+	// §4.5: billy's memory/compute boundary sits at ≈20 flop/B (vs 6 on
+	// henri): wider sockets sharing narrower per-NUMA controllers push
+	// the ridge up.
+	ridge := func(spec *topology.NodeSpec) float64 {
+		spec.NIC.NoiseFrac = 0
+		env := Env{Spec: spec, Seed: 1, Runs: 1}
+		pts := Fig7Intensity(env, spec.Cores()-1, []int{12, 48, 96, 192, 384, 768})
+		for _, pt := range pts {
+			if pt.Bandwidth.BandwidthTogether() > 0.9*pt.Bandwidth.BandwidthAlone() {
+				return pt.Intensity
+			}
+		}
+		return 1e9
+	}
+	h := ridge(topology.Henri())
+	b := ridge(topology.Billy())
+	if b <= h {
+		t.Fatalf("billy ridge (%.1f flop/B) not above henri's (%.1f)", b, h)
+	}
+}
+
+func TestAblationMechanismRoles(t *testing.T) {
+	// The ablation table must demonstrate each mechanism's role:
+	// disabling DMA arbitration deepens the bandwidth drop; disabling
+	// latency contention (or making the UPI infinite) flattens the
+	// latency factor.
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	env := Env{Spec: spec, Seed: 1, Runs: 1}
+	tbl := Ablation(env)
+	get := func(name string) (lat, drop float64) {
+		for _, row := range tbl.Rows {
+			if row[0] == name {
+				return atof(t, row[1]), atof(t, row[2])
+			}
+		}
+		t.Fatalf("missing ablation row %q", name)
+		return 0, 0
+	}
+	fullLat, fullDrop := get("full-model")
+	noArbLat, noArbDrop := get("no-dma-arbitration")
+	noLatLat, noLatDrop := get("no-latency-contention")
+	noUpiLat, _ := get("infinite-upi")
+	if noArbDrop <= fullDrop+5 {
+		t.Fatalf("removing DMA arbitration did not deepen the drop: %.1f vs %.1f", noArbDrop, fullDrop)
+	}
+	if noLatLat > 1.1 || noUpiLat > 1.2 {
+		t.Fatalf("latency factor survives without its mechanisms: noLat=%.2f noUPI=%.2f", noLatLat, noUpiLat)
+	}
+	if fullLat < 1.5 {
+		t.Fatalf("full model latency factor %.2f too low", fullLat)
+	}
+	// Bandwidth mechanisms are orthogonal to the latency ones.
+	if noLatDrop < fullDrop-5 || noArbLat < fullLat-0.3 {
+		t.Fatalf("ablations not orthogonal: noLatDrop=%.1f noArbLat=%.2f", noLatDrop, noArbLat)
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package bench
+
+// Extension experiments: working implementations of the paper's §8
+// future-work proposals plus the reference-[7] overlap benchmark. These
+// go beyond what the paper measures and are marked as extensions in the
+// harness output and EXPERIMENTS.md.
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/taskrt"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/tuning"
+)
+
+// extCGApp is the memory-bound, communication-heavy application used by
+// the extension experiments (a smaller cousin of the Fig 10 CG app).
+func extCGApp(spec *topology.NodeSpec) func() *taskrt.App {
+	return func() *taskrt.App {
+		// Many small blocks keep the ready queue non-empty while the
+		// boundary exchange is in flight, so communication-phase worker
+		// throttling has work to defer.
+		return &taskrt.App{
+			Name: "ext-cg",
+			Slice: func(i int) machine.ComputeSpec {
+				return kernels.CGBlock(512, 1024, (i/2)%spec.NUMANodes())
+			},
+			TasksPerIter: 96,
+			Iterations:   3,
+			MsgSize:      512 << 10,
+			MsgsPerIter:  6,
+			HandleNUMA:   -1,
+		}
+	}
+}
+
+// ExtTuner sweeps worker counts for the CG-like application and renders
+// the whole-program optimum (§8: "select automatically the optimal
+// number of workers").
+func ExtTuner(env Env) *trace.Table {
+	res := tuning.WorkerSweep(tuning.Options{
+		Spec: env.Spec,
+		Seed: env.Seed,
+		App:  extCGApp(env.Spec),
+	})
+	t := trace.NewTable("EXT — §8 worker-count autotuning on a CG-like application",
+		"workers", "iteration_ms", "send_bandwidth_MBps", "memory_stall_%", "best")
+	for _, pt := range res.Series {
+		best := ""
+		if pt.Workers == res.Best.Workers {
+			best = "<== optimum"
+		}
+		t.Add(pt.Workers, pt.IterSeconds*1e3, pt.SendBandwidth/1e6, pt.StallFraction*100, best)
+	}
+	return t
+}
+
+// ExtThrottle compares communication-phase worker throttling levels
+// (§8: "change dynamically the number of workers if there are
+// identifiable communication phases").
+func ExtThrottle(env Env) *trace.Table {
+	t := trace.NewTable("EXT — §8 communication-phase worker throttling (30 workers, CG-like app)",
+		"throttled_workers", "iteration_ms", "send_bandwidth_MBps", "memory_stall_%")
+	for _, throttle := range []int{0, 8, 16, 24} {
+		res := tuning.WorkerSweep(tuning.Options{
+			Spec:         env.Spec,
+			Seed:         env.Seed,
+			App:          extCGApp(env.Spec),
+			WorkerCounts: []int{30},
+			CommThrottle: throttle,
+		})
+		pt := res.Series[0]
+		t.Add(throttle, pt.IterSeconds*1e3, pt.SendBandwidth/1e6, pt.StallFraction*100)
+	}
+	return t
+}
+
+// ExtScheduler compares the central FIFO scheduler against the §8
+// NUMA-local scheduler on a task-dominated, NUMA-spread workload.
+func ExtScheduler(env Env) *trace.Table {
+	spreadApp := func() *taskrt.App {
+		return &taskrt.App{
+			Name: "ext-spread",
+			Slice: func(i int) machine.ComputeSpec {
+				return kernels.CGBlock(1024, 1024, i%env.Spec.NUMANodes())
+			},
+			TasksPerIter: 90,
+			Iterations:   2,
+		}
+	}
+	t := trace.NewTable("EXT — §8 NUMA-local task scheduling vs central FIFO (30 workers)",
+		"scheduler", "iteration_ms", "memory_stall_%")
+	for _, pol := range []taskrt.SchedulerPolicy{taskrt.EagerFIFO, taskrt.NUMALocal} {
+		res := tuning.WorkerSweep(tuning.Options{
+			Spec:         env.Spec,
+			Seed:         env.Seed,
+			App:          spreadApp,
+			WorkerCounts: []int{30},
+			Scheduler:    pol,
+		})
+		pt := res.Series[0]
+		t.Add(pol.String(), pt.IterSeconds*1e3, pt.StallFraction*100)
+	}
+	return t
+}
+
+// ExtOverlap measures communication/computation overlap ratios (after
+// reference [7]) for a sweep of message sizes, with the computation
+// scaled to roughly match each transfer time.
+func ExtOverlap(env Env) *trace.Table {
+	t := trace.NewTable("EXT — communication/computation overlap (after Denis & Trahay [7])",
+		"size_B", "comm_alone_us", "compute_alone_us", "together_us", "overlap_ratio")
+	for _, size := range []int64{64 << 10, 1 << 20, 16 << 20, 64 << 20} {
+		c, w := newWorld(env.Spec, env.Seed)
+		// Computation sized to the nominal transfer time at wire speed.
+		transferSecs := float64(size) / (env.Spec.NIC.WireGBs * 1e9)
+		flops := transferSecs * 2.5e9 * env.Spec.FlopsPerCycle[topology.Scalar]
+		ov := &mpi.Overlap{
+			Size:        size,
+			Compute:     machine.ComputeSpec{Flops: flops, Class: topology.Scalar},
+			ComputeCore: 1,
+			Iters:       4,
+		}
+		var res mpi.OverlapResult
+		c.K.Spawn("overlap", func(p *sim.Proc) { res = ov.Run(p, w.Rank(0), 1) })
+		c.K.Spawn("peer", func(p *sim.Proc) { ov.RunPeer(p, w.Rank(1), 0) })
+		c.K.Run()
+		t.Add(size, res.CommAlone.Micros(), res.ComputeAlone.Micros(),
+			res.Together.Micros(), res.Ratio)
+	}
+	return t
+}

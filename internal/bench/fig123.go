@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"repro/internal/freq"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// FrequencyPoint is one cell of Figure 1's grid.
+type FrequencyPoint struct {
+	CoreGHz, UncoreGHz float64
+	Size               int64
+	Latency            stats.Summary // seconds
+}
+
+// Bandwidth returns the NetPIPE bandwidth of the point in bytes/s.
+func (p FrequencyPoint) Bandwidth() float64 {
+	if p.Latency.Median == 0 {
+		return 0
+	}
+	return float64(p.Size) / p.Latency.Median
+}
+
+// Fig1Frequencies measures network latency and bandwidth at the
+// extremes of the permitted core and uncore frequency ranges (§3.1,
+// Figs 1a/1b): constant frequencies via the userspace governor and a
+// pinned uncore, ping-pong only, no computation, communication thread
+// near the NIC.
+func Fig1Frequencies(env Env, sizes []int64) []FrequencyPoint {
+	if len(sizes) == 0 {
+		sizes = []int64{4, 64 << 20}
+	}
+	spec := env.Spec
+	coreFreqs := []float64{spec.Freq.CoreMin, spec.Freq.CoreBase}
+	uncoreFreqs := []float64{spec.Freq.UncoreMin, spec.Freq.UncoreMax}
+	var out []FrequencyPoint
+	for _, cf := range coreFreqs {
+		for _, uf := range uncoreFreqs {
+			for _, size := range sizes {
+				var lats []float64
+				for run := 0; run < env.runs(); run++ {
+					c, w := newWorld(spec, env.Seed+int64(run))
+					for i := 0; i < 2; i++ {
+						r := w.Rank(i)
+						r.SetCommCore(spec.LastCoreOfNUMA(spec.NIC.NUMA))
+						r.Node.Freq.SetUserspace(cf)
+						r.Node.Freq.SetUncoreFixed(uf)
+					}
+					pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: size,
+						Iters: pingIters(size), Warmup: 2})
+					pp.InitBuf = w.Rank(0).Node.Alloc(maxInt64(size, 1), spec.NIC.NUMA)
+					pp.RespBuf = w.Rank(1).Node.Alloc(maxInt64(size, 1), spec.NIC.NUMA)
+					var ls []sim.Duration
+					c.K.Spawn("init", func(p *sim.Proc) { ls = pp.Initiate(p, w.Rank(0), 1) })
+					c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+					c.K.Run()
+					for _, l := range ls {
+						lats = append(lats, l.Seconds())
+					}
+				}
+				out = append(out, FrequencyPoint{
+					CoreGHz: cf, UncoreGHz: uf, Size: size,
+					Latency: stats.Summarize(lats),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// pingIters scales the iteration count down for huge messages.
+func pingIters(size int64) int {
+	switch {
+	case size >= 16<<20:
+		return 5
+	case size >= 1<<20:
+		return 10
+	default:
+		return 25
+	}
+}
+
+// Fig1Table renders Figure 1 as a table.
+func Fig1Table(points []FrequencyPoint) *trace.Table {
+	t := trace.NewTable("Fig 1 — impact of constant frequencies on network performance",
+		"core_GHz", "uncore_GHz", "size_B", "latency_us", "bandwidth_MBps")
+	for _, p := range points {
+		t.Add(p.CoreGHz, p.UncoreGHz, p.Size, p.Latency.Median*1e6, p.Bandwidth()/1e6)
+	}
+	return t
+}
+
+// Fig2Result holds the three frequency traces of Figure 2 plus the
+// communication metrics with and without computation (§3.2).
+type Fig2Result struct {
+	// Traces: (A) communication only, (B) idle, (C) communication with
+	// 20 CPU-bound computing cores.
+	TraceA, TraceB, TraceC []freq.Sample
+	// Latency/Bandwidth medians, alone (A) vs with computation (C).
+	LatencyAlone, LatencyTogether     stats.Summary
+	BandwidthAlone, BandwidthTogether float64
+	// ComputeSecs is the compute iteration time in case C (constant
+	// regardless of core count, §3.2 footnote 4).
+	ComputeSecs stats.Summary
+}
+
+// Fig2FrequencyTrace reproduces Figure 2: per-core frequency traces
+// under the performance governor with turbo, for communication only,
+// idle, and communication beside 20 prime-counting cores.
+func Fig2FrequencyTrace(env Env) Fig2Result {
+	var res Fig2Result
+	spec := env.Spec
+
+	// (A) communication only: latency benchmark, trace frequencies.
+	{
+		c, w := newWorld(spec, env.Seed)
+		pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: 4, Iters: 30, Warmup: 5})
+		w.Rank(0).Node.Freq.StartTrace()
+		var lats []sim.Duration
+		c.K.Spawn("init", func(p *sim.Proc) { lats = pp.Initiate(p, w.Rank(0), 1) })
+		c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+		c.K.Run()
+		res.TraceA = w.Rank(0).Node.Freq.StopTrace()
+		res.LatencyAlone = summarizeDur(lats)
+		res.BandwidthAlone = measureBandwidthOnce(env, 0)
+	}
+
+	// (B) idle: all cores asleep.
+	{
+		c, w := newWorld(spec, env.Seed)
+		n := w.Rank(0).Node
+		n.Freq.StartTrace()
+		c.K.Spawn("sleep", func(p *sim.Proc) { p.Sleep(sim.Duration(10 * sim.Millisecond)) })
+		c.K.Run()
+		res.TraceB = n.Freq.StopTrace()
+	}
+
+	// (C) communication + 20 computing cores.
+	{
+		c, w := newWorld(spec, env.Seed)
+		pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: 4, Iters: 30, Warmup: 5})
+		n := w.Rank(0).Node
+		n.Freq.StartTrace()
+		commDone := false
+		var secs []float64
+		for _, node := range c.Nodes {
+			node := node
+			for _, core := range computeCores(spec, 20, w.Rank(0).CommCore) {
+				core := core
+				c.K.Spawn("prime", func(p *sim.Proc) {
+					r := kernels.LoopWhile(p, node, core, kernels.PrimeCountDefault(),
+						func() bool { return !commDone })
+					if node.ID == 0 && r.Iters > 0 {
+						secs = append(secs, r.PerIter.Seconds())
+					}
+				})
+			}
+		}
+		var lats []sim.Duration
+		c.K.Spawn("init", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(sim.Millisecond))
+			lats = pp.Initiate(p, w.Rank(0), 1)
+			commDone = true
+		})
+		c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+		c.K.Run()
+		res.TraceC = n.Freq.StopTrace()
+		res.LatencyTogether = summarizeDur(lats)
+		res.ComputeSecs = stats.Summarize(secs)
+		res.BandwidthTogether = measureBandwidthOnce(env, 20)
+	}
+	return res
+}
+
+// measureBandwidthOnce runs one 64MB ping-pong (optionally beside a
+// CPU-bound kernel on `cores` cores) and returns the median bandwidth.
+func measureBandwidthOnce(env Env, cores int) float64 {
+	comm := BandwidthConfig()
+	comp := ComputeConfig{}
+	if cores > 0 {
+		comp = ComputeConfig{Slice: kernels.PrimeCountDefault(), Cores: cores}
+	}
+	r := Interference(Env{Spec: env.Spec, Seed: env.Seed, Runs: 1}, comm, comp)
+	if cores > 0 {
+		return r.BandwidthTogether()
+	}
+	return r.BandwidthAlone()
+}
+
+// Fig3Result holds one AVX-512 configuration of Figure 3.
+type Fig3Result struct {
+	Cores                             int
+	ComputeSecsAlone, ComputeSecsWith stats.Summary
+	LatencyAlone, LatencyWith         stats.Summary
+	// CommCoreGHz and ComputeCoreGHz are the frequencies observed during
+	// the side-by-side phase.
+	CommCoreGHz, ComputeCoreGHz float64
+}
+
+// Fig3AVX reproduces Figure 3: AVX-512 computations with turbo enabled
+// beside a latency ping-pong, for the given computing-core counts
+// (the paper shows 4 and 20).
+func Fig3AVX(env Env, coreCounts []int) []Fig3Result {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{4, 20}
+	}
+	var out []Fig3Result
+	for _, nc := range coreCounts {
+		r := Interference(env, LatencyConfig(), ComputeConfig{
+			Slice: kernels.AVX512Default(), Cores: nc, MinIters: 2,
+		})
+		fr := Fig3Result{
+			Cores:            nc,
+			ComputeSecsAlone: r.ComputeSecsAlone,
+			ComputeSecsWith:  r.ComputeSecsTogether,
+			LatencyAlone:     r.CommAlone,
+			LatencyWith:      r.CommTogether,
+		}
+		// Probe the frequencies in the side-by-side state.
+		c, w := newWorld(env.Spec, env.Seed)
+		n := w.Rank(0).Node
+		for _, core := range computeCores(env.Spec, nc, w.Rank(0).CommCore) {
+			n.Freq.SetActive(core, topology.AVX512)
+		}
+		n.Freq.SetActive(w.Rank(0).CommCore, topology.Scalar)
+		fr.ComputeCoreGHz = n.Freq.CoreGHz(computeCores(env.Spec, nc, w.Rank(0).CommCore)[0])
+		fr.CommCoreGHz = n.Freq.CoreGHz(w.Rank(0).CommCore)
+		_ = c
+		out = append(out, fr)
+	}
+	return out
+}
+
+// Fig3Table renders Figure 3 as a table.
+func Fig3Table(rs []Fig3Result) *trace.Table {
+	t := trace.NewTable("Fig 3 — impact of AVX-512 computations on network latency (turbo on)",
+		"cores", "compute_ms_alone", "compute_ms_with_comm",
+		"latency_us_alone", "latency_us_with_compute",
+		"compute_core_GHz", "comm_core_GHz")
+	for _, r := range rs {
+		t.Add(r.Cores, r.ComputeSecsAlone.Median*1e3, r.ComputeSecsWith.Median*1e3,
+			r.LatencyAlone.Median*1e6, r.LatencyWith.Median*1e6,
+			r.ComputeCoreGHz, r.CommCoreGHz)
+	}
+	return t
+}
+
+func summarizeDur(ds []sim.Duration) stats.Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return stats.Summarize(xs)
+}

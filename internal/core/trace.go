@@ -1,0 +1,40 @@
+package core
+
+import (
+	"repro/internal/freq"
+	"repro/internal/sim"
+)
+
+// freqSample is the condensed trace sample used by the fig2 table.
+type freqSample struct {
+	at   sim.Time
+	core int
+	ghz  float64
+}
+
+// toFreqSamples converts the freq package's samples.
+func toFreqSamples(in []freq.Sample) []freqSample {
+	out := make([]freqSample, len(in))
+	for i, s := range in {
+		out[i] = freqSample{at: s.At, core: s.Core, ghz: s.GHz}
+	}
+	return out
+}
+
+// condense drops consecutive samples where a core's frequency did not
+// change, keeping traces readable: the output contains, per core, only
+// the transition points (plus the initial value).
+func condense(in []freqSample) []freqSample {
+	last := map[int]float64{}
+	seen := map[int]bool{}
+	var out []freqSample
+	for _, s := range in {
+		if seen[s.core] && last[s.core] == s.ghz {
+			continue
+		}
+		seen[s.core] = true
+		last[s.core] = s.ghz
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package fluid
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSolve measures one progressive-filling pass at the scale of
+// a loaded henri node: ~20 resources, ~40 flows.
+func BenchmarkSolve(b *testing.B) {
+	k := sim.NewKernel(1)
+	m := NewModel(k)
+	var res []*Resource
+	for i := 0; i < 20; i++ {
+		res = append(res, m.NewResource("r", 50e9))
+	}
+	for i := 0; i < 40; i++ {
+		uses := []Use{{res[i%20], 1}}
+		if i%3 == 0 {
+			uses = append(uses, Use{res[(i+7)%20], 1})
+		}
+		m.StartFlow("f", 1e18, 12e9, uses, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.solve()
+	}
+}
+
+// BenchmarkFlowChurn measures start+cancel cycles (each triggers a
+// re-solve), the dominant cost of fine-grained kernels.
+func BenchmarkFlowChurn(b *testing.B) {
+	k := sim.NewKernel(1)
+	m := NewModel(k)
+	r := m.NewResource("bus", 50e9)
+	for i := 0; i < 30; i++ {
+		m.StartFlow("bg", 1e18, 2e9, []Use{{r, 1}}, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := m.StartFlow("churn", 1e12, 12e9, []Use{{r, 1}}, nil)
+		m.Cancel(f)
+	}
+}

@@ -1,0 +1,13 @@
+package fluid
+
+import "repro/internal/sim"
+
+// Exec runs a flow to completion on behalf of process p, blocking p
+// until the work is done. It returns the elapsed simulated duration.
+func (m *Model) Exec(p *sim.Proc, name string, work, cap float64, uses []Use) sim.Duration {
+	start := p.Now()
+	done := sim.NewSignal(m.k)
+	m.StartFlow(name, work, cap, uses, done.Broadcast)
+	done.Wait(p)
+	return p.Now().Sub(start)
+}

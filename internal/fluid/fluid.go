@@ -1,0 +1,485 @@
+// Package fluid implements a weighted max-min fair bandwidth-sharing
+// model over a set of resources (memory controllers, inter-NUMA links,
+// PCIe lanes, network wires) and flows (compute kernels, memory streams,
+// DMA transfers).
+//
+// This is the classic fluid model used by network and platform simulators
+// (e.g. SimGrid): each flow f gets a single rate r_f; for every resource
+// R with capacity C_R, the constraint sum over flows on R of w_{f,R}·r_f
+// ≤ C_R must hold; the solver maximises the allocation in max-min order
+// using progressive filling. A flow may additionally carry a private rate
+// cap (e.g. a core's peak flop rate at its current frequency).
+//
+// The model is driven by a sim.Kernel: whenever the flow set or a
+// capacity changes, rates are re-solved and the next flow completion is
+// (re)scheduled as a simulation event.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Resource is a shared capacity (units/second, typically bytes/s or
+// flops/s). Capacity may change during the simulation (e.g. uncore
+// frequency scaling a memory controller).
+type Resource struct {
+	name     string
+	capacity float64
+	model    *Model
+	// load is the sum of w·r over current flows, maintained by solve.
+	load float64
+}
+
+// Name returns the resource name given at creation.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the current capacity in units/second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Utilization returns load/capacity in [0,1] under the current
+// allocation. It is the quantity the latency model reads: a memory
+// access crossing a bus at utilization ρ sees queueing delay growing
+// with ρ.
+func (r *Resource) Utilization() float64 {
+	if r.capacity <= 0 {
+		if r.load > 0 {
+			return 1
+		}
+		return 0
+	}
+	u := r.load / r.capacity
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Use couples a flow to a resource: the flow consumes weight·rate of the
+// resource's capacity. Weight 1 is the common case; weights >1 model
+// flows that stress a resource more per unit of progress (e.g. a COPY
+// stream reads and writes), weights <1 model flows that get hardware
+// arbitration preference (e.g. NIC DMA engines).
+type Use struct {
+	Resource *Resource
+	Weight   float64
+}
+
+// Flow is an ongoing activity with a fixed amount of remaining work.
+type Flow struct {
+	model     *Model
+	name      string
+	remaining float64
+	total     float64
+	rate      float64
+	cap       float64 // private rate bound; 0 means unbounded
+	priority  float64 // rate multiplier in the fair allocation; ≥ default 1
+	uses      []Use
+	onDone    func()
+	started   sim.Time
+	finished  bool
+	index     int // position in model.flows, -1 when removed
+}
+
+// FlowSpec describes a flow to start.
+type FlowSpec struct {
+	Name string
+	// Work is the amount to transfer/compute, in resource units.
+	Work float64
+	// Cap bounds the flow's rate; 0 means unbounded by the flow itself.
+	Cap float64
+	// Priority scales the flow's share of a contended resource: under
+	// max-min fairness the flow's rate is Priority times the fair unit.
+	// Hardware DMA engines, which win memory-controller arbitration
+	// against core streams, get Priority > 1. Zero means 1.
+	Priority float64
+	// Uses lists the resources crossed, with consumption weights.
+	Uses []Use
+	// OnDone, if non-nil, runs as a simulation event at completion.
+	OnDone func()
+}
+
+// Name returns the flow name.
+func (f *Flow) Name() string { return f.name }
+
+// Rate returns the currently allocated rate (units/second).
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the work left, after accounting progress up to the
+// current instant.
+func (f *Flow) Remaining() float64 {
+	f.model.advance()
+	return f.remaining
+}
+
+// Total returns the work the flow started with.
+func (f *Flow) Total() float64 { return f.total }
+
+// Finished reports whether the flow has completed (or was cancelled).
+func (f *Flow) Finished() bool { return f.finished }
+
+// Started returns the instant the flow was started.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Model owns resources and flows and keeps the piecewise-constant rate
+// allocation in sync with the simulation clock.
+type Model struct {
+	k          *sim.Kernel
+	resources  []*Resource
+	flows      []*Flow
+	lastUpdate sim.Time
+	next       *sim.Event
+	solves     uint64
+}
+
+// NewModel returns an empty fluid model driven by kernel k.
+func NewModel(k *sim.Kernel) *Model {
+	return &Model{k: k}
+}
+
+// Solves reports how many times the allocation was recomputed (for
+// performance diagnostics).
+func (m *Model) Solves() uint64 { return m.solves }
+
+// NewResource registers a resource with the given capacity in
+// units/second. Capacity must be positive.
+func (m *Model) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("fluid: resource %q capacity %v must be positive", name, capacity))
+	}
+	r := &Resource{name: name, capacity: capacity, model: m}
+	m.resources = append(m.resources, r)
+	return r
+}
+
+// SetCapacity changes a resource's capacity and re-solves the
+// allocation. Used for frequency scaling.
+func (m *Model) SetCapacity(r *Resource, capacity float64) {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("fluid: resource %q capacity %v must be positive", r.name, capacity))
+	}
+	if r.capacity == capacity {
+		return
+	}
+	m.advance()
+	r.capacity = capacity
+	m.resolve()
+}
+
+// StartFlow begins an activity of `work` units using the given
+// resources, with default priority. cap bounds the flow's rate (0 =
+// unbounded; a flow with no uses must have cap > 0 or it would finish
+// instantly — such flows are rejected). onDone, if non-nil, runs as a
+// simulation event when the flow completes.
+func (m *Model) StartFlow(name string, work float64, cap float64, uses []Use, onDone func()) *Flow {
+	return m.Start(FlowSpec{Name: name, Work: work, Cap: cap, Uses: uses, OnDone: onDone})
+}
+
+// Start begins the flow described by spec.
+func (m *Model) Start(spec FlowSpec) *Flow {
+	if spec.Work < 0 || math.IsNaN(spec.Work) {
+		panic(fmt.Sprintf("fluid: flow %q work %v must be non-negative", spec.Name, spec.Work))
+	}
+	if len(spec.Uses) == 0 && spec.Cap <= 0 {
+		panic(fmt.Sprintf("fluid: flow %q has no resources and no rate cap", spec.Name))
+	}
+	if spec.Priority < 0 {
+		panic(fmt.Sprintf("fluid: flow %q has negative priority", spec.Name))
+	}
+	for _, u := range spec.Uses {
+		if u.Weight <= 0 {
+			panic(fmt.Sprintf("fluid: flow %q has non-positive weight on %q", spec.Name, u.Resource.name))
+		}
+		if u.Resource.model != m {
+			panic(fmt.Sprintf("fluid: flow %q uses resource %q from another model", spec.Name, u.Resource.name))
+		}
+	}
+	pri := spec.Priority
+	if pri == 0 {
+		pri = 1
+	}
+	m.advance()
+	f := &Flow{
+		model:     m,
+		name:      spec.Name,
+		remaining: spec.Work,
+		total:     spec.Work,
+		cap:       spec.Cap,
+		priority:  pri,
+		uses:      spec.Uses,
+		onDone:    spec.OnDone,
+		started:   m.k.Now(),
+		index:     len(m.flows),
+	}
+	m.flows = append(m.flows, f)
+	m.resolve()
+	return f
+}
+
+// SetCap changes a flow's private rate bound and re-solves. A running
+// compute kernel's cap changes when its core's frequency changes.
+func (m *Model) SetCap(f *Flow, cap float64) {
+	if f.finished {
+		return
+	}
+	if len(f.uses) == 0 && cap <= 0 {
+		panic(fmt.Sprintf("fluid: flow %q would have no resources and no cap", f.name))
+	}
+	if f.cap == cap {
+		return
+	}
+	m.advance()
+	f.cap = cap
+	m.resolve()
+}
+
+// Cancel removes a flow without running its completion callback.
+func (m *Model) Cancel(f *Flow) {
+	if f.finished {
+		return
+	}
+	m.advance()
+	m.remove(f)
+	f.finished = true
+	m.resolve()
+}
+
+// remove unlinks f from the flow list (swap-with-last, order not
+// significant for the solver; determinism comes from solve's stable
+// iteration of the remaining slice contents, which is itself
+// deterministic given a deterministic sequence of operations).
+func (m *Model) remove(f *Flow) {
+	last := len(m.flows) - 1
+	m.flows[f.index] = m.flows[last]
+	m.flows[f.index].index = f.index
+	m.flows[last] = nil
+	m.flows = m.flows[:last]
+	f.index = -1
+	f.rate = 0
+}
+
+// advance accrues progress from lastUpdate to now at the current rates.
+func (m *Model) advance() {
+	now := m.k.Now()
+	if now == m.lastUpdate {
+		return
+	}
+	dt := now.Sub(m.lastUpdate).Seconds()
+	m.lastUpdate = now
+	for _, f := range m.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// epsilon below which remaining work counts as done, relative to the
+// flow's rate: anything that would complete within a fraction of a
+// nanosecond is complete.
+const completeEps = 1e-10 // seconds
+
+// resolve recomputes rates, fires completions due now, and schedules the
+// next completion event.
+func (m *Model) resolve() {
+	// Completions may themselves add/remove flows from callbacks that run
+	// as separate events, so here we only: solve, complete-now, schedule.
+	for {
+		m.solve()
+		done := m.collectDone()
+		if len(done) == 0 {
+			break
+		}
+		for _, f := range done {
+			m.remove(f)
+			f.finished = true
+			if f.onDone != nil {
+				// Run as an event so callbacks observe a consistent model
+				// and cannot recurse into resolve mid-loop.
+				m.k.At(m.k.Now(), f.onDone)
+			}
+		}
+	}
+	m.schedule()
+}
+
+// collectDone returns flows whose remaining work is (numerically) zero.
+func (m *Model) collectDone() []*Flow {
+	var done []*Flow
+	for _, f := range m.flows {
+		if f.remaining <= 0 || (f.rate > 0 && f.remaining/f.rate < completeEps) {
+			done = append(done, f)
+		}
+	}
+	return done
+}
+
+// schedule arms the next-completion event.
+func (m *Model) schedule() {
+	if m.next != nil {
+		m.k.Cancel(m.next)
+		m.next = nil
+	}
+	best := math.Inf(1)
+	for _, f := range m.flows {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < best {
+				best = t
+			}
+		}
+	}
+	// Effectively-never completions (e.g. quasi-infinite background
+	// flows) are not scheduled at all; they are cancelled explicitly.
+	const horizon = 1e8 // seconds of simulated time, ≈3 years
+	if math.IsInf(best, 1) || best > horizon {
+		return
+	}
+	d := sim.DurationOfSeconds(best)
+	m.next = m.k.After(d, func() {
+		m.next = nil
+		m.advance()
+		m.resolve()
+	})
+}
+
+// solve runs weighted progressive filling. After solve, every flow has
+// its max-min fair rate and every resource has its load recomputed.
+//
+// Priorities are handled by normalisation: for each flow define the
+// normalised rate ρ_f = rate_f / priority_f. Every resource constraint
+// becomes Σ (w·priority)·ρ ≤ C and every cap becomes ρ ≤ cap/priority,
+// so plain max-min progressive filling over ρ yields the weighted,
+// prioritised allocation.
+func (m *Model) solve() {
+	m.solves++
+	n := len(m.flows)
+	for _, r := range m.resources {
+		r.load = 0
+	}
+	if n == 0 {
+		return
+	}
+	avail := make(map[*Resource]float64, len(m.resources))
+	wsum := make(map[*Resource]float64, len(m.resources))
+	for _, r := range m.resources {
+		avail[r] = r.capacity
+	}
+	fixed := make([]bool, n)
+	for i, f := range m.flows {
+		f.rate = 0
+		if f.remaining <= 0 {
+			// Already-done flows (awaiting collection) consume nothing.
+			fixed[i] = true
+			continue
+		}
+		for _, u := range f.uses {
+			wsum[u.Resource] += u.Weight * f.priority
+		}
+	}
+	remaining := 0
+	for i := range fixed {
+		if !fixed[i] {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		// Candidate fair normalised rate: the tightest bottleneck.
+		bottleneck := (*Resource)(nil)
+		fair := math.Inf(1)
+		for _, r := range m.resources {
+			if wsum[r] <= 0 {
+				continue
+			}
+			c := avail[r] / wsum[r]
+			if c < fair {
+				fair = c
+				bottleneck = r
+			}
+		}
+		// Candidate: the smallest normalised cap among unfixed flows.
+		capMin := math.Inf(1)
+		for i, f := range m.flows {
+			if !fixed[i] && f.cap > 0 {
+				if c := f.cap / f.priority; c < capMin {
+					capMin = c
+				}
+			}
+		}
+		switch {
+		case capMin < fair:
+			// Fix every unfixed flow whose normalised cap is the minimum.
+			for i, f := range m.flows {
+				if fixed[i] || f.cap <= 0 || f.cap/f.priority > capMin {
+					continue
+				}
+				m.fix(f, capMin, avail, wsum)
+				fixed[i] = true
+				remaining--
+			}
+		case bottleneck != nil:
+			// Fix every unfixed flow using the bottleneck at the fair rate.
+			for i, f := range m.flows {
+				if fixed[i] {
+					continue
+				}
+				uses := false
+				for _, u := range f.uses {
+					if u.Resource == bottleneck {
+						uses = true
+						break
+					}
+				}
+				if !uses {
+					continue
+				}
+				m.fix(f, fair, avail, wsum)
+				fixed[i] = true
+				remaining--
+			}
+		default:
+			// No bottleneck and no cap below it: flows whose every
+			// resource already drained to zero availability. Their fair
+			// share is zero. (Flows with neither resources nor caps were
+			// rejected at Start.)
+			for i, f := range m.flows {
+				if !fixed[i] {
+					f.rate = 0
+					fixed[i] = true
+					remaining--
+				}
+			}
+		}
+	}
+	for _, f := range m.flows {
+		for _, u := range f.uses {
+			u.Resource.load += u.Weight * f.rate
+		}
+	}
+}
+
+// fix assigns the normalised rate to f (scaled by its priority) and
+// withdraws its consumption from the progressive-filling bookkeeping.
+func (m *Model) fix(f *Flow, normRate float64, avail, wsum map[*Resource]float64) {
+	f.rate = normRate * f.priority
+	if f.cap > 0 && f.rate > f.cap {
+		f.rate = f.cap
+	}
+	for _, u := range f.uses {
+		avail[u.Resource] -= u.Weight * f.rate
+		if avail[u.Resource] < 0 {
+			avail[u.Resource] = 0
+		}
+		wsum[u.Resource] -= u.Weight * f.priority
+		if wsum[u.Resource] < 1e-12 {
+			wsum[u.Resource] = 0
+		}
+	}
+}
+
+// FlowCount returns the number of active flows (diagnostics).
+func (m *Model) FlowCount() int { return len(m.flows) }
+
+// Kernel returns the driving simulation kernel.
+func (m *Model) Kernel() *sim.Kernel { return m.k }

@@ -1,0 +1,93 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzSolverInvariants drives the solver with an arbitrary byte-encoded
+// sequence of operations (add resources, start/cancel flows, change
+// capacities, advance time) and checks the core invariants after every
+// step: feasibility (no resource over capacity), cap respect, and
+// non-negative rates/remaining work.
+func FuzzSolverInvariants(f *testing.F) {
+	f.Add([]byte{1, 10, 2, 30, 2, 60, 3, 0, 4, 5})
+	f.Add([]byte{1, 200, 2, 10, 2, 10, 2, 10, 5, 0, 4, 50, 3, 1})
+	f.Add([]byte{1, 1, 1, 255, 2, 0, 2, 128, 6, 77, 3, 0, 3, 1, 4, 255})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		k := sim.NewKernel(1)
+		m := NewModel(k)
+		var resources []*Resource
+		var flows []*Flow
+		rng := k.Rand()
+
+		check := func() {
+			for _, r := range resources {
+				if r.load > r.capacity*(1+1e-6) {
+					t.Fatalf("resource %q over capacity: %v > %v", r.name, r.load, r.capacity)
+				}
+			}
+			for _, fl := range flows {
+				if fl.finished {
+					continue
+				}
+				if fl.rate < 0 || math.IsNaN(fl.rate) {
+					t.Fatalf("flow %q rate %v", fl.name, fl.rate)
+				}
+				if fl.cap > 0 && fl.rate > fl.cap*(1+1e-6) {
+					t.Fatalf("flow %q rate %v above cap %v", fl.name, fl.rate, fl.cap)
+				}
+				if fl.remaining < 0 {
+					t.Fatalf("flow %q negative remaining %v", fl.name, fl.remaining)
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i]%7, float64(program[i+1])
+			switch op {
+			case 0, 1: // add resource
+				resources = append(resources, m.NewResource("r", 1+arg))
+			case 2: // start flow on random subset
+				if len(resources) == 0 {
+					continue
+				}
+				var uses []Use
+				for _, r := range resources {
+					if rng.Intn(2) == 0 {
+						uses = append(uses, Use{r, 0.5 + rng.Float64()})
+					}
+				}
+				spec := FlowSpec{Name: "f", Work: 1 + arg*1e3, Priority: 0.5 + rng.Float64()*3}
+				if len(uses) == 0 || rng.Intn(3) == 0 {
+					spec.Cap = 1 + arg
+				}
+				spec.Uses = uses
+				flows = append(flows, m.Start(spec))
+			case 3: // cancel a flow
+				if len(flows) > 0 {
+					m.Cancel(flows[int(arg)%len(flows)])
+				}
+			case 4: // advance time
+				k.RunUntil(k.Now().Add(sim.Duration(1+arg) * sim.Millisecond))
+			case 5: // change a capacity
+				if len(resources) > 0 {
+					m.SetCapacity(resources[int(arg)%len(resources)], 1+arg*2)
+				}
+			case 6: // change a cap
+				if len(flows) > 0 {
+					fl := flows[int(arg)%len(flows)]
+					if !fl.finished && len(fl.uses) > 0 {
+						m.SetCap(fl, 1+arg)
+					}
+				}
+			}
+			check()
+		}
+		// Drain: every remaining event must fire without panicking.
+		k.RunUntil(k.Now().Add(sim.Duration(10 * sim.Second)))
+		check()
+	})
+}

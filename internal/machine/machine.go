@@ -1,0 +1,278 @@
+// Package machine assembles the simulated hardware of a cluster node:
+// the topology spec, the frequency model, the fluid bandwidth-sharing
+// model for memory controllers / inter-NUMA links / PCIe, NUMA memory
+// allocation, load-dependent memory access latency, and the execution
+// primitives (cycle burns, roofline compute flows, memory streams) that
+// every higher layer builds on.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/fluid"
+	"repro/internal/freq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Cluster is a set of identical nodes sharing one simulation kernel and
+// one fluid model (so network flows can cross resources of both ends).
+type Cluster struct {
+	K     *sim.Kernel
+	Fluid *fluid.Model
+	Nodes []*Node
+	Spec  *topology.NodeSpec
+}
+
+// NewCluster builds n nodes of the given spec on a fresh kernel seeded
+// with seed. The spec is validated; an invalid spec panics, since every
+// experiment would be meaningless.
+func NewCluster(spec *topology.NodeSpec, n int, seed int64) *Cluster {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: invalid spec %q: %v", spec.Name, err))
+	}
+	k := sim.NewKernel(seed)
+	c := &Cluster{K: k, Fluid: fluid.NewModel(k), Spec: spec}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, newNode(c, i, spec))
+	}
+	return c
+}
+
+// linkKey identifies an unordered NUMA pair.
+type linkKey struct{ a, b int }
+
+func mkLinkKey(a, b int) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// NUMA is one NUMA node: a memory controller plus stream bookkeeping.
+type NUMA struct {
+	ID      int
+	Ctrl    *fluid.Resource
+	streams int // concurrent core streams, drives C_eff and DMA priority
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID       int
+	Spec     *topology.NodeSpec
+	Freq     *freq.Model
+	Counters *counters.Set
+	cluster  *Cluster
+
+	numa  []*NUMA
+	links map[linkKey]*fluid.Resource
+	// PCIeTx and PCIeRx are the outbound and inbound halves of the
+	// full-duplex PCIe link between the NIC and the memory system.
+	PCIeTx, PCIeRx *fluid.Resource
+
+	// coreFlow tracks the active compute flow per core so frequency
+	// changes can rescale its rate cap.
+	coreFlow []*runningKernel
+}
+
+// runningKernel is the bookkeeping for an in-flight compute flow.
+type runningKernel struct {
+	flow  *fluid.Flow
+	class topology.VecClass
+	// capOf recomputes the flow's rate cap at the core's current
+	// frequency.
+	capOf func() float64
+}
+
+func newNode(c *Cluster, id int, spec *topology.NodeSpec) *Node {
+	n := &Node{
+		ID:       id,
+		Spec:     spec,
+		Freq:     freq.NewModel(c.K, spec),
+		Counters: counters.NewSet(spec.Cores()),
+		cluster:  c,
+		links:    make(map[linkKey]*fluid.Resource),
+		coreFlow: make([]*runningKernel, spec.Cores()),
+	}
+	for i := 0; i < spec.NUMANodes(); i++ {
+		name := fmt.Sprintf("n%d.ctrl%d", id, i)
+		// Capacity at current (idle) uncore; updated by the listener.
+		n.numa = append(n.numa, &NUMA{ID: i, Ctrl: c.Fluid.NewResource(name, 1)})
+	}
+	// Intra-socket NUMA pairs (sub-NUMA clustering halves) get private
+	// mesh links; every cross-socket pair shares the single UPI/xGMI
+	// resource of the socket pair — that is the physical bus computing
+	// cores saturate once they spill onto the far socket (Fig 4a).
+	upi := make(map[linkKey]*fluid.Resource)
+	for a := 0; a < spec.NUMANodes(); a++ {
+		for b := a + 1; b < spec.NUMANodes(); b++ {
+			sa, sb := spec.SocketOfNUMA(a), spec.SocketOfNUMA(b)
+			if sa == sb {
+				name := fmt.Sprintf("n%d.mesh%d-%d", id, a, b)
+				n.links[linkKey{a, b}] = c.Fluid.NewResource(name, spec.Mem.MeshGBs*1e9)
+				continue
+			}
+			sk := mkLinkKey(sa, sb)
+			if upi[sk] == nil {
+				name := fmt.Sprintf("n%d.upi%d-%d", id, sa, sb)
+				upi[sk] = c.Fluid.NewResource(name, spec.Mem.LinkGBs*1e9)
+			}
+			n.links[linkKey{a, b}] = upi[sk]
+		}
+	}
+	n.PCIeTx = c.Fluid.NewResource(fmt.Sprintf("n%d.pcie-tx", id), spec.NIC.PCIeGBs*1e9)
+	n.PCIeRx = c.Fluid.NewResource(fmt.Sprintf("n%d.pcie-rx", id), spec.NIC.PCIeGBs*1e9)
+	n.Freq.OnChange(n.onFreqChange)
+	n.updateCtrlCapacities()
+	return n
+}
+
+// Cluster returns the cluster the node belongs to.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// K returns the simulation kernel.
+func (n *Node) K() *sim.Kernel { return n.cluster.K }
+
+// NUMA returns NUMA node i.
+func (n *Node) NUMA(i int) *NUMA {
+	if i < 0 || i >= len(n.numa) {
+		panic(fmt.Sprintf("machine: NUMA %d out of range [0,%d)", i, len(n.numa)))
+	}
+	return n.numa[i]
+}
+
+// Link returns the inter-NUMA link between a and b (a != b).
+func (n *Node) Link(a, b int) *fluid.Resource {
+	if a == b {
+		panic("machine: no self-link")
+	}
+	return n.links[mkLinkKey(a, b)]
+}
+
+// onFreqChange rescales uncore-clocked controller capacities and the
+// rate caps of running compute flows.
+func (n *Node) onFreqChange() {
+	n.updateCtrlCapacities()
+	for _, rk := range n.coreFlow {
+		if rk != nil && !rk.flow.Finished() {
+			n.cluster.Fluid.SetCap(rk.flow, rk.capOf())
+		}
+	}
+}
+
+// updateCtrlCapacities applies uncore scaling and multi-stream
+// efficiency loss to every controller.
+func (n *Node) updateCtrlCapacities() {
+	scale := n.Freq.UncoreScale()
+	for _, nm := range n.numa {
+		eff := 1.0
+		if nm.streams > 1 {
+			eff = 1 / (1 + n.Spec.Mem.StreamEfficiency*float64(nm.streams-1))
+		}
+		n.cluster.Fluid.SetCapacity(nm.Ctrl, n.Spec.Mem.CtrlGBs*1e9*scale*eff)
+	}
+}
+
+// addStream / removeStream maintain the concurrent-stream census that
+// drives controller efficiency and DMA arbitration priority.
+func (n *Node) addStream(numa int) {
+	n.NUMA(numa).streams++
+	n.updateCtrlCapacities()
+}
+
+func (n *Node) removeStream(numa int) {
+	nm := n.NUMA(numa)
+	if nm.streams == 0 {
+		panic("machine: stream census underflow")
+	}
+	nm.streams--
+	n.updateCtrlCapacities()
+}
+
+// Streams returns the current number of core streams on a NUMA node's
+// controller.
+func (n *Node) Streams(numa int) int { return n.NUMA(numa).streams }
+
+// DMAPriority returns the NIC DMA engine's arbitration priority against
+// the current stream census on the crossed controller (DESIGN.md §4).
+func (n *Node) DMAPriority(numa int) float64 {
+	return n.Spec.NIC.DMAPriority + n.Spec.NIC.DMAPriorityPerStream*float64(n.NUMA(numa).streams)
+}
+
+// MemPath returns the fluid resources a memory stream crosses when a
+// core (or the NIC) on NUMA `from` accesses memory on NUMA `to`.
+func (n *Node) MemPath(from, to int) []fluid.Use {
+	uses := []fluid.Use{{Resource: n.NUMA(to).Ctrl, Weight: 1}}
+	if from != to {
+		uses = append(uses, fluid.Use{Resource: n.Link(from, to), Weight: 1})
+	}
+	return uses
+}
+
+// contentionFactor is the extra latency multiplier contributed by one
+// resource at utilization rho: K·rho²/(1−rho), capped.
+func (n *Node) contentionFactor(r *fluid.Resource) float64 {
+	rho := r.Utilization()
+	maxExtra := n.Spec.Mem.ContentionMaxFactor - 1
+	if rho >= 1 {
+		return maxExtra
+	}
+	extra := n.Spec.Mem.ContentionK * rho * rho / (1 - rho)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	return extra
+}
+
+// LinkContention returns the extra-latency factor currently contributed
+// by queueing on the inter-NUMA link between a and b (0 when a == b or
+// the link is idle). Exposed for the PIO path, which crosses the link
+// but not the DRAM controller.
+func (n *Node) LinkContention(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return n.contentionFactor(n.Link(a, b))
+}
+
+// CtrlContention returns the extra-latency factor currently contributed
+// by queueing on a NUMA node's memory controller.
+func (n *Node) CtrlContention(numa int) float64 {
+	return n.contentionFactor(n.NUMA(numa).Ctrl)
+}
+
+// AccessLatency returns the current latency of one memory access from
+// NUMA `from` to memory on NUMA `to`: the uncontended local/remote
+// latency, scaled by the uncore frequency, inflated by queueing on each
+// crossed resource at its current utilization.
+func (n *Node) AccessLatency(from, to int) sim.Duration {
+	base := n.Spec.Mem.LocalLatencyNs
+	if from != to {
+		base = n.Spec.Mem.RemoteLatencyNs
+	}
+	// Uncore frequency scaling (partial: UncoreLatFactor of the path is
+	// uncore-clocked).
+	f := n.Freq.UncoreGHz()
+	base *= 1 + n.Spec.Mem.UncoreLatFactor*(n.Spec.Freq.UncoreMax/f-1)
+	// Contention on each crossed resource.
+	extra := n.contentionFactor(n.NUMA(to).Ctrl)
+	if from != to {
+		extra += n.contentionFactor(n.Link(from, to))
+	}
+	return sim.Duration(base * (1 + extra))
+}
+
+// Jitter applies multiplicative measurement noise of relative amplitude
+// frac to d, drawn from the cluster's deterministic RNG.
+func (n *Node) Jitter(d sim.Duration, frac float64) sim.Duration {
+	if frac <= 0 {
+		return d
+	}
+	u := n.cluster.K.Rand().Float64()*2 - 1
+	out := float64(d) * (1 + frac*u)
+	if out < 0 {
+		out = 0
+	}
+	return sim.Duration(out)
+}

@@ -1,0 +1,119 @@
+package mpi
+
+// Collective operations. The paper's study deliberately sticks to
+// point-to-point ping-pongs (§2.1: "analyzing also collective
+// communications would be beyond the scope of this article"), but a
+// usable message-passing library needs them; they are built strictly on
+// the studied point-to-point primitives, so all interference mechanisms
+// apply to them transparently.
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// collTagBase separates collective traffic from application tags; each
+// collective call on a communicator must use a distinct opTag.
+const collTagBase = 1 << 20
+
+// collTag builds a wire tag unique to (operation instance, stage).
+func collTag(opTag, stage int) int {
+	if opTag < 0 {
+		panic(fmt.Sprintf("mpi: negative collective tag %d", opTag))
+	}
+	return collTagBase + opTag*64 + stage
+}
+
+// Bcast broadcasts `size` bytes of root's buffer to every rank along a
+// binomial tree. Every rank must call Bcast from its own process with
+// the same opTag and root; buf is the local (landing or source) buffer.
+func (r *Rank) Bcast(p *sim.Proc, root, opTag int, buf *machine.Buffer, size int64) {
+	n := r.world.Size()
+	if n == 1 {
+		return
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (r.ID - root + n) % n
+	// Receive from the parent (highest set bit), except at the root.
+	if vrank != 0 {
+		parent := vrank &^ (1 << (bitLen(vrank) - 1))
+		src := (parent + root) % n
+		r.Recv(p, src, collTag(opTag, 0), buf, size)
+	}
+	// Forward to children: vrank + 2^k for growing k while valid and
+	// while vrank's low bits allow (standard binomial schedule).
+	for k := bitLen(vrank); ; k++ {
+		child := vrank | 1<<k
+		if child == vrank || child >= n {
+			break
+		}
+		dst := (child + root) % n
+		r.Send(p, dst, collTag(opTag, 0), buf, size)
+	}
+}
+
+// bitLen returns the number of bits needed to represent v (0 for 0).
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Reduce combines `size` bytes from every rank at the root along a
+// binomial tree (the arithmetic itself is modelled as part of the
+// receive processing; payload sizes dominate). Every rank calls Reduce
+// with the same opTag and root.
+func (r *Rank) Reduce(p *sim.Proc, root, opTag int, buf *machine.Buffer, size int64) {
+	n := r.world.Size()
+	if n == 1 {
+		return
+	}
+	vrank := (r.ID - root + n) % n
+	// Reduce tree: a rank's children are vrank|1<<k for every k below
+	// its lowest set bit; its parent clears that lowest set bit. Receive
+	// from all children, combine, then send up.
+	for k := 0; vrank&(1<<k) == 0; k++ {
+		child := vrank | 1<<k
+		if child >= n {
+			break
+		}
+		src := (child + root) % n
+		r.Recv(p, src, collTag(opTag, 1), buf, size)
+	}
+	if vrank != 0 {
+		parent := vrank & (vrank - 1)
+		dst := (parent + root) % n
+		r.Send(p, dst, collTag(opTag, 1), buf, size)
+	}
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast from rank 0 — the
+// simple implementation small task runtimes use for scalar reductions
+// (e.g. CG's dot products).
+func (r *Rank) Allreduce(p *sim.Proc, opTag int, buf *machine.Buffer, size int64) {
+	r.Reduce(p, 0, opTag, buf, size)
+	r.Bcast(p, 0, opTag+1, buf, size)
+}
+
+// Gather collects `size` bytes from every rank at the root (linear
+// scheme: fine for the small rank counts of this simulator).
+func (r *Rank) Gather(p *sim.Proc, root, opTag int, buf *machine.Buffer, size int64) {
+	if r.world.Size() == 1 {
+		return
+	}
+	if r.ID == root {
+		for src := 0; src < r.world.Size(); src++ {
+			if src == root {
+				continue
+			}
+			r.Recv(p, src, collTag(opTag, 2), buf, size)
+		}
+		return
+	}
+	r.Send(p, root, collTag(opTag, 2), buf, size)
+}

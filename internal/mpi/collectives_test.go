@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// collWorld builds an n-node noiseless henri world.
+func collWorld(t *testing.T, n int) (*machine.Cluster, *World) {
+	t.Helper()
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	c := machine.NewCluster(spec, n, 1)
+	return c, NewWorld(c, net.New(c))
+}
+
+// runAllRanks spawns fn on every rank and runs the simulation to
+// completion, failing the test if any rank deadlocked.
+func runAllRanks(t *testing.T, c *machine.Cluster, w *World, fn func(p *sim.Proc, r *Rank)) {
+	t.Helper()
+	for i := 0; i < w.Size(); i++ {
+		r := w.Rank(i)
+		c.K.Spawn("rank", func(p *sim.Proc) { fn(p, r) })
+	}
+	c.K.Run()
+	if c.K.LiveProcs() != 0 {
+		t.Fatalf("%d ranks deadlocked", c.K.LiveProcs())
+	}
+}
+
+func TestBcastReachesAllRanks(t *testing.T) {
+	for _, nodes := range []int{2, 3, 4, 5, 8} {
+		c, w := collWorld(t, nodes)
+		before := make([]float64, nodes)
+		runAllRanks(t, c, w, func(p *sim.Proc, r *Rank) {
+			buf := r.Node.Alloc(4096, 0)
+			r.Bcast(p, 0, 1, buf, 4096)
+		})
+		// Every non-root rank received exactly one 4096-byte payload.
+		for i := 1; i < nodes; i++ {
+			got := w.Rank(i).Node.Counters.BytesReceived - before[i]
+			if got != 4096 {
+				t.Fatalf("nodes=%d: rank %d received %v bytes, want 4096", nodes, i, got)
+			}
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	c, w := collWorld(t, 4)
+	runAllRanks(t, c, w, func(p *sim.Proc, r *Rank) {
+		r.Bcast(p, 2, 1, r.Node.Alloc(64, 0), 64)
+	})
+	if got := w.Rank(2).Node.Counters.BytesReceived; got != 0 {
+		t.Fatalf("root received %v bytes", got)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if got := w.Rank(i).Node.Counters.BytesReceived; got != 64 {
+			t.Fatalf("rank %d received %v bytes", i, got)
+		}
+	}
+}
+
+func TestReduceCollectsAtRoot(t *testing.T) {
+	for _, nodes := range []int{2, 4, 7} {
+		c, w := collWorld(t, nodes)
+		runAllRanks(t, c, w, func(p *sim.Proc, r *Rank) {
+			r.Reduce(p, 0, 1, r.Node.Alloc(128, 0), 128)
+		})
+		// Every rank except the root sends exactly one contribution up
+		// the tree; total traffic is (n−1) messages.
+		var sent float64
+		for i := 0; i < nodes; i++ {
+			sent += w.Rank(i).Node.Counters.BytesSent
+		}
+		if want := float64((nodes - 1) * 128); sent != want {
+			t.Fatalf("nodes=%d: total sent %v, want %v", nodes, sent, want)
+		}
+	}
+}
+
+func TestAllreduceLeavesNoStragglers(t *testing.T) {
+	c, w := collWorld(t, 6)
+	done := 0
+	runAllRanks(t, c, w, func(p *sim.Proc, r *Rank) {
+		r.Allreduce(p, 1, r.Node.Alloc(8, 0), 8)
+		done++
+	})
+	if done != 6 {
+		t.Fatalf("%d of 6 ranks finished Allreduce", done)
+	}
+	// Everyone but the final root received the result broadcast.
+	for i := 1; i < 6; i++ {
+		if got := w.Rank(i).Node.Counters.BytesReceived; got < 8 {
+			t.Fatalf("rank %d received %v bytes", i, got)
+		}
+	}
+}
+
+func TestGatherRootReceivesAll(t *testing.T) {
+	c, w := collWorld(t, 5)
+	runAllRanks(t, c, w, func(p *sim.Proc, r *Rank) {
+		r.Gather(p, 0, 1, r.Node.Alloc(256, 0), 256)
+	})
+	if got := w.Rank(0).Node.Counters.BytesReceived; got != 4*256 {
+		t.Fatalf("root gathered %v bytes, want 1024", got)
+	}
+}
+
+func TestCollectivesSingleRankNoOp(t *testing.T) {
+	c, w := collWorld(t, 1)
+	ok := false
+	c.K.Spawn("solo", func(p *sim.Proc) {
+		r := w.Rank(0)
+		buf := r.Node.Alloc(8, 0)
+		r.Bcast(p, 0, 1, buf, 8)
+		r.Reduce(p, 0, 2, buf, 8)
+		r.Allreduce(p, 3, buf, 8)
+		r.Gather(p, 0, 5, buf, 8)
+		ok = true
+	})
+	c.K.Run()
+	if !ok {
+		t.Fatal("single-rank collectives blocked")
+	}
+}
+
+func TestBcastLargePayloadUsesRendezvous(t *testing.T) {
+	c, w := collWorld(t, 4)
+	const size = 4 << 20
+	var finish sim.Time
+	runAllRanks(t, c, w, func(p *sim.Proc, r *Rank) {
+		r.Bcast(p, 0, 1, r.Node.Alloc(size, 0), size)
+		if p.Now() > finish {
+			finish = p.Now()
+		}
+	})
+	// Binomial depth 2 for 4 ranks: ≥ 2 serialized 4 MB transfers
+	// (≈0.37 ms each), well under 4 serial ones.
+	lo := 2 * float64(size) / 10.9e9
+	hi := 4 * float64(size) / 10.9e9
+	if finish.Sub(0).Seconds() < lo*0.9 || finish.Sub(0).Seconds() > hi {
+		t.Fatalf("4-rank binomial bcast of 4MB took %v, want in [%.2fms, %.2fms]",
+			finish, lo*1e3, hi*1e3)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	for _, tc := range []struct{ v, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+	} {
+		if got := bitLen(tc.v); got != tc.want {
+			t.Fatalf("bitLen(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCollTagValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative opTag accepted")
+		}
+	}()
+	collTag(-1, 0)
+}

@@ -1,0 +1,287 @@
+// Package mpi implements the message-passing layer of the simulation:
+// point-to-point sends and receives with eager and rendezvous protocols
+// over the net layer, tag matching with an unexpected-message queue, a
+// registration (pin-down) cache for rendezvous buffers, and the
+// NetPIPE-style ping-pong benchmark the paper builds everything on.
+//
+// Semantics follow the paper's MadMPI setup: one rank per node, one
+// communication thread per rank driving all communication, messages up
+// to EagerMax bytes sent eagerly through pre-registered internal buffers
+// (one staging copy on each side), larger messages through a
+// RTS/CTS rendezvous followed by zero-copy RDMA.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/sim"
+)
+
+// World is a communicator spanning one rank per cluster node.
+type World struct {
+	cluster *machine.Cluster
+	nw      *net.Network
+	ranks   []*Rank
+}
+
+// NewWorld creates one rank per node of the cluster. Each rank's
+// communication thread is initially bound to the last core of the last
+// NUMA node (the paper's default placement: far from the NIC).
+func NewWorld(c *machine.Cluster, nw *net.Network) *World {
+	w := &World{cluster: c, nw: nw}
+	for i, n := range c.Nodes {
+		w.ranks = append(w.ranks, &Rank{
+			world:    w,
+			ID:       i,
+			Node:     n,
+			CommCore: n.Spec.LastCoreOfNUMA(n.Spec.NUMANodes() - 1),
+			pending:  make(map[matchKey][]*pendingRecv),
+			unexp:    make(map[matchKey][]*message),
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank {
+	if i < 0 || i >= len(w.ranks) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", i, len(w.ranks)))
+	}
+	return w.ranks[i]
+}
+
+// Network returns the underlying interconnect.
+func (w *World) Network() *net.Network { return w.nw }
+
+// matchKey matches messages by source rank and tag.
+type matchKey struct{ src, tag int }
+
+// message is an in-flight message as seen by the receiver side.
+type message struct {
+	src, tag int
+	size     int64
+	eager    bool
+
+	// Eager: arrived flips when the payload has landed in the
+	// receiver's internal buffers.
+	arrived    bool
+	arrivedSig *sim.Signal
+
+	// Rendezvous: the receiver broadcasts cts once its buffer is ready
+	// and the CTS control message has crossed the wire; the sender
+	// broadcasts dmaDone when the RDMA write has fully landed.
+	srcRank *Rank
+	srcBuf  *machine.Buffer
+	rbuf    *machine.Buffer // receiver's landing buffer, set before CTS
+	cts     *sim.Signal
+	dmaDone *sim.Signal
+}
+
+// pendingRecv is a posted receive awaiting its message.
+type pendingRecv struct {
+	sig *sim.Signal
+	msg *message
+}
+
+// Rank is one MPI process, pinned to one node.
+type Rank struct {
+	world *World
+	ID    int
+	Node  *machine.Node
+	// CommCore is the core executing the communication thread; all
+	// software overheads of this rank's communication run there.
+	CommCore int
+
+	pending map[matchKey][]*pendingRecv
+	unexp   map[matchKey][]*message
+}
+
+// SetCommCore rebinds the communication thread to a core.
+func (r *Rank) SetCommCore(core int) {
+	r.Node.Spec.NUMAOfCore(core) // range check
+	r.CommCore = core
+}
+
+// CommNUMA returns the NUMA node of the communication thread.
+func (r *Rank) CommNUMA() int { return r.Node.Spec.NUMAOfCore(r.CommCore) }
+
+// eagerMax returns the eager/rendezvous protocol switch size.
+func (r *Rank) eagerMax() int64 { return int64(r.Node.Spec.NIC.EagerMax) }
+
+// deliver routes an arriving message to a posted receive or the
+// unexpected queue. Runs in event context.
+func (r *Rank) deliver(m *message) {
+	key := matchKey{m.src, m.tag}
+	if q := r.pending[key]; len(q) > 0 {
+		pr := q[0]
+		r.pending[key] = q[1:]
+		pr.msg = m
+		pr.sig.Broadcast()
+		return
+	}
+	r.unexp[key] = append(r.unexp[key], m)
+}
+
+// match returns the oldest unexpected message for key, or registers a
+// pending receive and blocks p until one arrives.
+func (r *Rank) match(p *sim.Proc, key matchKey) *message {
+	if q := r.unexp[key]; len(q) > 0 {
+		m := q[0]
+		r.unexp[key] = q[1:]
+		return m
+	}
+	pr := &pendingRecv{sig: sim.NewSignal(r.world.cluster.K)}
+	r.pending[key] = append(r.pending[key], pr)
+	pr.sig.Wait(p)
+	return pr.msg
+}
+
+// Send transmits size bytes of buf to rank dst with the given tag,
+// blocking p (the communication thread) until the send completes
+// locally: for eager messages, once the payload has been handed to the
+// NIC; for rendezvous messages, once the RDMA transfer has finished.
+func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) {
+	if size < 0 || (buf != nil && size > buf.Size) {
+		panic(fmt.Sprintf("mpi: send size %d out of buffer bounds", size))
+	}
+	start := p.Now()
+	peer := r.world.Rank(dst)
+	k := r.world.cluster.K
+	nw := r.world.nw
+	node := r.Node
+
+	bufNUMA := node.Spec.NIC.NUMA
+	if buf != nil {
+		bufNUMA = buf.NUMA
+	}
+	nw.SendOverhead(p, node, r.CommCore, bufNUMA)
+
+	if size <= r.eagerMax() {
+		// Eager: stage the payload into pre-registered NIC-NUMA buffers
+		// while the NIC already streams it out (staging and injection
+		// pipeline packet by packet); Send completes locally once the
+		// staging copy is done. The payload lands in the receiver's
+		// internal buffers.
+		dataNUMA := node.Spec.NIC.NUMA
+		if buf != nil {
+			dataNUMA = buf.NUMA
+		}
+		m := &message{
+			src: r.ID, tag: tag, size: size, eager: true,
+			arrivedSig: sim.NewSignal(k),
+		}
+		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+		k.After(lat, func() {
+			if size == 0 {
+				m.arrived = true
+				m.arrivedSig.Broadcast()
+				peer.deliver(m)
+				return
+			}
+			k.Spawn("eager-payload", func(tp *sim.Proc) {
+				nw.TransferEager(tp, node, peer.Node, size)
+				m.arrived = true
+				m.arrivedSig.Broadcast()
+			})
+			peer.deliver(m)
+		})
+		nw.Memcpy(p, node, r.CommCore, dataNUMA, node.Spec.NIC.NUMA, size)
+		r.accountSend(size, p.Now().Sub(start))
+		return
+	}
+
+	// Rendezvous: register the buffer (pin-down cache), send RTS, wait
+	// for CTS, then RDMA straight from the user buffer.
+	r.register(p, buf)
+	m := &message{
+		src: r.ID, tag: tag, size: size,
+		srcRank: r, srcBuf: buf,
+		cts:     sim.NewSignal(k),
+		dmaDone: sim.NewSignal(k),
+	}
+	lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+	k.After(lat, func() { peer.deliver(m) })
+	m.cts.Wait(p)
+	// Process the CTS before programming the RDMA engine.
+	node.ExecCycles(p, r.CommCore, node.Spec.NIC.RecvCycles/2)
+	nw.TransferDMA(p, node, buf, peer.Node, m.recvBuf(), size)
+	m.dmaDone.Broadcast()
+	r.accountSend(size, p.Now().Sub(start))
+}
+
+// recvBuf is set by the receiver before broadcasting CTS.
+func (m *message) recvBuf() *machine.Buffer { return m.rbuf }
+
+// Recv receives a message from rank src with the given tag into buf,
+// blocking p until the payload is fully in place.
+func (r *Rank) Recv(p *sim.Proc, src, tag int, buf *machine.Buffer, size int64) {
+	if size < 0 || (buf != nil && size > buf.Size) {
+		panic(fmt.Sprintf("mpi: recv size %d out of buffer bounds", size))
+	}
+	nw := r.world.nw
+	node := r.Node
+	k := r.world.cluster.K
+
+	m := r.match(p, matchKey{src, tag})
+	if m.size > size {
+		panic(fmt.Sprintf("mpi: message of %d bytes into %d-byte receive", m.size, size))
+	}
+	if m.eager {
+		if !m.arrived {
+			m.arrivedSig.Wait(p)
+		}
+		dNUMA := node.Spec.NIC.NUMA
+		if buf != nil {
+			dNUMA = buf.NUMA
+		}
+		nw.RecvOverhead(p, node, r.CommCore, dNUMA)
+		// Deliver from the internal NIC-NUMA buffers to the user buffer.
+		dstNUMA := node.Spec.NIC.NUMA
+		if buf != nil {
+			dstNUMA = buf.NUMA
+		}
+		nw.Memcpy(p, node, r.CommCore, node.Spec.NIC.NUMA, dstNUMA, m.size)
+		r.Node.Counters.BytesReceived += float64(m.size)
+		return
+	}
+
+	// Rendezvous: process the RTS, prepare (register) the landing
+	// buffer, return CTS, wait for the RDMA write to land, complete.
+	// The control messages cost real software time at both ends — part
+	// of why MPI libraries only switch to rendezvous past a threshold.
+	node.ExecCycles(p, r.CommCore, (node.Spec.NIC.RecvCycles+node.Spec.NIC.SendCycles)/2)
+	r.register(p, buf)
+	m.rbuf = buf
+	lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+	k.After(lat, func() { m.cts.Broadcast() })
+	m.dmaDone.Wait(p)
+	rNUMA := node.Spec.NIC.NUMA
+	if buf != nil {
+		rNUMA = buf.NUMA
+	}
+	nw.RecvOverhead(p, node, r.CommCore, rNUMA)
+	r.Node.Counters.BytesReceived += float64(m.size)
+}
+
+// register pays the memory-registration cost for a rendezvous buffer
+// unless the pin-down cache already holds it (recycled ping-pong
+// buffers register once, per Tezuka et al. [20]).
+func (r *Rank) register(p *sim.Proc, buf *machine.Buffer) {
+	if buf == nil || buf.Registered {
+		return
+	}
+	cycles := r.Node.Spec.NIC.RegisterCyclesPerKB * float64(buf.Size) / 1024
+	r.Node.ExecCycles(p, r.CommCore, cycles)
+	buf.Registered = true
+}
+
+// accountSend feeds the §6 sending-bandwidth profiling counters.
+func (r *Rank) accountSend(size int64, busy sim.Duration) {
+	r.Node.Counters.BytesSent += float64(size)
+	r.Node.Counters.SendBusySecs += busy.Seconds()
+}

@@ -1,0 +1,393 @@
+package mpi
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// testWorld builds a 2-node henri world with noise disabled for exact
+// assertions.
+func testWorld(t *testing.T) (*machine.Cluster, *World) {
+	t.Helper()
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	c := machine.NewCluster(spec, 2, 1)
+	return c, NewWorld(c, net.New(c))
+}
+
+func TestWorldShapeAndDefaults(t *testing.T) {
+	c, w := testWorld(t)
+	if w.Size() != 2 {
+		t.Fatalf("size %d", w.Size())
+	}
+	// Default comm core: last core of last NUMA node (far from NIC).
+	if got := w.Rank(0).CommCore; got != 35 {
+		t.Fatalf("default comm core %d, want 35", got)
+	}
+	if got := w.Rank(0).CommNUMA(); got != 3 {
+		t.Fatalf("default comm NUMA %d, want 3", got)
+	}
+	_ = c
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	bufA := a.Node.Alloc(4096, 0)
+	bufB := b.Node.Alloc(4096, 0)
+	var recvAt sim.Time
+	c.K.Spawn("send", func(p *sim.Proc) { a.Send(p, 1, 5, bufA, 4096) })
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		b.Recv(p, 0, 5, bufB, 4096)
+		recvAt = p.Now()
+	})
+	c.K.Run()
+	if recvAt == 0 {
+		t.Fatal("receive never completed")
+	}
+	// Sanity: a 4 KB eager message completes in microseconds.
+	if recvAt > sim.Time(50*sim.Microsecond) {
+		t.Fatalf("eager recv at %v, way too slow", recvAt)
+	}
+	if got := b.Node.Counters.BytesReceived; got != 4096 {
+		t.Fatalf("BytesReceived %v", got)
+	}
+	if got := a.Node.Counters.BytesSent; got != 4096 {
+		t.Fatalf("BytesSent %v", got)
+	}
+}
+
+func TestRecvBeforeSendMatches(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	done := false
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		b.Recv(p, 0, 9, nil, 0)
+		done = true
+	})
+	c.K.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(10 * sim.Microsecond))
+		a.Send(p, 1, 9, nil, 0)
+	})
+	c.K.Run()
+	if !done {
+		t.Fatal("posted receive never matched")
+	}
+}
+
+func TestUnexpectedMessageQueueFIFO(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	sizes := []int64{100, 200, 300}
+	c.K.Spawn("send", func(p *sim.Proc) {
+		for _, s := range sizes {
+			a.Send(p, 1, 3, a.Node.Alloc(s, 0), s)
+		}
+	})
+	var got []int64
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(100 * sim.Microsecond)) // all three unexpected
+		buf := b.Node.Alloc(1000, 0)
+		for range sizes {
+			before := b.Node.Counters.BytesReceived
+			b.Recv(p, 0, 3, buf, 1000)
+			got = append(got, int64(b.Node.Counters.BytesReceived-before))
+		}
+	})
+	c.K.Run()
+	for i, s := range sizes {
+		if got[i] != s {
+			t.Fatalf("unexpected queue order %v, want %v", got, sizes)
+		}
+	}
+}
+
+func TestTagsDoNotCrossMatch(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	var order []int
+	c.K.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, 1, 1, nil, 0)
+		a.Send(p, 1, 2, nil, 0)
+	})
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(50 * sim.Microsecond))
+		b.Recv(p, 0, 2, nil, 0)
+		order = append(order, 2)
+		b.Recv(p, 0, 1, nil, 0)
+		order = append(order, 1)
+	})
+	c.K.Run()
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("tag matching broken: %v", order)
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	const size = 64 << 20
+	bufA := a.Node.Alloc(size, 0)
+	bufB := b.Node.Alloc(size, 0)
+	// Warm registration cache: the timing assertion targets the steady
+	// state (recycled buffers, as in the paper's ping-pongs).
+	bufA.Registered = true
+	bufB.Registered = true
+	var sendDone, recvDone sim.Time
+	c.K.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, 1, 1, bufA, size)
+		sendDone = p.Now()
+	})
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		b.Recv(p, 0, 1, bufB, size)
+		recvDone = p.Now()
+	})
+	c.K.Run()
+	if sendDone == 0 || recvDone == 0 {
+		t.Fatal("rendezvous did not complete")
+	}
+	// 64 MB at 10.9 GB/s ≈ 6.16 ms; allow overheads.
+	wire := float64(size) / 10.9e9
+	if math.Abs(recvDone.Sub(0).Seconds()-wire) > 0.3e-3 {
+		t.Fatalf("rendezvous took %v, want ≈%.2fms", recvDone, wire*1e3)
+	}
+	if !bufA.Registered || !bufB.Registered {
+		t.Fatal("buffers not registered after rendezvous")
+	}
+}
+
+func TestRegistrationCacheAmortised(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	const size = 1 << 20
+	bufA := a.Node.Alloc(size, 0)
+	bufB := b.Node.Alloc(size, 0)
+	var first, second sim.Duration
+	c.K.Spawn("send", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.Send(p, 1, 1, bufA, size)
+		first = p.Now().Sub(t0)
+		t1 := p.Now()
+		a.Send(p, 1, 2, bufA, size)
+		second = p.Now().Sub(t1)
+	})
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		b.Recv(p, 0, 1, bufB, size)
+		b.Recv(p, 0, 2, bufB, size)
+	})
+	c.K.Run()
+	if first <= second {
+		t.Fatalf("first send %v not slower than cached second %v", first, second)
+	}
+	// The gap should be about the two ends' registration costs: 2 × 40
+	// cycles/KB × 1024 KB at the idle-core frequency (1 GHz) ≈ 82 µs.
+	gap := (first - second).Seconds()
+	if gap < 40e-6 || gap > 160e-6 {
+		t.Fatalf("registration gap %.1fus outside expected range", gap*1e6)
+	}
+}
+
+func TestIsendIrecvWaitAll(t *testing.T) {
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	ok := false
+	c.K.Spawn("driver", func(p *sim.Proc) {
+		q1 := a.Isend(1, 4, nil, 0)
+		q2 := b.Irecv(0, 4, nil, 0)
+		WaitAll(p, q1, q2)
+		ok = q1.Done() && q2.Done()
+	})
+	c.K.Run()
+	if !ok {
+		t.Fatal("WaitAll did not complete")
+	}
+	if c.K.LiveProcs() != 0 {
+		t.Fatalf("%d leaked procs", c.K.LiveProcs())
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	c, w := testWorld(t)
+	var t0, t1 sim.Time
+	c.K.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Barrier(p)
+		t0 = p.Now()
+	})
+	c.K.Spawn("r1", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(2 * sim.Millisecond)) // straggler
+		w.Rank(1).Barrier(p)
+		t1 = p.Now()
+	})
+	c.K.Run()
+	if t0 < sim.Time(2*sim.Millisecond) {
+		t.Fatalf("rank 0 left barrier at %v before rank 1 arrived", t0)
+	}
+	if d := t1.Sub(t0); d < 0 {
+		t.Fatalf("exit order inverted: %v", d)
+	}
+}
+
+func TestPingPongLatencySmallMessage(t *testing.T) {
+	c, w := testWorld(t)
+	// Paper §2.1 defaults: latency on 4 bytes; comm thread near the NIC,
+	// fixed frequencies as in Fig 1a's 2300/2400 point.
+	for _, r := range []*Rank{w.Rank(0), w.Rank(1)} {
+		r.SetCommCore(r.Node.Spec.LastCoreOfNUMA(0))
+		r.Node.Freq.SetUserspace(2.3)
+		r.Node.Freq.SetUncoreFixed(2.4)
+	}
+	pp := &PingPong{Size: 4, Iters: 20, Warmup: 5}
+	var lats []sim.Duration
+	c.K.Spawn("init", func(p *sim.Proc) { lats = pp.Initiate(p, w.Rank(0), 1) })
+	c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+	c.K.Run()
+	if len(lats) != 20 {
+		t.Fatalf("%d latencies", len(lats))
+	}
+	med := median(lats)
+	// Fig 1a: ~1.8 µs at 2300 MHz core / 2400 MHz uncore. Accept ±25%.
+	if med.Micros() < 1.3 || med.Micros() > 2.3 {
+		t.Fatalf("4B latency %v, want ≈1.8µs", med)
+	}
+}
+
+func TestPingPongLatencyFrequencyShape(t *testing.T) {
+	// Fig 1a shape: latency at 1.0 GHz ≈ 1.7× latency at 2.3 GHz.
+	measure := func(ghz float64) float64 {
+		c, w := testWorld(t)
+		for i := 0; i < 2; i++ {
+			r := w.Rank(i)
+			r.SetCommCore(r.Node.Spec.LastCoreOfNUMA(0))
+			r.Node.Freq.SetUserspace(ghz)
+			r.Node.Freq.SetUncoreFixed(2.4)
+		}
+		pp := &PingPong{Size: 4, Iters: 20, Warmup: 5}
+		var lats []sim.Duration
+		c.K.Spawn("init", func(p *sim.Proc) { lats = pp.Initiate(p, w.Rank(0), 1) })
+		c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+		c.K.Run()
+		return median(lats).Micros()
+	}
+	slow, fast := measure(1.0), measure(2.3)
+	ratio := slow / fast
+	if ratio < 1.4 || ratio > 2.1 {
+		t.Fatalf("latency ratio 1.0GHz/2.3GHz = %.2f, want ≈1.7 (paper: 3.1/1.8)", ratio)
+	}
+}
+
+func TestPingPongBandwidthAsymptote(t *testing.T) {
+	c, w := testWorld(t)
+	pp := &PingPong{Size: 64 << 20, Iters: 3, Warmup: 1}
+	var lats []sim.Duration
+	c.K.Spawn("init", func(p *sim.Proc) { lats = pp.Initiate(p, w.Rank(0), 1) })
+	c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+	c.K.Run()
+	bw := Bandwidth(pp.Size, median(lats)) / 1e9
+	// Paper: ~10.5 GB/s asymptotic on EDR.
+	if bw < 10.0 || bw > 11.0 {
+		t.Fatalf("asymptotic bandwidth %.2f GB/s, want ≈10.5", bw)
+	}
+}
+
+func TestSendBeyondBufferPanics(t *testing.T) {
+	c, w := testWorld(t)
+	buf := w.Rank(0).Node.Alloc(16, 0)
+	c.K.Spawn("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized send did not panic")
+			}
+			panic("unwind") // keep the proc accounting consistent
+		}()
+		w.Rank(0).Send(p, 1, 0, buf, 1024)
+	})
+	func() {
+		defer func() { recover() }()
+		c.K.Run()
+	}()
+}
+
+func median(ds []sim.Duration) sim.Duration {
+	s := append([]sim.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func TestEagerRendezvousThresholdBoundary(t *testing.T) {
+	// Exactly EagerMax goes eager (no registration); one byte more goes
+	// rendezvous (buffers get registered).
+	c, w := testWorld(t)
+	a, b := w.Rank(0), w.Rank(1)
+	max := int64(a.Node.Spec.NIC.EagerMax)
+
+	bufA := a.Node.Alloc(max+1, 0)
+	bufB := b.Node.Alloc(max+1, 0)
+	c.K.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, 1, 1, bufA, max) // eager
+	})
+	c.K.Spawn("recv", func(p *sim.Proc) {
+		b.Recv(p, 0, 1, bufB, max)
+	})
+	c.K.Run()
+	if bufA.Registered || bufB.Registered {
+		t.Fatal("eager-path buffers were registered")
+	}
+	c.K.Spawn("send2", func(p *sim.Proc) {
+		a.Send(p, 1, 2, bufA, max+1) // rendezvous
+	})
+	c.K.Spawn("recv2", func(p *sim.Proc) {
+		b.Recv(p, 0, 2, bufB, max+1)
+	})
+	c.K.Run()
+	if !bufA.Registered || !bufB.Registered {
+		t.Fatal("rendezvous-path buffers not registered")
+	}
+}
+
+func TestLatencyBandwidthMonotoneInSize(t *testing.T) {
+	// NetPIPE sanity: latency grows with message size and bandwidth
+	// approaches the asymptote. Real MPI curves show a bounded notch at
+	// the eager/rendezvous protocol switch (the copies paid by eager vs
+	// the handshake paid by rendezvous almost cancel there); we allow
+	// ≤20% non-monotonicity at the switch and none elsewhere.
+	c, w := testWorld(t)
+	for i := 0; i < 2; i++ {
+		w.Rank(i).Node.Freq.SetUserspace(2.3)
+	}
+	var lats []sim.Duration
+	sizes := []int64{4, 1024, 32 << 10, 33 << 10, 1 << 20, 16 << 20}
+	c.K.Spawn("init", func(p *sim.Proc) {
+		for _, size := range sizes {
+			pp := &PingPong{Size: size, Iters: 4, Warmup: 1}
+			ls := pp.Initiate(p, w.Rank(0), 1)
+			lats = append(lats, median(ls))
+		}
+	})
+	c.K.Spawn("resp", func(p *sim.Proc) {
+		for _, size := range sizes {
+			pp := &PingPong{Size: size, Iters: 4, Warmup: 1}
+			pp.Respond(p, w.Rank(1), 0)
+		}
+	})
+	c.K.Run()
+	for i := 1; i < len(lats); i++ {
+		allowed := 1.0
+		if sizes[i-1] <= 32<<10 && sizes[i] > 32<<10 {
+			allowed = 0.8 // protocol-switch notch
+		}
+		if float64(lats[i]) < allowed*float64(lats[i-1]) {
+			t.Fatalf("latency not monotone at %d B: %v < %v", sizes[i], lats[i], lats[i-1])
+		}
+	}
+	bwSmall := Bandwidth(sizes[1], lats[1])
+	bwBig := Bandwidth(sizes[len(sizes)-1], lats[len(lats)-1])
+	if bwBig < 5*bwSmall {
+		t.Fatalf("bandwidth not rising toward asymptote: %v vs %v", bwSmall, bwBig)
+	}
+}

@@ -1,0 +1,68 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func runOverlap(t *testing.T, size int64, flops float64) OverlapResult {
+	t.Helper()
+	c, w := collWorld(t, 2)
+	ov := &Overlap{
+		Size:        size,
+		Compute:     machine.ComputeSpec{Flops: flops, Class: topology.Scalar},
+		ComputeCore: 1,
+		Iters:       3,
+	}
+	var res OverlapResult
+	c.K.Spawn("bench", func(p *sim.Proc) { res = ov.Run(p, w.Rank(0), 1) })
+	c.K.Spawn("peer", func(p *sim.Proc) { ov.RunPeer(p, w.Rank(1), 0) })
+	c.K.Run()
+	if c.K.LiveProcs() != 0 {
+		t.Fatal("overlap benchmark deadlocked")
+	}
+	return res
+}
+
+func TestOverlapRendezvousHidesComputation(t *testing.T) {
+	// A 16 MB rendezvous transfer is pure DMA: computation of a similar
+	// duration on another core overlaps almost entirely.
+	size := int64(16 << 20)
+	transferSecs := float64(size) / 10.9e9
+	flops := transferSecs * 0.8 * 2.5e9 * 4 // ≈80% of the transfer time
+	res := runOverlap(t, size, flops)
+	if res.Ratio < 0.8 {
+		t.Fatalf("rendezvous overlap ratio %.2f, want ≈1 (comm %v, comp %v, both %v)",
+			res.Ratio, res.CommAlone, res.ComputeAlone, res.Together)
+	}
+	// Together must be close to the longer phase, not the sum.
+	long := res.CommAlone
+	if res.ComputeAlone > long {
+		long = res.ComputeAlone
+	}
+	if float64(res.Together) > 1.25*float64(long) {
+		t.Fatalf("together %v far above max(phases) %v", res.Together, long)
+	}
+}
+
+func TestOverlapPhasesAreConsistent(t *testing.T) {
+	res := runOverlap(t, 1<<20, 1e6)
+	if res.CommAlone <= 0 || res.ComputeAlone <= 0 || res.Together <= 0 {
+		t.Fatalf("non-positive phase timings: %+v", res)
+	}
+	if res.Ratio < 0 || res.Ratio > 1 {
+		t.Fatalf("ratio %v out of [0,1]", res.Ratio)
+	}
+	// The together phase can never beat the longest single phase by
+	// more than scheduling noise.
+	long := res.CommAlone
+	if res.ComputeAlone > long {
+		long = res.ComputeAlone
+	}
+	if float64(res.Together) < 0.5*float64(long) {
+		t.Fatalf("together %v impossibly below max(phases) %v", res.Together, long)
+	}
+}

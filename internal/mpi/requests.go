@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Request is the handle of a non-blocking operation.
+type Request struct {
+	done bool
+	sig  *sim.Signal
+}
+
+// Done reports whether the operation has completed.
+func (q *Request) Done() bool { return q.done }
+
+// Wait blocks p until the operation completes.
+func (q *Request) Wait(p *sim.Proc) {
+	for !q.done {
+		q.sig.Wait(p)
+	}
+}
+
+// WaitAll blocks p until every request completes.
+func WaitAll(p *sim.Proc, reqs ...*Request) {
+	for _, q := range reqs {
+		q.Wait(p)
+	}
+}
+
+// Isend starts a non-blocking send. Progression is modelled by an
+// internal helper process (the library's progression thread); the
+// software overheads still run on this rank's communication core.
+func (r *Rank) Isend(dst, tag int, buf *machine.Buffer, size int64) *Request {
+	q := &Request{sig: sim.NewSignal(r.world.cluster.K)}
+	r.world.cluster.K.Spawn(fmt.Sprintf("isend.r%d", r.ID), func(p *sim.Proc) {
+		r.Send(p, dst, tag, buf, size)
+		q.done = true
+		q.sig.Broadcast()
+	})
+	return q
+}
+
+// Irecv starts a non-blocking receive.
+func (r *Rank) Irecv(src, tag int, buf *machine.Buffer, size int64) *Request {
+	q := &Request{sig: sim.NewSignal(r.world.cluster.K)}
+	r.world.cluster.K.Spawn(fmt.Sprintf("irecv.r%d", r.ID), func(p *sim.Proc) {
+		r.Recv(p, src, tag, buf, size)
+		q.done = true
+		q.sig.Broadcast()
+	})
+	return q
+}
+
+// barrierTag is reserved for Barrier control messages.
+const barrierTag = -1
+
+// Barrier synchronises this rank with every other rank through a naive
+// all-to-one/one-to-all exchange of empty messages; sufficient for the
+// two-node setups of the paper. Every rank must call Barrier from its
+// own process.
+func (r *Rank) Barrier(p *sim.Proc) {
+	w := r.world
+	if w.Size() == 1 {
+		return
+	}
+	if r.ID == 0 {
+		for i := 1; i < w.Size(); i++ {
+			r.Recv(p, i, barrierTag, nil, 0)
+		}
+		for i := 1; i < w.Size(); i++ {
+			r.Send(p, i, barrierTag, nil, 0)
+		}
+		return
+	}
+	r.Send(p, 0, barrierTag, nil, 0)
+	r.Recv(p, 0, barrierTag, nil, 0)
+}

@@ -1,0 +1,242 @@
+// Package net models the cluster interconnect: full-duplex wires
+// between nodes, the NIC's PIO path for small messages (doorbell +
+// descriptor writes by the CPU, sensitive to core frequency, NUMA
+// placement and memory-bus contention) and the NIC's DMA path for large
+// messages (a fluid flow crossing the data's memory controller, the
+// inter-NUMA link when the data is far from the NIC, PCIe and the
+// wire, arbitrating against compute streams).
+package net
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Network connects the nodes of a cluster with point-to-point
+// full-duplex wires (one fluid resource per direction per pair).
+type Network struct {
+	cluster *machine.Cluster
+	wires   map[[2]int]*fluid.Resource // key: [from, to]
+}
+
+// New builds the interconnect for a cluster.
+func New(c *machine.Cluster) *Network {
+	nw := &Network{cluster: c, wires: make(map[[2]int]*fluid.Resource)}
+	for i := range c.Nodes {
+		for j := range c.Nodes {
+			if i == j {
+				continue
+			}
+			name := fmt.Sprintf("wire%d-%d", i, j)
+			nw.wires[[2]int{i, j}] = c.Fluid.NewResource(name, c.Spec.NIC.WireGBs*1e9)
+		}
+	}
+	return nw
+}
+
+// Wire returns the directed wire resource from node i to node j.
+func (nw *Network) Wire(i, j int) *fluid.Resource {
+	w, ok := nw.wires[[2]int{i, j}]
+	if !ok {
+		panic(fmt.Sprintf("net: no wire %d→%d", i, j))
+	}
+	return w
+}
+
+// WireLatency returns the one-way hardware latency of the interconnect.
+func (nw *Network) WireLatency() sim.Duration {
+	return sim.Duration(nw.cluster.Spec.NIC.WireLatencyNs)
+}
+
+// PIO-path calibration. The software send/recv path performs
+// load-dependent round-trips toward the NIC: doorbell/descriptor MMIO
+// writes and CQ polling. Two contention couplings apply:
+//
+//   - the inter-NUMA interconnect toward the NIC: a communication
+//     thread bound far from the NIC crosses the UPI, and once computing
+//     cores on its socket saturate that link the accesses queue — the
+//     mechanism behind Fig 4a's latency doubling from ≈25 cores;
+//   - the NIC NUMA node's memory controller: descriptors and CQ entries
+//     are DDIO-placed in the LLC, so DRAM pressure leaks into the path
+//     only weakly (ddioCtrlCoupling of the controller's queueing).
+const ddioCtrlCoupling = 0.15
+
+// pioAccessTime returns the duration of the PIO access mix for one
+// operation issued by commCore toward the NIC.
+func pioAccessTime(n *machine.Node, commCore int, accesses float64) sim.Duration {
+	from := n.Spec.NUMAOfCore(commCore)
+	nic := n.Spec.NIC.NUMA
+	base := n.Spec.Mem.LocalLatencyNs
+	if from != nic {
+		base = n.Spec.Mem.RemoteLatencyNs
+	}
+	f := n.Freq.UncoreGHz()
+	base *= 1 + n.Spec.Mem.UncoreLatFactor*(n.Spec.Freq.UncoreMax/f-1)
+	extra := ddioCtrlCoupling * n.CtrlContention(nic)
+	if from != nic {
+		extra += n.LinkContention(from, nic)
+	}
+	return sim.Duration(base * (1 + extra) * accesses)
+}
+
+// payloadAccessTime is the cost of touching the message payload (or
+// its cache lines) on its home NUMA node: one access whose DRAM-side
+// contention is DDIO-dampened but which queues on the inter-NUMA link
+// when the buffer lives on another NUMA node than the communication
+// thread. This is what makes "data far from the communication thread"
+// visibly slower for small messages (Fig 5b, Fig 8).
+func payloadAccessTime(n *machine.Node, commCore, bufNUMA int) sim.Duration {
+	from := n.Spec.NUMAOfCore(commCore)
+	base := n.Spec.Mem.LocalLatencyNs
+	if from != bufNUMA {
+		base = n.Spec.Mem.RemoteLatencyNs
+	}
+	f := n.Freq.UncoreGHz()
+	base *= 1 + n.Spec.Mem.UncoreLatFactor*(n.Spec.Freq.UncoreMax/f-1)
+	extra := ddioCtrlCoupling * n.CtrlContention(bufNUMA)
+	if from != bufNUMA {
+		extra += n.LinkContention(from, bufNUMA)
+	}
+	return sim.Duration(base * (1 + extra))
+}
+
+// SendOverhead blocks p for the software overhead (the LogP "o") of
+// injecting one message on node n from commCore: fixed CPU cycles at
+// the core's current frequency, the PIO access mix toward the NIC, and
+// one payload touch on the buffer's NUMA node.
+func (nw *Network) SendOverhead(p *sim.Proc, n *machine.Node, commCore, bufNUMA int) {
+	n.ExecCycles(p, commCore, n.Spec.NIC.SendCycles)
+	p.Sleep(pioAccessTime(n, commCore, n.Spec.NIC.SendMemAccesses) +
+		payloadAccessTime(n, commCore, bufNUMA))
+}
+
+// RecvOverhead blocks p for the software overhead of completing one
+// message reception on node n from commCore.
+func (nw *Network) RecvOverhead(p *sim.Proc, n *machine.Node, commCore, bufNUMA int) {
+	n.ExecCycles(p, commCore, n.Spec.NIC.RecvCycles)
+	p.Sleep(pioAccessTime(n, commCore, n.Spec.NIC.RecvMemAccesses) +
+		payloadAccessTime(n, commCore, bufNUMA))
+}
+
+// ioScale is the uncore-frequency scaling of the NIC-to-memory I/O
+// path (DDIO / IMC ingress queues are uncore-clocked): an uncore pinned
+// below its maximum shaves a few percent off the achievable DMA
+// throughput — the paper's 10.5 → 10.1 GB/s observation (Fig 1b). With
+// the default demand-driven uncore, I/O activity keeps the domain fast
+// and the path runs at full speed.
+func ioScale(n *machine.Node) float64 {
+	if !n.Freq.UncoreIsFixed() {
+		return 1
+	}
+	f := n.Freq.UncoreGHz()
+	return 1 - 0.04*(n.Spec.Freq.UncoreMax/f-1)
+}
+
+// DMAUses assembles the fluid path of an RDMA transfer of a buffer on
+// srcNUMA of node src to a buffer on dstNUMA of node dst: source
+// controller (+ link to the NIC when the data is far from it), source
+// PCIe, the directed wire, destination PCIe and destination controller
+// (+ link).
+func (nw *Network) DMAUses(src *machine.Node, srcNUMA int, dst *machine.Node, dstNUMA int) []fluid.Use {
+	uses := []fluid.Use{
+		{Resource: src.NUMA(srcNUMA).Ctrl, Weight: 1},
+	}
+	if srcNUMA != src.Spec.NIC.NUMA {
+		uses = append(uses, fluid.Use{Resource: src.Link(srcNUMA, src.Spec.NIC.NUMA), Weight: 1})
+	}
+	uses = append(uses,
+		fluid.Use{Resource: src.PCIeTx, Weight: 1},
+		fluid.Use{Resource: nw.Wire(src.ID, dst.ID), Weight: 1},
+		fluid.Use{Resource: dst.PCIeRx, Weight: 1},
+		fluid.Use{Resource: dst.NUMA(dstNUMA).Ctrl, Weight: 1},
+	)
+	if dstNUMA != dst.Spec.NIC.NUMA {
+		uses = append(uses, fluid.Use{Resource: dst.Link(dstNUMA, dst.Spec.NIC.NUMA), Weight: 1})
+	}
+	return uses
+}
+
+// TransferDMA moves `bytes` from srcBuf to dstBuf as one zero-copy RDMA
+// flow, blocking p until the last byte lands. The flow's arbitration
+// priority against core streams grows with the stream census on the
+// crossed controllers (DESIGN.md §4).
+func (nw *Network) TransferDMA(p *sim.Proc, src *machine.Node, srcBuf *machine.Buffer,
+	dst *machine.Node, dstBuf *machine.Buffer, bytes int64) {
+	pri := (src.DMAPriority(srcBuf.NUMA) + dst.DMAPriority(dstBuf.NUMA)) / 2
+	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
+	done := sim.NewSignal(nw.cluster.K)
+	nw.cluster.Fluid.Start(fluid.FlowSpec{
+		Name:     fmt.Sprintf("dma.n%d->n%d", src.ID, dst.ID),
+		Work:     float64(bytes),
+		Cap:      cap,
+		Priority: pri,
+		Uses:     nw.DMAUses(src, srcBuf.NUMA, dst, dstBuf.NUMA),
+		OnDone:   done.Broadcast,
+	})
+	done.Wait(p)
+}
+
+// Memcpy moves `bytes` on node n from srcNUMA to dstNUMA through the
+// memory system (read + write: weight 2 on a same-NUMA copy's
+// controller). The rate cap is twice the streaming per-core bandwidth:
+// eager staging buffers are small and LLC-resident, so the copy runs at
+// cache speed while still consuming its share of a contended bus. Used
+// by the eager protocol's staging copies.
+func (nw *Network) Memcpy(p *sim.Proc, n *machine.Node, core int, srcNUMA, dstNUMA int, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	var uses []fluid.Use
+	if srcNUMA == dstNUMA {
+		uses = []fluid.Use{{Resource: n.NUMA(srcNUMA).Ctrl, Weight: 2}}
+	} else {
+		uses = []fluid.Use{
+			{Resource: n.NUMA(srcNUMA).Ctrl, Weight: 1},
+			{Resource: n.NUMA(dstNUMA).Ctrl, Weight: 1},
+			{Resource: n.Link(srcNUMA, dstNUMA), Weight: 1},
+		}
+	}
+	done := sim.NewSignal(nw.cluster.K)
+	nw.cluster.Fluid.Start(fluid.FlowSpec{
+		Name:   fmt.Sprintf("memcpy.n%d", n.ID),
+		Work:   float64(bytes),
+		Cap:    2 * n.Spec.Mem.StreamPerCoreGBs * 1e9,
+		Uses:   uses,
+		OnDone: done.Broadcast,
+	})
+	done.Wait(p)
+}
+
+// TransferEager moves `bytes` over the wire into the receiver's
+// internal (pre-registered, NIC-NUMA) buffers, blocking p until the
+// message has landed there. The sender-side staging copy and the
+// receiver-side delivery copy are performed by the caller (mpi) around
+// this transfer. The flow crosses both PCIe links, the wire, and the
+// NIC-NUMA controllers of both ends.
+func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	pri := (src.DMAPriority(src.Spec.NIC.NUMA) + dst.DMAPriority(dst.Spec.NIC.NUMA)) / 2
+	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
+	uses := []fluid.Use{
+		{Resource: src.NUMA(src.Spec.NIC.NUMA).Ctrl, Weight: 1},
+		{Resource: src.PCIeTx, Weight: 1},
+		{Resource: nw.Wire(src.ID, dst.ID), Weight: 1},
+		{Resource: dst.PCIeRx, Weight: 1},
+		{Resource: dst.NUMA(dst.Spec.NIC.NUMA).Ctrl, Weight: 1},
+	}
+	done := sim.NewSignal(nw.cluster.K)
+	nw.cluster.Fluid.Start(fluid.FlowSpec{
+		Name:     fmt.Sprintf("eager.n%d->n%d", src.ID, dst.ID),
+		Work:     float64(bytes),
+		Cap:      cap,
+		Priority: pri,
+		Uses:     uses,
+		OnDone:   done.Broadcast,
+	})
+	done.Wait(p)
+}

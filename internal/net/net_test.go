@@ -1,0 +1,233 @@
+package net
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testNet(t *testing.T) (*machine.Cluster, *Network) {
+	t.Helper()
+	c := machine.NewCluster(topology.Henri(), 2, 1)
+	return c, New(c)
+}
+
+func TestWiresAreDirectedPerPair(t *testing.T) {
+	c, nw := testNet(t)
+	if nw.Wire(0, 1) == nw.Wire(1, 0) {
+		t.Fatal("wire directions share a resource; full duplex expected")
+	}
+	if got := nw.Wire(0, 1).Capacity(); math.Abs(got-10.9e9) > 1 {
+		t.Fatalf("wire capacity %v, want 10.9e9", got)
+	}
+	_ = c
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-wire lookup did not panic")
+		}
+	}()
+	nw.Wire(0, 0)
+}
+
+func TestDMAUsesPaths(t *testing.T) {
+	c, nw := testNet(t)
+	src, dst := c.Nodes[0], c.Nodes[1]
+	// Data on the NIC NUMA node (0) at both ends: ctrl+pcie+wire+pcie+ctrl.
+	near := nw.DMAUses(src, 0, dst, 0)
+	if len(near) != 5 {
+		t.Fatalf("near-near path has %d uses, want 5", len(near))
+	}
+	// Data far from the NIC on both ends: + one link per end.
+	far := nw.DMAUses(src, 3, dst, 3)
+	if len(far) != 7 {
+		t.Fatalf("far-far path has %d uses, want 7", len(far))
+	}
+}
+
+func TestTransferDMAUncontendedHitsWireSpeed(t *testing.T) {
+	c, nw := testNet(t)
+	src, dst := c.Nodes[0], c.Nodes[1]
+	srcBuf := src.Alloc(64<<20, 0)
+	dstBuf := dst.Alloc(64<<20, 0)
+	var d sim.Duration
+	c.K.Spawn("xfer", func(p *sim.Proc) {
+		start := p.Now()
+		nw.TransferDMA(p, src, srcBuf, dst, dstBuf, 64<<20)
+		d = p.Now().Sub(start)
+	})
+	c.K.Run()
+	gbps := float64(64<<20) / d.Seconds() / 1e9
+	if math.Abs(gbps-10.9) > 0.05 {
+		t.Fatalf("uncontended DMA at %.2f GB/s, want ~10.9", gbps)
+	}
+}
+
+func TestTransferDMAContendedSharesController(t *testing.T) {
+	c, nw := testNet(t)
+	src, dst := c.Nodes[0], c.Nodes[1]
+	// Saturate the source data controller with compute streams.
+	for i := 0; i < 35; i++ {
+		i := i
+		c.K.Spawn("stream", func(p *sim.Proc) {
+			src.ExecCompute(p, i, machine.ComputeSpec{
+				Flops: 1, Bytes: 5e9, Class: topology.Scalar, MemNUMA: 0,
+			})
+		})
+	}
+	srcBuf := src.Alloc(64<<20, 0)
+	dstBuf := dst.Alloc(64<<20, 0)
+	var d sim.Duration
+	c.K.Spawn("xfer", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(sim.Millisecond)) // let streams settle
+		start := p.Now()
+		nw.TransferDMA(p, src, srcBuf, dst, dstBuf, 64<<20)
+		d = p.Now().Sub(start)
+	})
+	c.K.Run()
+	gbps := float64(64<<20) / d.Seconds() / 1e9
+	if gbps > 7 {
+		t.Fatalf("contended DMA at %.2f GB/s; contention not applied", gbps)
+	}
+	if gbps < 1.5 {
+		t.Fatalf("contended DMA at %.2f GB/s; DMA arbitration priority lost", gbps)
+	}
+}
+
+func TestSendOverheadScalesWithFrequency(t *testing.T) {
+	c, nw := testNet(t)
+	n := c.Nodes[0]
+	measure := func(ghz float64) sim.Duration {
+		n.Freq.SetUserspace(ghz)
+		var d sim.Duration
+		done := false
+		c.K.Spawn("o", func(p *sim.Proc) {
+			start := p.Now()
+			nw.SendOverhead(p, n, 0, 0)
+			d = p.Now().Sub(start)
+			done = true
+		})
+		c.K.Run()
+		if !done {
+			t.Fatal("overhead proc did not finish")
+		}
+		return d
+	}
+	slow := measure(1.0)
+	fast := measure(2.3)
+	if slow <= fast {
+		t.Fatalf("overhead at 1.0GHz (%v) not above 2.3GHz (%v)", slow, fast)
+	}
+	// The cycle part scales exactly with frequency; the memory part does
+	// not. Check the cycle delta: 1050 cycles × (1/1.0 − 1/2.3) ≈ 594 ns.
+	delta := slow - fast
+	if delta < 400 || delta > 800 {
+		t.Fatalf("frequency delta %v outside expected range", delta)
+	}
+}
+
+func TestPIOFarThreadFeelsLinkContention(t *testing.T) {
+	c, nw := testNet(t)
+	n := c.Nodes[0]
+	n.Freq.SetUserspace(2.3)
+	n.Freq.SetUncoreFixed(2.4)
+	// Comm thread far from the NIC (NUMA 3; NIC on 0).
+	farCore := n.Spec.LastCoreOfNUMA(3)
+	measure := func() sim.Duration {
+		var d sim.Duration
+		c.K.Spawn("o", func(p *sim.Proc) {
+			start := p.Now()
+			nw.SendOverhead(p, n, farCore, 0)
+			d = p.Now().Sub(start)
+		})
+		c.K.Run()
+		return d
+	}
+	quiet := measure()
+	// Saturate the link 3→0 with streams from NUMA 3 cores to NUMA 0.
+	var cancels []func()
+	for i := 0; i < 8; i++ {
+		cancels = append(cancels, n.BackgroundStream("hog", 3, 0, 10e9))
+	}
+	loaded := measure()
+	if loaded <= quiet {
+		t.Fatalf("far-thread overhead under link load %v not above quiet %v", loaded, quiet)
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+func TestMemcpySameNUMAWeightsController(t *testing.T) {
+	c, nw := testNet(t)
+	n := c.Nodes[0]
+	n.Freq.SetUncoreFixed(2.4) // ctrl at 50 GB/s
+	var d sim.Duration
+	c.K.Spawn("cp", func(p *sim.Proc) {
+		start := p.Now()
+		// 1.2 GB at copy cap 24 GB/s (weight 2 → 48 GB/s consumed, within
+		// the 50 GB/s controller).
+		nw.Memcpy(p, n, 0, 0, 0, 12e8)
+		d = p.Now().Sub(start)
+	})
+	c.K.Run()
+	if math.Abs(d.Seconds()-0.05) > 1e-3 {
+		t.Fatalf("same-NUMA memcpy took %v, want ~0.05s", d)
+	}
+}
+
+func TestMemcpyCrossNUMAUsesLink(t *testing.T) {
+	c, nw := testNet(t)
+	n := c.Nodes[0]
+	var d sim.Duration
+	c.K.Spawn("cp", func(p *sim.Proc) {
+		nw.Memcpy(p, n, 0, 0, 3, 12e8)
+		d = p.Now().Sub(0)
+	})
+	c.K.Run()
+	if d == 0 {
+		t.Fatal("cross-NUMA memcpy did not run")
+	}
+}
+
+func TestTransferEagerZeroBytesReturns(t *testing.T) {
+	c, nw := testNet(t)
+	ok := false
+	c.K.Spawn("e", func(p *sim.Proc) {
+		nw.TransferEager(p, c.Nodes[0], c.Nodes[1], 0)
+		ok = true
+	})
+	c.K.Run()
+	if !ok {
+		t.Fatal("zero-byte eager transfer blocked")
+	}
+}
+
+func TestWireSharedByOppositeTransfersIndependently(t *testing.T) {
+	c, nw := testNet(t)
+	a, b := c.Nodes[0], c.Nodes[1]
+	bufA := a.Alloc(64<<20, 0)
+	bufB := b.Alloc(64<<20, 0)
+	var dAB, dBA sim.Duration
+	c.K.Spawn("ab", func(p *sim.Proc) {
+		start := p.Now()
+		nw.TransferDMA(p, a, bufA, b, bufB, 64<<20)
+		dAB = p.Now().Sub(start)
+	})
+	c.K.Spawn("ba", func(p *sim.Proc) {
+		start := p.Now()
+		nw.TransferDMA(p, b, bufB, a, bufA, 64<<20)
+		dBA = p.Now().Sub(start)
+	})
+	c.K.Run()
+	// Full duplex: opposite directions do not share the wire; both end
+	// at wire speed (controllers have headroom for 2×10.9 GB/s).
+	for _, d := range []sim.Duration{dAB, dBA} {
+		gbps := float64(64<<20) / d.Seconds() / 1e9
+		if gbps < 10.0 {
+			t.Fatalf("duplex transfer at %.2f GB/s, want ~10.9 each way", gbps)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// Harness microbenchmarks: event throughput and process switch cost of
+// the simulation kernel itself (wall time, not simulated time).
+
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel(1)
+	for i := 0; i < b.N; i++ {
+		k.After(Duration(i%1000), func() {})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkProcessSwitch(b *testing.B) {
+	k := NewKernel(1)
+	k.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkSignalWake(b *testing.B) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			s.Wait(p)
+		}
+	})
+	k.Spawn("waker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			s.Signal()
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are ordered by time, then by
+// scheduling order, which makes simulations deterministic.
+type Event struct {
+	at        Time
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	fn        func()
+	cancelled bool
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine: it owns the virtual clock and the
+// event queue and runs events in deterministic order.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	procs  int // live (not yet finished) processes
+	nsteps uint64
+}
+
+// NewKernel returns a simulation kernel whose random source is seeded
+// with seed. The same seed always produces the same simulation.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated instant.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Steps reports how many events have been executed so far.
+func (k *Kernel) Steps() uint64 { return k.nsteps }
+
+// At schedules fn to run at instant t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event
+// that already ran (or was already cancelled) is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		heap.Remove(&k.events, e.index)
+	}
+}
+
+// Step runs the earliest pending event, advancing the clock to it.
+// It reports whether an event was run.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.at
+		k.nsteps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events up to and including instant t, then sets the
+// clock to t.
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.events) > 0 {
+		// Peek without popping: index 0 is the heap minimum.
+		e := k.events[0]
+		if e.at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Idle reports whether no events are pending. Processes blocked on a
+// Signal do not count; a simulation that goes idle with live processes
+// has deadlocked (see LiveProcs).
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// LiveProcs returns the number of spawned processes that have not
+// finished. Useful in tests to detect leaked/deadlocked processes.
+func (k *Kernel) LiveProcs() int { return k.procs }

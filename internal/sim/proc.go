@@ -1,0 +1,174 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated thread of control. Each Proc runs in its own
+// goroutine, but the kernel guarantees that at most one Proc (or event
+// handler) executes at any moment: control passes explicitly between the
+// kernel and the process, so simulations are deterministic and shared
+// state needs no locking.
+//
+// A Proc advances the clock only by blocking: Sleep, Signal.Wait, or any
+// higher-level operation built on them. Plain Go code inside a Proc takes
+// zero simulated time.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resumeCh chan struct{}
+	yieldCh  chan struct{}
+	finished bool
+	panicVal any
+	blocked  bool // waiting on a Signal (not a timer)
+}
+
+// Spawn creates a process running fn. The process starts at the current
+// instant, after already-scheduled events for this instant.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:        k,
+		name:     name,
+		resumeCh: make(chan struct{}),
+		yieldCh:  make(chan struct{}),
+	}
+	k.procs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicVal = r
+			}
+			p.finished = true
+			p.yieldCh <- struct{}{}
+		}()
+		<-p.resumeCh
+		fn(p)
+	}()
+	k.At(k.now, p.run)
+	return p
+}
+
+// run transfers control to the process and blocks the kernel until the
+// process yields (blocks) or finishes. Only ever called from kernel
+// (event handler) context.
+func (p *Proc) run() {
+	if p.finished {
+		return
+	}
+	p.resumeCh <- struct{}{}
+	<-p.yieldCh
+	if p.finished {
+		p.k.procs--
+		if p.panicVal != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicVal))
+		}
+	}
+}
+
+// yield suspends the process and returns control to the kernel. The
+// process must have arranged to be resumed (timer or signal) first.
+func (p *Proc) yield() {
+	p.yieldCh <- struct{}{}
+	<-p.resumeCh
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated instant.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep suspends the process for d. Sleeping a non-positive duration
+// still yields, letting same-instant events run (a deterministic
+// "yield to scheduler").
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.After(d, p.run)
+	p.yield()
+}
+
+// Signal is a deterministic condition variable for processes. Waiters
+// are woken in FIFO order through the event queue, so wake order is
+// reproducible.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to kernel k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Wait suspends p until another process or event calls Signal or
+// Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	p.blocked = true
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// Signal wakes the oldest waiter, if any. The waiter resumes at the
+// current instant, after events already scheduled for it.
+func (s *Signal) Signal() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	p := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	p.blocked = false
+	s.k.At(s.k.now, p.run)
+}
+
+// Broadcast wakes every waiter, oldest first.
+func (s *Signal) Broadcast() {
+	for len(s.waiters) > 0 {
+		s.Signal()
+	}
+}
+
+// Waiters returns the number of processes blocked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Queue is a deterministic FIFO mailbox between processes: Push never
+// blocks, Pop blocks until an item is available.
+type Queue[T any] struct {
+	items []T
+	sig   *Signal
+}
+
+// NewQueue returns an empty queue bound to kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{sig: NewSignal(k)}
+}
+
+// Push appends v and wakes one waiting consumer.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.sig.Signal()
+}
+
+// Pop removes and returns the oldest item, blocking p until one exists.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.sig.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,189 @@
+package sim
+
+import "testing"
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		woke = p.Now()
+	})
+	k.Run()
+	if woke != Time(2*Microsecond) {
+		t.Fatalf("woke at %v, want 2us", woke)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after Run", k.LiveProcs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	k := NewKernel(1)
+	var got []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				got = append(got, name)
+				p.Sleep(10)
+			}
+		})
+	}
+	k.Run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleaving %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSignalWakesFIFO(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	var got []string
+	for _, name := range []string{"first", "second"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			s.Wait(p)
+			got = append(got, name)
+		})
+	}
+	k.Spawn("waker", func(p *Proc) {
+		p.Sleep(100)
+		if s.Waiters() != 2 {
+			t.Errorf("waiters = %d, want 2", s.Waiters())
+		}
+		s.Signal()
+		p.Sleep(100)
+		s.Signal()
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("wake order %v", got)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	n := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			s.Wait(p)
+			n++
+		})
+	}
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(10)
+		s.Broadcast()
+	})
+	k.Run()
+	if n != 5 {
+		t.Fatalf("broadcast woke %d of 5", n)
+	}
+}
+
+func TestDeadlockedProcIsReported(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	k.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	k.Run()
+	if k.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1 (deadlocked)", k.LiveProcs())
+	}
+	// Unstick it so the goroutine exits cleanly.
+	s.Broadcast()
+	k.Run()
+	if k.LiveProcs() != 0 {
+		t.Fatal("proc still live after broadcast")
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("boom", func(p *Proc) { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in proc did not propagate to Run")
+		}
+	}()
+	k.Run()
+}
+
+func TestQueueBlocksUntilPush(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	var got int
+	var at Time
+	k.Spawn("consumer", func(p *Proc) {
+		got = q.Pop(p)
+		at = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(500)
+		q.Push(7)
+	})
+	k.Run()
+	if got != 7 || at != 500 {
+		t.Fatalf("got %d at %v, want 7 at 500", got, at)
+	}
+}
+
+func TestQueueFIFOAndTryPop(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	q.Push(1)
+	q.Push(2)
+	if v, ok := q.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop = %d,%v", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.TryPop(); !ok || v != 2 {
+		t.Fatalf("TryPop = %d,%v", v, ok)
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel(1)
+	var childAt Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(100)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(50)
+			childAt = c.Now()
+		})
+		p.Sleep(1000)
+	})
+	k.Run()
+	if childAt != 150 {
+		t.Fatalf("child finished at %v, want 150", childAt)
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	// a yields at t=0, letting b run before a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue, and a cooperative process abstraction.
+//
+// All simulated activity in this repository (compute kernels, memory
+// traffic, network transfers, runtime-system threads) advances on the
+// kernel's virtual clock, never on the wall clock. A simulation is fully
+// deterministic for a given seed: events scheduled at the same instant run
+// in scheduling order, and at most one process executes at any moment.
+package sim
+
+import "fmt"
+
+// Time is an instant on the simulated clock, in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration spans between two instants, in nanoseconds. It is a distinct
+// type from Time so that instants and spans cannot be confused.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// MaxDuration is the longest representable span; conversions saturate
+// at it instead of overflowing.
+const MaxDuration = Duration(1<<63 - 1)
+
+// DurationOfSeconds converts a floating-point number of seconds to a
+// Duration, rounding up so that a strictly positive time never truncates
+// to zero (which could stall fixed-point iterations around completions),
+// and saturating at MaxDuration for effectively-infinite spans.
+func DurationOfSeconds(s float64) Duration {
+	if s <= 0 {
+		return 0
+	}
+	ns := s * 1e9
+	if ns >= float64(MaxDuration) {
+		return MaxDuration
+	}
+	d := Duration(ns)
+	if float64(d) < ns {
+		d++
+	}
+	return d
+}
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e3) }

@@ -1,0 +1,87 @@
+// Package stats provides the summary statistics used throughout the
+// paper's plots: medians for the curves and first/last deciles for the
+// shaded background areas (§2.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of measurements.
+type Summary struct {
+	N      int
+	Median float64
+	P10    float64 // first decile
+	P90    float64 // last decile
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Median: Quantile(s, 0.5),
+		P10:    Quantile(s, 0.1),
+		P90:    Quantile(s, 0.9),
+		Mean:   sum / float64(len(s)),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the *sorted* sample,
+// with linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	switch {
+	case n == 0:
+		return math.NaN()
+	case n == 1:
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median is a convenience over Summarize for a single statistic.
+func Median(xs []float64) float64 { return Summarize(xs).Median }
+
+// String renders the summary in "median [p10–p90]" form.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g [%.4g–%.4g] (n=%d)", s.Median, s.P10, s.P90, s.N)
+}
+
+// RelSpread returns (P90−P10)/Median, the relative width of the decile
+// band — the paper's visual proxy for run-to-run deviation (wide on
+// Omni-Path, narrow on InfiniBand). Returns 0 for a zero median.
+func (s Summary) RelSpread() float64 {
+	if s.Median == 0 {
+		return 0
+	}
+	return (s.P90 - s.P10) / s.Median
+}

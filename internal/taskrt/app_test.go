@@ -1,0 +1,161 @@
+package taskrt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func appPair(t *testing.T, workers []int) (*machine.Cluster, [2]*Runtime) {
+	t.Helper()
+	c, _, rts := starpuPair(t, noNoise(), DefaultBackoff, workers)
+	return c, rts
+}
+
+func TestAppRunsAllIterations(t *testing.T) {
+	c, rts := appPair(t, []int{1, 2, 3})
+	app := &App{
+		Name:         "t",
+		Slice:        func(i int) machine.ComputeSpec { return kernels.PrimeCount(1e7) },
+		TasksPerIter: 6,
+		Iterations:   3,
+		MsgSize:      4096,
+		MsgsPerIter:  2,
+		HandleNUMA:   -1,
+	}
+	stats := app.Run(rts)
+	if stats.Elapsed <= 0 || stats.IterSeconds <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// 3 iterations × 2 messages × 4096 bytes were sent by rank 0.
+	if got := c.Nodes[0].Counters.BytesSent; got != 3*2*4096 {
+		t.Fatalf("rank 0 sent %v bytes, want %v", got, 3*2*4096)
+	}
+	c.K.Run()
+	if c.K.LiveProcs() != 0 {
+		t.Fatalf("%d procs leaked after app", c.K.LiveProcs())
+	}
+}
+
+func TestAppNoCommunication(t *testing.T) {
+	_, rts := appPair(t, []int{1, 2})
+	app := &App{
+		Name:         "nocomm",
+		Slice:        func(i int) machine.ComputeSpec { return kernels.PrimeCount(1e7) },
+		TasksPerIter: 4,
+		Iterations:   2,
+	}
+	stats := app.Run(rts)
+	if stats.SendBandwidth != 0 {
+		t.Fatalf("no-comm app reported send bandwidth %v", stats.SendBandwidth)
+	}
+	if stats.IterSeconds <= 0 {
+		t.Fatal("no timing")
+	}
+}
+
+func TestAppValidation(t *testing.T) {
+	_, rts := appPair(t, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty app accepted")
+		}
+		rts[0].Shutdown()
+		rts[1].Shutdown()
+	}()
+	(&App{Name: "bad"}).Run(rts)
+}
+
+func TestAppDeterministicAcrossRuns(t *testing.T) {
+	run := func() AppStats {
+		_, rts := appPair(t, []int{1, 2, 3, 4})
+		app := &App{
+			Name: "det",
+			Slice: func(i int) machine.ComputeSpec {
+				return kernels.CGBlock(256, 256, i%4)
+			},
+			TasksPerIter: 12,
+			Iterations:   2,
+			MsgSize:      64 << 10,
+			MsgsPerIter:  2,
+			HandleNUMA:   -1,
+		}
+		return app.Run(rts)
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed || math.Abs(a.SendBandwidth-b.SendBandwidth) > 1e-9 {
+		t.Fatalf("nondeterministic app: %+v vs %+v", a, b)
+	}
+}
+
+func TestAppMoreWorkersFasterWhenCPUBound(t *testing.T) {
+	measure := func(workers []int) sim.Duration {
+		_, rts := appPair(t, workers)
+		app := &App{
+			Name:         "scale",
+			Slice:        func(i int) machine.ComputeSpec { return kernels.PrimeCount(5e7) },
+			TasksPerIter: 8,
+			Iterations:   1,
+		}
+		return app.Run(rts).Elapsed
+	}
+	two := measure([]int{1, 2})
+	eight := measure([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	if eight >= two {
+		t.Fatalf("8 workers (%v) not faster than 2 (%v) on CPU-bound tasks", eight, two)
+	}
+}
+
+func TestExecutionTrace(t *testing.T) {
+	c, rts := appPair(t, []int{1, 2})
+	rts[0].EnableTrace()
+	app := &App{
+		Name:         "traced",
+		Slice:        func(i int) machine.ComputeSpec { return kernels.PrimeCount(1e7) },
+		TasksPerIter: 4,
+		Iterations:   2,
+		MsgSize:      4096,
+		MsgsPerIter:  1,
+		HandleNUMA:   -1,
+	}
+	app.Run(rts)
+	events := rts[0].TraceEvents()
+	var tasks, comms int
+	for _, e := range events {
+		if e.End <= e.Start {
+			t.Fatalf("empty interval %+v", e)
+		}
+		switch e.Kind {
+		case "task":
+			tasks++
+		case "comm":
+			comms++
+		}
+	}
+	if tasks != 8 { // 2 iterations × 4 tasks
+		t.Fatalf("%d task events, want 8", tasks)
+	}
+	if comms != 4 { // 2 iterations × (1 send + 1 recv)
+		t.Fatalf("%d comm events, want 4", comms)
+	}
+	var buf strings.Builder
+	if err := rts[0].WriteTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "core,kind,label") || !strings.Contains(buf.String(), "prime") {
+		t.Fatalf("trace CSV malformed:\n%s", buf.String()[:200])
+	}
+	util := rts[0].Utilization(c.K.Now())
+	if len(util) == 0 {
+		t.Fatal("no utilization data")
+	}
+	for core, u := range util {
+		if u < 0 || u > 1 {
+			t.Fatalf("core %d utilization %v", core, u)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package taskrt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// distPair builds n nodes with a started runtime + DistRuntime each.
+func distPair(t *testing.T, n int, workers []int) (*machine.Cluster, []*DistRuntime) {
+	t.Helper()
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	c := machine.NewCluster(spec, n, 1)
+	w := mpi.NewWorld(c, net.New(c))
+	var ds []*DistRuntime
+	for i := 0; i < n; i++ {
+		rt := New(Config{
+			Node:        c.Nodes[i],
+			Rank:        w.Rank(i),
+			MainCore:    0,
+			CommCore:    w.Rank(i).CommCore,
+			WorkerCores: workers,
+		})
+		rt.Start()
+		ds = append(ds, NewDistRuntime(rt, n))
+	}
+	return c, ds
+}
+
+// runProgram executes the same insertion stream on every rank.
+func runProgram(t *testing.T, c *machine.Cluster, ds []*DistRuntime,
+	program func(d *DistRuntime, p *sim.Proc)) {
+	t.Helper()
+	for _, d := range ds {
+		d := d
+		c.K.Spawn(fmt.Sprintf("prog.r%d", d.Rank()), func(p *sim.Proc) {
+			program(d, p)
+			d.WaitAllDist(p)
+			d.Runtime().Shutdown()
+		})
+	}
+	c.K.RunUntil(sim.Time(60 * sim.Second))
+	for _, d := range ds {
+		if d.Runtime().inflight != 0 {
+			t.Fatalf("rank %d still has %d tasks in flight", d.Rank(), d.Runtime().inflight)
+		}
+	}
+}
+
+func TestDistLocalTaskNoTransfer(t *testing.T) {
+	c, ds := distPair(t, 2, []int{1, 2})
+	runProgram(t, c, ds, func(d *DistRuntime, p *sim.Proc) {
+		h := d.RegisterData(0, 1<<20, 0)
+		d.Insert(p, &DistTask{
+			Spec:     machine.ComputeSpec{Name: "local", Flops: 1e6, Class: topology.Scalar},
+			Accesses: []DistAccess{{h, W}},
+		})
+	})
+	// The task ran on the owner (rank 0); nothing crossed the wire.
+	if sent := c.Nodes[0].Counters.BytesSent + c.Nodes[1].Counters.BytesSent; sent != 0 {
+		t.Fatalf("local task moved %v bytes", sent)
+	}
+}
+
+func TestDistRemoteReadTransfersOnce(t *testing.T) {
+	c, ds := distPair(t, 2, []int{1, 2})
+	runProgram(t, c, ds, func(d *DistRuntime, p *sim.Proc) {
+		h := d.RegisterData(0, 1<<20, 0)
+		// Two remote readers on rank 1: the value moves once, then the
+		// replica is valid there.
+		for i := 0; i < 2; i++ {
+			d.Insert(p, &DistTask{
+				Spec:     machine.ComputeSpec{Name: "remote-read", Flops: 1e6, Class: topology.Scalar},
+				ExecRank: 1,
+				Accesses: []DistAccess{{h, R}},
+			})
+		}
+	})
+	if sent := c.Nodes[0].Counters.BytesSent; sent != 1<<20 {
+		t.Fatalf("rank 0 sent %v bytes, want one 1MB transfer", sent)
+	}
+	if got := c.Nodes[1].Counters.BytesReceived; got != 1<<20 {
+		t.Fatalf("rank 1 received %v bytes", got)
+	}
+}
+
+func TestDistPingPongOwnershipMigrates(t *testing.T) {
+	c, ds := distPair(t, 2, []int{1, 2})
+	var hs [2]*DistHandle
+	runProgram(t, c, ds, func(d *DistRuntime, p *sim.Proc) {
+		h := d.RegisterData(0, 512<<10, 0)
+		hs[d.Rank()] = h
+		// Alternate writers: the valid copy must bounce between ranks.
+		for i := 0; i < 4; i++ {
+			d.Insert(p, &DistTask{
+				Spec:     machine.ComputeSpec{Name: "bounce", Flops: 1e6, Class: topology.Scalar},
+				ExecRank: i % 2,
+				Accesses: []DistAccess{{h, W}},
+			})
+		}
+	})
+	// 3 migrations (0→1, 1→0, 0→1): both coherence views agree.
+	for r, h := range hs {
+		if h.Owner() != 1 {
+			t.Fatalf("rank %d sees valid copy on %d, want 1", r, h.Owner())
+		}
+	}
+	total := c.Nodes[0].Counters.BytesSent + c.Nodes[1].Counters.BytesSent
+	if total != 3*(512<<10) {
+		t.Fatalf("moved %v bytes, want 3 transfers of 512KB", total)
+	}
+}
+
+func TestDistReduction(t *testing.T) {
+	// A distributed reduction: rank 1 produces a partial, rank 0 combines
+	// it into the result it owns. Orders strictly: produce → transfer →
+	// combine.
+	c, ds := distPair(t, 2, []int{1, 2, 3})
+	var combinedAt sim.Time
+	runProgram(t, c, ds, func(d *DistRuntime, p *sim.Proc) {
+		acc := d.RegisterData(0, 256<<10, 0)
+		part := d.RegisterData(1, 256<<10, 0)
+		d.Insert(p, &DistTask{
+			Spec:     machine.ComputeSpec{Name: "produce", Flops: 5e7, Class: topology.Scalar},
+			Accesses: []DistAccess{{part, W}},
+		})
+		combine := d.Insert(p, &DistTask{
+			Spec:     machine.ComputeSpec{Name: "combine", Flops: 1e6, Class: topology.Scalar},
+			Accesses: []DistAccess{{acc, W}, {part, R}},
+		})
+		if combine != nil {
+			combine.OnDone = func() { combinedAt = c.K.Now() }
+		}
+	})
+	if combinedAt == 0 {
+		t.Fatal("combine never ran")
+	}
+	// produce takes 5e7/10e9 = 5 ms on rank 1; combine cannot have run
+	// before the partial was produced and transferred.
+	if combinedAt < sim.Time(5*sim.Millisecond) {
+		t.Fatalf("combine at %v, before the partial could exist", combinedAt)
+	}
+	if got := c.Nodes[1].Counters.BytesSent; got != 256<<10 {
+		t.Fatalf("rank 1 sent %v bytes, want the partial (256KB)", got)
+	}
+}
+
+func TestDistThreeRanksChain(t *testing.T) {
+	// h starts on rank 0, is transformed on rank 1, consumed on rank 2.
+	c, ds := distPair(t, 3, []int{1, 2})
+	runProgram(t, c, ds, func(d *DistRuntime, p *sim.Proc) {
+		h := d.RegisterData(0, 128<<10, 0)
+		d.Insert(p, &DistTask{
+			Spec:     machine.ComputeSpec{Name: "init", Flops: 1e6, Class: topology.Scalar},
+			Accesses: []DistAccess{{h, W}},
+		})
+		d.Insert(p, &DistTask{
+			Spec:     machine.ComputeSpec{Name: "transform", Flops: 1e6, Class: topology.Scalar},
+			ExecRank: 1,
+			Accesses: []DistAccess{{h, W}},
+		})
+		d.Insert(p, &DistTask{
+			Spec:     machine.ComputeSpec{Name: "consume", Flops: 1e6, Class: topology.Scalar},
+			ExecRank: 2,
+			Accesses: []DistAccess{{h, R}},
+		})
+	})
+	// Transfers: 0→1 (for the transform's RMW), 1→2 (for the read).
+	if got := c.Nodes[0].Counters.BytesSent; got != 128<<10 {
+		t.Fatalf("rank 0 sent %v", got)
+	}
+	if got := c.Nodes[1].Counters.BytesSent; got != 128<<10 {
+		t.Fatalf("rank 1 sent %v", got)
+	}
+	if got := c.Nodes[2].Counters.BytesReceived; got != 128<<10 {
+		t.Fatalf("rank 2 received %v", got)
+	}
+}
+
+func TestDistValidation(t *testing.T) {
+	c, ds := distPair(t, 2, []int{1})
+	defer func() {
+		ds[0].Runtime().Shutdown()
+		ds[1].Runtime().Shutdown()
+		c.K.Run()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad owner accepted")
+			}
+		}()
+		ds[0].RegisterData(9, 1024, 0)
+	}()
+}

@@ -1,0 +1,76 @@
+package taskrt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Execution tracing, the equivalent of StarPU's FxT traces: who ran
+// what, when, on which core. Enable before Start; dump as CSV for
+// timeline inspection (`plot` or any spreadsheet reads it).
+
+// ExecEvent is one traced interval.
+type ExecEvent struct {
+	Core  int
+	Kind  string // "task" or "comm"
+	Label string
+	Start sim.Time
+	End   sim.Time
+}
+
+// EnableTrace starts recording execution events.
+func (rt *Runtime) EnableTrace() { rt.tracing = true }
+
+// TraceEvents returns the recorded events in completion order.
+func (rt *Runtime) TraceEvents() []ExecEvent { return rt.events }
+
+// traceEvent appends one interval when tracing is on.
+func (rt *Runtime) traceEvent(core int, kind, label string, start, end sim.Time) {
+	if !rt.tracing {
+		return
+	}
+	rt.events = append(rt.events, ExecEvent{
+		Core: core, Kind: kind, Label: label, Start: start, End: end,
+	})
+}
+
+// WriteTraceCSV dumps the trace as CSV: core, kind, label, start_us,
+// end_us, duration_us.
+func (rt *Runtime) WriteTraceCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "core,kind,label,start_us,end_us,duration_us\n"); err != nil {
+		return err
+	}
+	for _, e := range rt.events {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%.3f,%.3f\n",
+			e.Core, e.Kind, e.Label,
+			float64(e.Start)/1e3, float64(e.End)/1e3,
+			float64(e.End.Sub(e.Start))/1e3)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Utilization summarises the traced busy time per core over [0, until].
+func (rt *Runtime) Utilization(until sim.Time) map[int]float64 {
+	out := map[int]float64{}
+	if until <= 0 {
+		return out
+	}
+	for _, e := range rt.events {
+		end := e.End
+		if end > until {
+			end = until
+		}
+		if end > e.Start {
+			out[e.Core] += end.Sub(e.Start).Seconds()
+		}
+	}
+	for core := range out {
+		out[core] /= sim.Duration(until).Seconds()
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Data handles with implicit dependency inference — StarPU's core
+// programming model (§5.1: the runtime executes the task graph
+// "respecting the dependencies of the graph" and "transmitting the data
+// between tasks"). Tasks declare which handles they access and how; the
+// runtime derives the sequential-consistency dependencies (read-after-
+// write, write-after-read, write-after-write) in submission order, so
+// the application never wires explicit edges.
+
+// AccessMode declares how a task uses a handle.
+type AccessMode int
+
+const (
+	// Read-only access: concurrent with other reads.
+	R AccessMode = iota
+	// Write access (includes read-write): exclusive.
+	W
+)
+
+func (m AccessMode) String() string {
+	if m == W {
+		return "W"
+	}
+	return "R"
+}
+
+// Handle is a registered piece of application data.
+type Handle struct {
+	Buf *machine.Buffer
+	// lastWriter is the most recent submitted writer task.
+	lastWriter *Task
+	// readersSinceWrite are submitted readers newer than lastWriter.
+	readersSinceWrite []*Task
+}
+
+// NewHandle registers a buffer as a data handle.
+func NewHandle(buf *machine.Buffer) *Handle {
+	if buf == nil {
+		panic("taskrt: nil buffer handle")
+	}
+	return &Handle{Buf: buf}
+}
+
+// NUMA returns the handle data's home NUMA node.
+func (h *Handle) NUMA() int { return h.Buf.NUMA }
+
+// Access pairs a handle with its access mode.
+type Access struct {
+	Handle *Handle
+	Mode   AccessMode
+}
+
+// Accesses attaches data accesses to the task (builder style):
+//
+//	task := taskrt.NewTask(spec).Accessing(taskrt.Access{h, taskrt.W})
+func (t *Task) Accessing(accesses ...Access) *Task {
+	t.accesses = append(t.accesses, accesses...)
+	return t
+}
+
+// SubmitData submits tasks with dependencies inferred from their data
+// accesses, in submission order (sequential consistency):
+//
+//   - a reader depends on the handle's last writer (RAW);
+//   - a writer depends on the last writer (WAW) and on every reader
+//     submitted since (WAR).
+//
+// Tasks whose compute slice has no explicit data placement inherit the
+// NUMA node of their first accessed handle, so locality scheduling and
+// the contention model see the real data home.
+func (rt *Runtime) SubmitData(p *sim.Proc, tasks ...*Task) {
+	for _, t := range tasks {
+		for _, a := range t.accesses {
+			if a.Handle == nil {
+				panic(fmt.Sprintf("taskrt: task %q accesses a nil handle", t.Spec.Name))
+			}
+			switch a.Mode {
+			case R:
+				if a.Handle.lastWriter != nil {
+					t.DependsOn(a.Handle.lastWriter)
+				}
+				a.Handle.readersSinceWrite = append(a.Handle.readersSinceWrite, t)
+			case W:
+				if a.Handle.lastWriter != nil {
+					t.DependsOn(a.Handle.lastWriter)
+				}
+				for _, reader := range a.Handle.readersSinceWrite {
+					t.DependsOn(reader)
+				}
+				a.Handle.lastWriter = t
+				a.Handle.readersSinceWrite = nil
+			default:
+				panic(fmt.Sprintf("taskrt: unknown access mode %d", a.Mode))
+			}
+		}
+		// The first accessed handle is where the task's traffic goes:
+		// handles are authoritative over the slice's default placement.
+		if len(t.accesses) > 0 && t.Spec.Bytes > 0 {
+			t.Spec.MemNUMA = t.accesses[0].Handle.NUMA()
+		}
+		rt.Submit(p, t)
+	}
+}

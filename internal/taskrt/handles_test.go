@@ -1,0 +1,174 @@
+package taskrt
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// submitAndTrack submits tasks via SubmitData on a fresh single-node
+// runtime and returns their completion order by name.
+func submitAndTrack(t *testing.T, build func(n *machine.Node) []*Task) []string {
+	t.Helper()
+	c := machine.NewCluster(noNoise(), 1, 1)
+	rt := New(Config{
+		Node: c.Nodes[0], MainCore: 0, CommCore: 35,
+		WorkerCores: []int{1, 2, 3, 4},
+	})
+	rt.Start()
+	var order []string
+	tasks := build(c.Nodes[0])
+	for _, task := range tasks {
+		task := task
+		name := task.Spec.Name
+		prev := task.OnDone
+		task.OnDone = func() {
+			if prev != nil {
+				prev()
+			}
+			order = append(order, name)
+		}
+	}
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.SubmitData(p, tasks...)
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(10 * sim.Second))
+	if len(order) != len(tasks) {
+		t.Fatalf("only %d of %d tasks completed", len(order), len(tasks))
+	}
+	return order
+}
+
+func namedTask(name string, flops float64) *Task {
+	return NewTask(machine.ComputeSpec{Name: name, Flops: flops, Class: topology.Scalar})
+}
+
+func indexOf(order []string, name string) int {
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestHandleRAWDependency(t *testing.T) {
+	order := submitAndTrack(t, func(n *machine.Node) []*Task {
+		h := NewHandle(n.Alloc(1<<20, 0))
+		producer := namedTask("producer", 5e7).Accessing(Access{h, W})
+		consumer := namedTask("consumer", 1e6).Accessing(Access{h, R})
+		return []*Task{producer, consumer}
+	})
+	if indexOf(order, "producer") > indexOf(order, "consumer") {
+		t.Fatalf("RAW violated: %v", order)
+	}
+}
+
+func TestHandleWARDependency(t *testing.T) {
+	order := submitAndTrack(t, func(n *machine.Node) []*Task {
+		h := NewHandle(n.Alloc(1<<20, 0))
+		// Two long readers, then a short writer: the writer must wait.
+		r1 := namedTask("reader1", 5e7).Accessing(Access{h, R})
+		r2 := namedTask("reader2", 5e7).Accessing(Access{h, R})
+		w := namedTask("writer", 1e5).Accessing(Access{h, W})
+		return []*Task{r1, r2, w}
+	})
+	if indexOf(order, "writer") != 2 {
+		t.Fatalf("WAR violated: %v", order)
+	}
+}
+
+func TestHandleWAWDependency(t *testing.T) {
+	order := submitAndTrack(t, func(n *machine.Node) []*Task {
+		h := NewHandle(n.Alloc(1<<20, 0))
+		w1 := namedTask("w1", 5e7).Accessing(Access{h, W})
+		w2 := namedTask("w2", 1e5).Accessing(Access{h, W})
+		return []*Task{w1, w2}
+	})
+	if indexOf(order, "w1") > indexOf(order, "w2") {
+		t.Fatalf("WAW violated: %v", order)
+	}
+}
+
+func TestHandleConcurrentReaders(t *testing.T) {
+	// Readers of the same handle run in parallel: with 4 workers, two
+	// equal readers finish in about one task time, not two.
+	c := machine.NewCluster(noNoise(), 1, 1)
+	rt := New(Config{
+		Node: c.Nodes[0], MainCore: 0, CommCore: 35,
+		WorkerCores: []int{1, 2, 3, 4},
+	})
+	rt.Start()
+	h := NewHandle(c.Nodes[0].Alloc(1<<20, 0))
+	// 1e9 flops at 10 Gflop/s = 100 ms each.
+	r1 := namedTask("r1", 1e9).Accessing(Access{h, R})
+	r2 := namedTask("r2", 1e9).Accessing(Access{h, R})
+	var finish sim.Time
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.SubmitData(p, r1, r2)
+		rt.WaitAll(p)
+		finish = p.Now()
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(10 * sim.Second))
+	if finish.Sub(0).Seconds() > 0.15 {
+		t.Fatalf("two readers took %v; not concurrent", finish)
+	}
+}
+
+func TestHandleChainAcrossHandles(t *testing.T) {
+	// A diamond built purely from data accesses:
+	// init writes A; left reads A writes B; right reads A writes C;
+	// join reads B and C.
+	order := submitAndTrack(t, func(n *machine.Node) []*Task {
+		a := NewHandle(n.Alloc(4096, 0))
+		b := NewHandle(n.Alloc(4096, 1))
+		cH := NewHandle(n.Alloc(4096, 2))
+		init := namedTask("init", 1e6).Accessing(Access{a, W})
+		left := namedTask("left", 1e7).Accessing(Access{a, R}, Access{b, W})
+		right := namedTask("right", 1e7).Accessing(Access{a, R}, Access{cH, W})
+		join := namedTask("join", 1e6).Accessing(Access{b, R}, Access{cH, R})
+		return []*Task{init, left, right, join}
+	})
+	if indexOf(order, "init") != 0 || indexOf(order, "join") != 3 {
+		t.Fatalf("diamond order violated: %v", order)
+	}
+}
+
+func TestHandleSetsTaskDataPlacement(t *testing.T) {
+	c := machine.NewCluster(noNoise(), 1, 1)
+	rt := New(Config{
+		Node: c.Nodes[0], MainCore: 0, CommCore: 35, WorkerCores: []int{1},
+	})
+	rt.Start()
+	h := NewHandle(c.Nodes[0].Alloc(1<<20, 3))
+	task := NewTask(machine.ComputeSpec{
+		Name: "stream", Flops: 1e5, Bytes: 1e6, Class: topology.AVX2,
+	}).Accessing(Access{h, R})
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.SubmitData(p, task)
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	if task.Spec.MemNUMA != 3 {
+		t.Fatalf("task data placement %d, want handle's NUMA 3", task.Spec.MemNUMA)
+	}
+}
+
+func TestNilHandlePanics(t *testing.T) {
+	c := machine.NewCluster(noNoise(), 1, 1)
+	rt := New(Config{Node: c.Nodes[0], MainCore: 0, CommCore: 35, WorkerCores: []int{1}})
+	rt.Start()
+	defer rt.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil buffer accepted")
+		}
+	}()
+	NewHandle(nil)
+}

@@ -1,0 +1,81 @@
+package taskrt
+
+// Scheduler policies. EagerFIFO is StarPU's default central list — the
+// configuration the paper studies (§5). NUMALocal implements the
+// paper's §8 future-work proposal: "the task scheduler could try to
+// give tasks to workers in a way to minimize data movements between
+// NUMA nodes" — per-NUMA ready queues with work stealing; a task whose
+// data lives on NUMA node d is preferentially executed by a worker of
+// that node, and idle workers poll their *local* queue, removing the
+// cross-NUMA polling traffic of Fig 9.
+type SchedulerPolicy int
+
+const (
+	// EagerFIFO is a single central ready list on QueueNUMA.
+	EagerFIFO SchedulerPolicy = iota
+	// NUMALocal keeps one ready list per NUMA node (tasks routed by
+	// their data's home node) plus a central list for unpinned tasks;
+	// workers pop local first, then central, then steal.
+	NUMALocal
+)
+
+func (s SchedulerPolicy) String() string {
+	if s == NUMALocal {
+		return "numa-local"
+	}
+	return "eager-fifo"
+}
+
+// queueFor returns the ready-list index a task is routed to: per-NUMA
+// lists are 0..NUMANodes−1, the central list is the last slot.
+func (rt *Runtime) queueFor(t *Task) int {
+	if rt.cfg.Scheduler == NUMALocal && t.Spec.Bytes > 0 && t.Spec.MemNUMA >= 0 {
+		return t.Spec.MemNUMA
+	}
+	return rt.centralQueue()
+}
+
+// centralQueue is the index of the central ready list.
+func (rt *Runtime) centralQueue() int { return rt.node.Spec.NUMANodes() }
+
+// queueHomeNUMA is where a ready list's cachelines live: per-NUMA lists
+// are local to their node, the central list lives on QueueNUMA.
+func (rt *Runtime) queueHomeNUMA(q int) int {
+	if q < rt.node.Spec.NUMANodes() {
+		return q
+	}
+	return rt.cfg.QueueNUMA
+}
+
+// popOrder returns the ready lists a worker on `numa` inspects, in
+// order: local, central, then the other NUMA lists (stealing).
+func (rt *Runtime) popOrder(numa int) []int {
+	if rt.cfg.Scheduler == EagerFIFO {
+		return []int{rt.centralQueue()}
+	}
+	order := []int{numa, rt.centralQueue()}
+	for n := 0; n < rt.node.Spec.NUMANodes(); n++ {
+		if n != numa {
+			order = append(order, n)
+		}
+	}
+	return order
+}
+
+// tryPop scans the worker's pop order and returns a task plus the list
+// it came from. With steal=false only the local and central lists are
+// inspected; workers try that first and steal from remote lists only
+// after an extra poll period, giving local workers priority on their
+// own tasks (standard work-stealing etiquette).
+func (rt *Runtime) tryPop(numa int, steal bool) (*Task, int, bool) {
+	order := rt.popOrder(numa)
+	if !steal && rt.cfg.Scheduler == NUMALocal {
+		order = order[:2] // local + central
+	}
+	for _, q := range order {
+		if t, ok := rt.queues[q].TryPop(); ok {
+			return t, q, true
+		}
+	}
+	return nil, 0, false
+}

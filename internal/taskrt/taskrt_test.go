@@ -1,0 +1,321 @@
+package taskrt
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func noNoise() *topology.NodeSpec {
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	return spec
+}
+
+// singleNode builds one node + runtime with a limited worker set for
+// fast tests.
+func singleNode(t *testing.T, workers []int) (*machine.Cluster, *Runtime) {
+	t.Helper()
+	c := machine.NewCluster(noNoise(), 1, 1)
+	rt := New(Config{
+		Node:        c.Nodes[0],
+		MainCore:    0,
+		CommCore:    35,
+		WorkerCores: workers,
+	})
+	rt.Start()
+	return c, rt
+}
+
+func TestSingleTaskExecutes(t *testing.T) {
+	c, rt := singleNode(t, []int{1})
+	ran := false
+	task := NewTask(machine.ComputeSpec{Flops: 1e6, Class: topology.Scalar})
+	task.OnDone = func() { ran = true }
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.Submit(p, task)
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	if !ran || !task.Done() {
+		t.Fatal("task did not execute")
+	}
+}
+
+func TestDependenciesRespectOrder(t *testing.T) {
+	c, rt := singleNode(t, []int{1, 2, 3})
+	var order []string
+	mk := func(name string) *Task {
+		task := NewTask(machine.ComputeSpec{Flops: 1e6, Class: topology.Scalar})
+		task.OnDone = func() { order = append(order, name) }
+		return task
+	}
+	a, b, d := mk("a"), mk("b"), mk("d")
+	b.DependsOn(a)
+	d.DependsOn(b)
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.Submit(p, d, b, a) // submit in reverse
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "d" {
+		t.Fatalf("execution order %v", order)
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	c, rt := singleNode(t, []int{1, 2})
+	done := map[string]sim.Time{}
+	mk := func(name string) *Task {
+		task := NewTask(machine.ComputeSpec{Flops: 5e6, Class: topology.Scalar})
+		task.OnDone = func() { done[name] = c.K.Now() }
+		return task
+	}
+	root, left, right, join := mk("root"), mk("left"), mk("right"), mk("join")
+	left.DependsOn(root)
+	right.DependsOn(root)
+	join.DependsOn(left)
+	join.DependsOn(right)
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.Submit(p, join, left, right, root)
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	if done["join"] <= done["left"] || done["join"] <= done["right"] {
+		t.Fatalf("join ran before its parents: %v", done)
+	}
+	if done["left"] <= done["root"] || done["right"] <= done["root"] {
+		t.Fatalf("branches ran before root: %v", done)
+	}
+}
+
+func TestTasksRunInParallelAcrossWorkers(t *testing.T) {
+	c, rt := singleNode(t, []int{1, 2, 3, 4})
+	var finish sim.Time
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, NewTask(machine.ComputeSpec{Flops: 1e9, Class: topology.Scalar}))
+	}
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.Submit(p, tasks...)
+		rt.WaitAll(p)
+		finish = p.Now()
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	// 4 × 1e9 flops at 10 Gflop/s each: serial would be 0.4 s; parallel
+	// on 4 workers ≈ 0.1 s (plus wake latencies).
+	if finish.Sub(0).Seconds() > 0.2 {
+		t.Fatalf("4 tasks on 4 workers took %v; not parallel", finish)
+	}
+}
+
+func TestPauseStopsExecutionResumeRestarts(t *testing.T) {
+	c, rt := singleNode(t, []int{1})
+	rt.PauseWorkers()
+	task := NewTask(machine.ComputeSpec{Flops: 1e6, Class: topology.Scalar})
+	var doneAt sim.Time
+	task.OnDone = func() { doneAt = c.K.Now() }
+	c.K.Spawn("main", func(p *sim.Proc) {
+		rt.Submit(p, task)
+		p.Sleep(sim.Duration(10 * sim.Millisecond))
+		if task.Done() {
+			t.Error("task ran while workers paused")
+		}
+		rt.ResumeWorkers()
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	if doneAt < sim.Time(10*sim.Millisecond) {
+		t.Fatalf("task completed at %v, before resume", doneAt)
+	}
+}
+
+func TestPollingTrafficScalesWithBackoff(t *testing.T) {
+	// An idle worker with a small backoff hammers the queue cacheline
+	// harder than one with a huge backoff.
+	rate := func(backoff int) float64 {
+		c := machine.NewCluster(noNoise(), 1, 1)
+		rt := New(Config{
+			Node: c.Nodes[0], MainCore: 0, CommCore: 35,
+			WorkerCores: []int{1},
+			Backoff:     Backoff{Min: 1, Max: backoff},
+		})
+		c.Nodes[0].Freq.SetActive(1, topology.Scalar)
+		defer c.Nodes[0].Freq.SetIdle(1)
+		return rt.pollTrafficRate(1)
+	}
+	fast := rate(2)
+	def := rate(32)
+	slow := rate(10000)
+	if !(fast > def && def > slow) {
+		t.Fatalf("poll traffic not monotone in backoff: %v %v %v", fast, def, slow)
+	}
+	if slow > 100e6 {
+		t.Fatalf("backoff-10000 traffic %v B/s; should be negligible", slow)
+	}
+	if fast < 500e6 {
+		t.Fatalf("backoff-2 traffic %v B/s; should be heavy", fast)
+	}
+}
+
+// starpuPair builds a 2-node cluster with a runtime + MPI rank per node.
+func starpuPair(t *testing.T, spec *topology.NodeSpec, backoff Backoff, workers []int) (*machine.Cluster, *mpi.World, [2]*Runtime) {
+	t.Helper()
+	c := machine.NewCluster(spec, 2, 1)
+	w := mpi.NewWorld(c, net.New(c))
+	var rts [2]*Runtime
+	for i := 0; i < 2; i++ {
+		rts[i] = New(Config{
+			Node:        c.Nodes[i],
+			Rank:        w.Rank(i),
+			MainCore:    0,
+			CommCore:    w.Rank(i).CommCore,
+			WorkerCores: workers,
+			Backoff:     backoff,
+		})
+		rts[i].Start()
+	}
+	return c, w, rts
+}
+
+func runtimeLatency(t *testing.T, spec *topology.NodeSpec, backoff Backoff, workers []int, pause bool) sim.Duration {
+	t.Helper()
+	c, _, rts := starpuPair(t, spec, backoff, workers)
+	if pause {
+		rts[0].PauseWorkers()
+		rts[1].PauseWorkers()
+	}
+	pp := &PingPong{Size: 4, Iters: 10, Warmup: 3}
+	var lats []sim.Duration
+	c.K.Spawn("init", func(p *sim.Proc) {
+		lats = pp.Initiate(p, rts[0], 1)
+		rts[0].Shutdown()
+		rts[1].Shutdown()
+	})
+	c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, rts[1], 0) })
+	c.K.RunUntil(sim.Time(10 * sim.Second))
+	if len(lats) != 10 {
+		t.Fatalf("%d latencies", len(lats))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2]
+}
+
+func TestRuntimeOverheadMatchesSec52(t *testing.T) {
+	// §5.2: StarPU adds ≈+38 µs to the ping-pong latency on henri.
+	// Measure with paused workers to isolate the software-path overhead.
+	lat := runtimeLatency(t, noNoise(), DefaultBackoff, []int{1, 2}, true)
+	if lat.Micros() < 25 || lat.Micros() > 55 {
+		t.Fatalf("StarPU ping-pong latency %v, want ≈40µs (raw ≈1.7 + 38)", lat)
+	}
+}
+
+func TestPollingWorkersDegradeLatency(t *testing.T) {
+	// Fig 9: polling workers raise communication latency; rare polling
+	// (backoff 10000) is equivalent to paused workers.
+	allWorkers := func() []int {
+		var ws []int
+		for i := 1; i < 35; i++ {
+			ws = append(ws, i)
+		}
+		return ws
+	}()
+	paused := runtimeLatency(t, noNoise(), DefaultBackoff, allWorkers, true)
+	def := runtimeLatency(t, noNoise(), DefaultBackoff, allWorkers, false)
+	rare := runtimeLatency(t, noNoise(), Backoff{1, 10000}, allWorkers, false)
+	frequent := runtimeLatency(t, noNoise(), Backoff{1, 2}, allWorkers, false)
+	if def <= paused {
+		t.Fatalf("default polling (%v) not slower than paused (%v)", def, paused)
+	}
+	if frequent < def {
+		t.Fatalf("frequent polling (%v) faster than default (%v)", frequent, def)
+	}
+	// Rare polling ≈ paused (within 15%).
+	if float64(rare) > float64(paused)*1.15 {
+		t.Fatalf("rare polling (%v) not close to paused (%v)", rare, paused)
+	}
+}
+
+func TestFig8PlacementShape(t *testing.T) {
+	// Fig 8: what matters most for StarPU latency is that the data and
+	// the communication thread are on the same NUMA node.
+	measure := func(dataNUMA, commNUMA int) sim.Duration {
+		spec := noNoise()
+		c := machine.NewCluster(spec, 2, 1)
+		w := mpi.NewWorld(c, net.New(c))
+		var rts [2]*Runtime
+		var pps [2]*PingPong
+		for i := 0; i < 2; i++ {
+			w.Rank(i).SetCommCore(spec.LastCoreOfNUMA(commNUMA))
+			rts[i] = New(Config{
+				Node: c.Nodes[i], Rank: w.Rank(i),
+				MainCore: 0, CommCore: w.Rank(i).CommCore,
+				WorkerCores: []int{1, 2},
+			})
+			rts[i].Start()
+			rts[i].PauseWorkers()
+			pps[i] = &PingPong{
+				Size: 4, Iters: 10, Warmup: 3,
+				Buf: c.Nodes[i].Alloc(64, dataNUMA),
+			}
+		}
+		var lats []sim.Duration
+		c.K.Spawn("init", func(p *sim.Proc) {
+			lats = pps[0].Initiate(p, rts[0], 1)
+			rts[0].Shutdown()
+			rts[1].Shutdown()
+		})
+		c.K.Spawn("resp", func(p *sim.Proc) { pps[1].Respond(p, rts[1], 0) })
+		c.K.RunUntil(sim.Time(10 * sim.Second))
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)/2]
+	}
+	sameNUMA := measure(0, 0) // data close, thread close
+	split := measure(0, 3)    // data close to NIC, thread far
+	sameFar := measure(3, 3)  // both far from the NIC, but together
+	if split <= sameNUMA {
+		t.Fatalf("split placement (%v) not slower than co-located (%v)", split, sameNUMA)
+	}
+	// Co-location matters more than being near the NIC: both-far beats
+	// split.
+	if sameFar >= split {
+		t.Fatalf("co-located-far (%v) not faster than split (%v)", sameFar, split)
+	}
+}
+
+func TestShutdownLeavesNoLiveProcs(t *testing.T) {
+	c, rt := singleNode(t, []int{1, 2})
+	c.K.Spawn("main", func(p *sim.Proc) {
+		task := NewTask(machine.ComputeSpec{Flops: 1e6, Class: topology.Scalar})
+		rt.Submit(p, task)
+		rt.WaitAll(p)
+		rt.Shutdown()
+	})
+	c.K.RunUntil(sim.Time(sim.Second))
+	c.K.Run()
+	if c.K.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after shutdown", c.K.LiveProcs())
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	c, rt := singleNode(t, []int{1})
+	_ = c
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start accepted")
+		}
+		rt.Shutdown()
+	}()
+	rt.Start()
+}

@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON (de)serialisation of node specs, so users can model their own
+// machines without recompiling: `interference -spec mymachine.json`.
+// The JSON layout mirrors the Go structs; Validate runs on load.
+
+// specJSON is the serialised form; turbo tables get an explicit
+// per-class map for readability.
+type specJSON struct {
+	Name          string   `json:"name"`
+	Sockets       int      `json:"sockets"`
+	NUMAPerSocket int      `json:"numaPerSocket"`
+	CoresPerNUMA  int      `json:"coresPerNUMA"`
+	Freq          freqJSON `json:"freq"`
+	Mem           MemSpec  `json:"mem"`
+	NIC           NICSpec  `json:"nic"`
+	FlopsPerCycle struct {
+		Scalar float64 `json:"scalar"`
+		AVX2   float64 `json:"avx2"`
+		AVX512 float64 `json:"avx512"`
+	} `json:"flopsPerCycle"`
+	RuntimeCyclesPerMsg float64 `json:"runtimeCyclesPerMsg"`
+	Hyperthreading      bool    `json:"hyperthreading"`
+}
+
+type freqJSON struct {
+	CoreMin   GHz                   `json:"coreMin"`
+	CoreBase  GHz                   `json:"coreBase"`
+	Turbo     map[string]TurboTable `json:"turbo"`
+	UncoreMin GHz                   `json:"uncoreMin"`
+	UncoreMax GHz                   `json:"uncoreMax"`
+}
+
+var classNames = map[string]VecClass{
+	"scalar": Scalar,
+	"avx2":   AVX2,
+	"avx512": AVX512,
+}
+
+// MarshalJSON renders a NodeSpec in the documented JSON layout.
+func (s *NodeSpec) MarshalJSON() ([]byte, error) {
+	out := specJSON{
+		Name:                s.Name,
+		Sockets:             s.Sockets,
+		NUMAPerSocket:       s.NUMAPerSocket,
+		CoresPerNUMA:        s.CoresPerNUMA,
+		Mem:                 s.Mem,
+		NIC:                 s.NIC,
+		RuntimeCyclesPerMsg: s.RuntimeCyclesPerMsg,
+		Hyperthreading:      s.Hyperthreading,
+	}
+	out.Freq = freqJSON{
+		CoreMin:   s.Freq.CoreMin,
+		CoreBase:  s.Freq.CoreBase,
+		UncoreMin: s.Freq.UncoreMin,
+		UncoreMax: s.Freq.UncoreMax,
+		Turbo:     map[string]TurboTable{},
+	}
+	for name, class := range classNames {
+		out.Freq.Turbo[name] = s.Freq.Turbo[class]
+	}
+	out.FlopsPerCycle.Scalar = s.FlopsPerCycle[Scalar]
+	out.FlopsPerCycle.AVX2 = s.FlopsPerCycle[AVX2]
+	out.FlopsPerCycle.AVX512 = s.FlopsPerCycle[AVX512]
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON parses the documented JSON layout (without validating;
+// call Validate, or use ReadSpec which does).
+func (s *NodeSpec) UnmarshalJSON(data []byte) error {
+	var in specJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*s = NodeSpec{
+		Name:                in.Name,
+		Sockets:             in.Sockets,
+		NUMAPerSocket:       in.NUMAPerSocket,
+		CoresPerNUMA:        in.CoresPerNUMA,
+		Mem:                 in.Mem,
+		NIC:                 in.NIC,
+		RuntimeCyclesPerMsg: in.RuntimeCyclesPerMsg,
+		Hyperthreading:      in.Hyperthreading,
+	}
+	s.Freq.CoreMin = in.Freq.CoreMin
+	s.Freq.CoreBase = in.Freq.CoreBase
+	s.Freq.UncoreMin = in.Freq.UncoreMin
+	s.Freq.UncoreMax = in.Freq.UncoreMax
+	for name, tt := range in.Freq.Turbo {
+		class, ok := classNames[name]
+		if !ok {
+			return fmt.Errorf("topology: unknown vector class %q in turbo table", name)
+		}
+		s.Freq.Turbo[class] = tt
+	}
+	s.FlopsPerCycle[Scalar] = in.FlopsPerCycle.Scalar
+	s.FlopsPerCycle[AVX2] = in.FlopsPerCycle.AVX2
+	s.FlopsPerCycle[AVX512] = in.FlopsPerCycle.AVX512
+	return nil
+}
+
+// WriteSpec serialises a spec to w.
+func WriteSpec(w io.Writer, s *NodeSpec) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadSpec parses and validates a spec from r.
+func ReadSpec(r io.Reader) (*NodeSpec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	s := new(NodeSpec)
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("topology: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: invalid spec %q: %w", s.Name, err)
+	}
+	return s, nil
+}
+
+// LoadSpecFile reads a validated spec from a JSON file.
+func LoadSpecFile(path string) (*NodeSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpec(f)
+}

@@ -1,0 +1,65 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for name, spec := range Presets() {
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, spec); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, spec) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", name, got, spec)
+		}
+	}
+}
+
+func TestReadSpecValidates(t *testing.T) {
+	bad := Henri()
+	bad.Sockets = 0
+	data, err := json.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSpec(bytes.NewReader(data)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestReadSpecRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"freq":{"turbo":{"avx1024":[]}}}`)); err == nil {
+		t.Fatal("unknown vector class accepted")
+	}
+}
+
+func TestJSONIsHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, Henri()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name": "henri"`, `"scalar"`, `"coreMin": 1`, `"wireGBs"`} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Fatalf("serialised spec missing %q:\n%s", want, out[:400])
+		}
+	}
+}
+
+func TestLoadSpecFileMissing(t *testing.T) {
+	if _, err := LoadSpecFile("/nonexistent/spec.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

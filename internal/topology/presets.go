@@ -1,0 +1,253 @@
+package topology
+
+// The preset parameters below are calibrated so that the simulator
+// reproduces the absolute numbers the paper reports where it reports
+// them (latency, asymptotic bandwidth, STREAM saturation, runtime
+// overhead, arithmetic-intensity ridge), and reasonable public figures
+// for the rest (memory channel bandwidth, UPI/xGMI throughput, turbo
+// tables). See DESIGN.md §4 and EXPERIMENTS.md for the calibration
+// audit.
+
+// Henri models the paper's henri nodes: dual Intel Xeon Gold 6140
+// (Skylake-SP) at 2.3 GHz, 36 cores over 4 NUMA nodes (sub-NUMA
+// clustering), 96 GB RAM, InfiniBand ConnectX-4 EDR. This is the
+// machine most figures are measured on.
+func Henri() *NodeSpec {
+	return &NodeSpec{
+		Name:          "henri",
+		Sockets:       2,
+		NUMAPerSocket: 2,
+		CoresPerNUMA:  9,
+		Freq: FreqSpec{
+			CoreMin:  1.0,
+			CoreBase: 2.3,
+			Turbo: [numVecClasses]TurboTable{
+				// Sustained turbo observed in the paper: scalar cores hold
+				// 2.5 GHz regardless of the active-core count (Fig 2, 3).
+				Scalar: {{36, 2.5}},
+				AVX2:   {{4, 2.5}, {36, 2.3}},
+				// AVX-512 licence: few active cores boost to 3.0 GHz,
+				// 20 active cores run at 2.3 GHz (Fig 3b, 3c).
+				AVX512: {{4, 3.0}, {8, 2.7}, {16, 2.4}, {36, 2.3}},
+			},
+			UncoreMin: 1.2,
+			UncoreMax: 2.4,
+		},
+		Mem: MemSpec{
+			CtrlGBs:             50,
+			LinkGBs:             25, // effective UPI throughput between the sockets
+			MeshGBs:             60, // SNC halves of one socket
+			StreamPerCoreGBs:    12,
+			LocalLatencyNs:      80,
+			RemoteLatencyNs:     150,
+			ContentionK:         1.2,
+			ContentionMaxFactor: 3.0,
+			StreamEfficiency:    0.008,
+			UncoreLatFactor:     0.25,
+		},
+		NIC: NICSpec{
+			NUMA:                 0,
+			WireGBs:              10.9, // EDR: 10.5 GB/s observed asymptote incl. overheads
+			WireLatencyNs:        320,
+			PCIeGBs:              15.75, // PCIe 3.0 x16
+			SendCycles:           1150,
+			RecvCycles:           1150,
+			SendMemAccesses:      2,
+			RecvMemAccesses:      2,
+			NoiseFrac:            0.02,
+			DMAPriority:          1.0,
+			DMAPriorityPerStream: 0.06,
+			EagerMax:             32 << 10,
+			RegisterCyclesPerKB:  40,
+		},
+		FlopsPerCycle:       [numVecClasses]float64{Scalar: 4, AVX2: 16, AVX512: 32},
+		RuntimeCyclesPerMsg: 73000, // +38 µs at 2.5 GHz (§5.2)
+		Hyperthreading:      false,
+	}
+}
+
+// Bora models the bora nodes: dual Intel Xeon Gold 6240 (Cascade Lake)
+// at 2.6 GHz, 36 cores over 2 NUMA nodes, 192 GB RAM, Intel Omni-Path
+// 100. Omni-Path's onload protocol shows a wide bandwidth deviation and
+// computations are impacted once they spill onto the socket driving
+// communication (§3.2); the network bandwidth is impacted later than on
+// henri (from ~20 computing cores, §4.2) because each of the two big
+// NUMA nodes has the full socket's controller bandwidth.
+func Bora() *NodeSpec {
+	return &NodeSpec{
+		Name:          "bora",
+		Sockets:       2,
+		NUMAPerSocket: 1,
+		CoresPerNUMA:  18,
+		Freq: FreqSpec{
+			CoreMin:  1.0,
+			CoreBase: 2.6,
+			Turbo: [numVecClasses]TurboTable{
+				Scalar: {{36, 2.8}},
+				AVX2:   {{4, 2.8}, {36, 2.6}},
+				AVX512: {{4, 3.1}, {8, 2.8}, {16, 2.6}, {36, 2.5}},
+			},
+			UncoreMin: 1.2,
+			UncoreMax: 2.4,
+		},
+		Mem: MemSpec{
+			CtrlGBs:             105, // 6 × DDR4-2933 per socket
+			LinkGBs:             25,
+			MeshGBs:             60,
+			StreamPerCoreGBs:    13,
+			LocalLatencyNs:      80,
+			RemoteLatencyNs:     140,
+			ContentionK:         1.2,
+			ContentionMaxFactor: 3.0,
+			StreamEfficiency:    0.008,
+			UncoreLatFactor:     0.25,
+		},
+		NIC: NICSpec{
+			NUMA:          0,
+			WireGBs:       10.4, // Omni-Path 100
+			WireLatencyNs: 680,
+			PCIeGBs:       15.75,
+			SendCycles:    1250,
+			RecvCycles:    1250,
+			// Omni-Path is an onload design: the CPU touches memory more
+			// per message, and compute threads on the NIC socket feel it
+			// (§3.2's compute slowdown beyond 15 cores).
+			SendMemAccesses:      4,
+			RecvMemAccesses:      4,
+			NoiseFrac:            0.10,
+			DMAPriority:          1.0,
+			DMAPriorityPerStream: 0.06,
+			EagerMax:             32 << 10,
+			RegisterCyclesPerKB:  40,
+		},
+		FlopsPerCycle:       [numVecClasses]float64{Scalar: 4, AVX2: 16, AVX512: 32},
+		RuntimeCyclesPerMsg: 73000,
+		Hyperthreading:      false,
+	}
+}
+
+// Billy models the billy nodes: dual AMD EPYC 7502 (Zen2 Rome) at
+// 2.5 GHz, 64 cores over 8 NUMA nodes (NPS4), 128 GB RAM, InfiniBand
+// ConnectX-6 HDR. The StarPU latency overhead is +23 µs (§5.2); worker
+// polling does not measurably disturb communications on this machine
+// (§5.4), which we model with cheap, NUMA-local queue polling (see
+// taskrt); the compute/memory ridge sits near 20 flop/B (§4.5).
+func Billy() *NodeSpec {
+	return &NodeSpec{
+		Name:          "billy",
+		Sockets:       2,
+		NUMAPerSocket: 4,
+		CoresPerNUMA:  8,
+		Freq: FreqSpec{
+			CoreMin:  1.5,
+			CoreBase: 2.5,
+			Turbo: [numVecClasses]TurboTable{
+				Scalar: {{64, 3.0}},
+				AVX2:   {{64, 2.9}},
+				// Zen2 has no AVX-512; 256-bit datapath, no licence drop.
+				AVX512: {{64, 2.9}},
+			},
+			UncoreMin: 1.2,
+			UncoreMax: 2.33, // Infinity Fabric clock
+		},
+		Mem: MemSpec{
+			CtrlGBs:             38, // 2 channels DDR4-3200 per NPS4 quadrant
+			LinkGBs:             30, // xGMI between the sockets
+			MeshGBs:             50, // infinity fabric between NPS4 quadrants
+			StreamPerCoreGBs:    21,
+			LocalLatencyNs:      90,
+			RemoteLatencyNs:     200,
+			ContentionK:         1.2,
+			ContentionMaxFactor: 3.0,
+			StreamEfficiency:    0.008,
+			UncoreLatFactor:     0.25,
+		},
+		NIC: NICSpec{
+			NUMA:                 0,
+			WireGBs:              24.0, // HDR 200 Gb/s
+			WireLatencyNs:        600,
+			PCIeGBs:              31.5, // PCIe 4.0 x16
+			SendCycles:           1100,
+			RecvCycles:           1100,
+			SendMemAccesses:      2,
+			RecvMemAccesses:      2,
+			NoiseFrac:            0.02,
+			DMAPriority:          1.0,
+			DMAPriorityPerStream: 0.06,
+			EagerMax:             32 << 10,
+			RegisterCyclesPerKB:  40,
+		},
+		// Zen2: 2×256-bit FMA pipes.
+		FlopsPerCycle:       [numVecClasses]float64{Scalar: 4, AVX2: 16, AVX512: 16},
+		RuntimeCyclesPerMsg: 63000, // +23 µs at ~2.7 GHz (§5.2)
+		Hyperthreading:      true,
+	}
+}
+
+// Pyxis models the pyxis nodes: dual Cavium/Marvell ThunderX2 99xx at
+// 2.5 GHz, 64 cores over 2 NUMA nodes, 256 GB RAM, InfiniBand
+// ConnectX-6 EDR. StarPU latency overhead is +45 µs (§5.2); like billy,
+// polling workers do not disturb communications.
+func Pyxis() *NodeSpec {
+	return &NodeSpec{
+		Name:          "pyxis",
+		Sockets:       2,
+		NUMAPerSocket: 1,
+		CoresPerNUMA:  32,
+		Freq: FreqSpec{
+			CoreMin:  1.0,
+			CoreBase: 2.5,
+			Turbo: [numVecClasses]TurboTable{
+				Scalar: {{64, 2.5}},
+				AVX2:   {{64, 2.5}}, // NEON-class, no licence mechanism
+				AVX512: {{64, 2.5}},
+			},
+			UncoreMin: 1.1,
+			UncoreMax: 2.2,
+		},
+		Mem: MemSpec{
+			CtrlGBs:             120, // 8 × DDR4-2666 per socket
+			LinkGBs:             30,  // CCPI2 between the sockets
+			MeshGBs:             60,
+			StreamPerCoreGBs:    10,
+			LocalLatencyNs:      110,
+			RemoteLatencyNs:     220,
+			ContentionK:         1.2,
+			ContentionMaxFactor: 3.0,
+			StreamEfficiency:    0.008,
+			UncoreLatFactor:     0.25,
+		},
+		NIC: NICSpec{
+			NUMA:                 0,
+			WireGBs:              10.9,
+			WireLatencyNs:        620,
+			PCIeGBs:              15.75,
+			SendCycles:           1900, // weaker single-thread performance
+			RecvCycles:           1900,
+			SendMemAccesses:      2,
+			RecvMemAccesses:      2,
+			NoiseFrac:            0.02,
+			DMAPriority:          1.0,
+			DMAPriorityPerStream: 0.06,
+			EagerMax:             32 << 10,
+			RegisterCyclesPerKB:  40,
+		},
+		// 2×128-bit NEON pipes.
+		FlopsPerCycle:       [numVecClasses]float64{Scalar: 4, AVX2: 8, AVX512: 8},
+		RuntimeCyclesPerMsg: 84000, // +45 µs at 2.5 GHz (§5.2)
+		Hyperthreading:      true,
+	}
+}
+
+// Presets returns all cluster presets keyed by name.
+func Presets() map[string]*NodeSpec {
+	return map[string]*NodeSpec{
+		"henri": Henri(),
+		"bora":  Bora(),
+		"billy": Billy(),
+		"pyxis": Pyxis(),
+	}
+}
+
+// Preset returns the named preset, or nil if unknown.
+func Preset(name string) *NodeSpec { return Presets()[name] }

@@ -1,0 +1,264 @@
+// Package topology describes the hardware of the simulated clusters:
+// sockets, NUMA nodes, cores, memory controllers, inter-NUMA links, and
+// the NIC, plus the frequency and throughput parameters that calibrate
+// the performance models.
+//
+// Presets reproduce the four clusters of the paper (§2.2): henri (dual
+// Xeon Gold 6140, 4 NUMA nodes, InfiniBand EDR), bora (dual Xeon Gold
+// 6240, 2 NUMA nodes, Omni-Path), billy (dual EPYC 7502 Zen2, 8 NUMA
+// nodes, InfiniBand HDR) and pyxis (dual ThunderX2, 2 NUMA nodes,
+// InfiniBand EDR).
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VecClass is the widest vector instruction class a kernel uses; it
+// selects both the flops/cycle throughput and the frequency license.
+type VecClass int
+
+const (
+	// Scalar covers ordinary integer/FP code (no wide vectors).
+	Scalar VecClass = iota
+	// AVX2 covers 256-bit vector code (or NEON-class on ARM).
+	AVX2
+	// AVX512 covers 512-bit vector code, with its heavier licence.
+	AVX512
+	numVecClasses
+)
+
+func (v VecClass) String() string {
+	switch v {
+	case Scalar:
+		return "scalar"
+	case AVX2:
+		return "avx2"
+	case AVX512:
+		return "avx512"
+	}
+	return fmt.Sprintf("VecClass(%d)", int(v))
+}
+
+// GHz expresses frequencies in the spec tables.
+type GHz = float64
+
+// TurboTable gives the per-core frequency limit as a function of the
+// number of active cores running a given vector class. Steps must be
+// sorted by ascending MaxActive; the last entry is the all-core limit
+// and must have MaxActive ≥ the node's core count.
+type TurboTable []TurboStep
+
+// TurboStep is one row of a TurboTable.
+type TurboStep struct {
+	MaxActive int // applies while active cores ≤ MaxActive
+	Freq      GHz
+}
+
+// Limit returns the frequency limit for `active` running cores.
+func (t TurboTable) Limit(active int) GHz {
+	for _, s := range t {
+		if active <= s.MaxActive {
+			return s.Freq
+		}
+	}
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].Freq
+}
+
+// FreqSpec describes a node's frequency domains.
+type FreqSpec struct {
+	// CoreMin/CoreBase are the lowest (idle/powersave) and nominal core
+	// frequencies; userspace governors may pin anywhere in
+	// [CoreMin, CoreBase].
+	CoreMin, CoreBase GHz
+	// Turbo maps active-core count to the frequency ceiling, per vector
+	// class, when turbo-boost is enabled.
+	Turbo [numVecClasses]TurboTable
+	// UncoreMin/UncoreMax bound the uncore (LLC + memory controller)
+	// frequency domain.
+	UncoreMin, UncoreMax GHz
+}
+
+// NICSpec describes the network interface of a node.
+type NICSpec struct {
+	// NUMA is the NUMA node the NIC's PCIe root port hangs off.
+	NUMA int
+	// WireGBs is the asymptotic link throughput in GB/s (e.g. EDR ≈ 12.5
+	// raw, ~10.5 effective).
+	WireGBs float64
+	// WireLatencyNs is the one-way hardware latency (switch + cable +
+	// NIC-to-NIC), in nanoseconds.
+	WireLatencyNs float64
+	// PCIeGBs is the PCIe link throughput between NIC and memory system.
+	PCIeGBs float64
+	// SendCycles/RecvCycles are the CPU cycles of the software send/recv
+	// overhead (the LogP "o"), spent on the core driving communication.
+	SendCycles, RecvCycles float64
+	// SendMemAccesses/RecvMemAccesses are the number of memory/uncore
+	// round-trips on the critical path of a small message (doorbells,
+	// descriptor reads/writes, CQ polling). Each costs the load-dependent
+	// memory access latency, so this term couples small-message latency
+	// to memory contention and to thread placement.
+	SendMemAccesses, RecvMemAccesses float64
+	// NoiseFrac is the relative amplitude of the run-to-run jitter on
+	// communication timings (Omni-Path shows a much wider deviation than
+	// InfiniBand in the paper).
+	NoiseFrac float64
+	// DMAPriority is the NIC DMA engine's arbitration advantage over core
+	// streams at the memory controller (≥ 1) when uncontended.
+	DMAPriority float64
+	// DMAPriorityPerStream adds to the DMA arbitration priority per
+	// concurrent core stream on the crossed controller. Hardware DMA
+	// engines retain a guaranteed service share as core pressure grows,
+	// so their effective priority rises with contention; this knob
+	// calibrates how much (see DESIGN.md §4).
+	DMAPriorityPerStream float64
+	// EagerMax is the largest message size (bytes) sent eagerly; larger
+	// messages use the rendezvous protocol.
+	EagerMax int
+	// RegisterCyclesPerKB is the memory-registration (pin-down) cost for
+	// rendezvous buffers, amortised by the registration cache.
+	RegisterCyclesPerKB float64
+}
+
+// MemSpec describes a node's memory system.
+type MemSpec struct {
+	// CtrlGBs is each NUMA node's memory-controller bandwidth in GB/s at
+	// UncoreMax (it scales with uncore frequency).
+	CtrlGBs float64
+	// LinkGBs is the cross-socket (UPI/xGMI/CCPI) bandwidth, in GB/s.
+	// All traffic between two sockets shares this one resource — the
+	// physical reality behind Fig 4a's latency jump once computing cores
+	// spill onto the communication thread's socket.
+	LinkGBs float64
+	// MeshGBs is the on-die bandwidth between two NUMA nodes of the
+	// same socket (sub-NUMA clustering halves); each intra-socket pair
+	// gets its own resource of this capacity.
+	MeshGBs float64
+	// StreamPerCoreGBs is the maximum bandwidth a single core can draw
+	// (limited by its load/store units and MSHRs).
+	StreamPerCoreGBs float64
+	// LocalLatencyNs / RemoteLatencyNs are uncontended access latencies.
+	LocalLatencyNs, RemoteLatencyNs float64
+	// ContentionK scales how fast access latency grows with bus
+	// utilization: lat = base × (1 + K·ρ²/(1−ρ)), capped.
+	ContentionK float64
+	// ContentionMaxFactor caps the per-resource latency inflation factor.
+	ContentionMaxFactor float64
+	// StreamEfficiency is the per-concurrent-stream loss of effective
+	// controller capacity (bank conflicts, row-buffer interference):
+	// C_eff = CtrlGBs / (1 + StreamEfficiency·(nStreams−1)).
+	StreamEfficiency float64
+	// UncoreLatFactor is the fraction of the memory access latency that
+	// scales with the inverse uncore frequency: lat(f) = base × (1 +
+	// UncoreLatFactor·(UncoreMax/f − 1)). The paper finds uncore
+	// frequency has only a small (≈5%) effect on small-message latency.
+	UncoreLatFactor float64
+}
+
+// NodeSpec is the full description of one machine model.
+type NodeSpec struct {
+	Name          string
+	Sockets       int
+	NUMAPerSocket int
+	CoresPerNUMA  int
+	Freq          FreqSpec
+	Mem           MemSpec
+	NIC           NICSpec
+	// FlopsPerCycle gives per-core flops/cycle per vector class
+	// (double precision, FMA counted as 2).
+	FlopsPerCycle [numVecClasses]float64
+	// RuntimeCyclesPerMsg is the CPU cost of the task-based runtime's
+	// software path for one message (submission, dependency resolution,
+	// scheduler push/pop, worker handoff, communication-thread
+	// processing). Calibrated against §5.2: +38 µs on henri, +23 µs on
+	// billy, +45 µs on pyxis.
+	RuntimeCyclesPerMsg float64
+	// Hyperthreading reports whether SMT is enabled (it is disabled on
+	// henri and bora; we model one hardware thread per core everywhere,
+	// the flag is kept for documentation and validation).
+	Hyperthreading bool
+}
+
+// Cores returns the total number of cores of the node.
+func (s *NodeSpec) Cores() int { return s.Sockets * s.NUMAPerSocket * s.CoresPerNUMA }
+
+// NUMANodes returns the number of NUMA nodes.
+func (s *NodeSpec) NUMANodes() int { return s.Sockets * s.NUMAPerSocket }
+
+// NUMAOfCore returns the NUMA node a core belongs to. Cores are numbered
+// NUMA-major: cores [0, CoresPerNUMA) are NUMA 0, etc., matching the
+// "logical core numbering order" binding used in the paper's benchmarks.
+func (s *NodeSpec) NUMAOfCore(core int) int {
+	if core < 0 || core >= s.Cores() {
+		panic(fmt.Sprintf("topology: core %d out of range [0,%d)", core, s.Cores()))
+	}
+	return core / s.CoresPerNUMA
+}
+
+// SocketOfNUMA returns the socket a NUMA node belongs to.
+func (s *NodeSpec) SocketOfNUMA(numa int) int {
+	if numa < 0 || numa >= s.NUMANodes() {
+		panic(fmt.Sprintf("topology: NUMA %d out of range [0,%d)", numa, s.NUMANodes()))
+	}
+	return numa / s.NUMAPerSocket
+}
+
+// LastCoreOfNUMA returns the highest-numbered core of a NUMA node; the
+// paper binds the communication thread to "the last core of the other
+// NUMA node".
+func (s *NodeSpec) LastCoreOfNUMA(numa int) int {
+	return (numa+1)*s.CoresPerNUMA - 1
+}
+
+// Validate checks internal consistency of the spec.
+func (s *NodeSpec) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	check(s.Name != "", "missing name")
+	check(s.Sockets > 0, "sockets = %d", s.Sockets)
+	check(s.NUMAPerSocket > 0, "NUMA/socket = %d", s.NUMAPerSocket)
+	check(s.CoresPerNUMA > 0, "cores/NUMA = %d", s.CoresPerNUMA)
+	check(s.Freq.CoreMin > 0 && s.Freq.CoreMin <= s.Freq.CoreBase,
+		"core freq range [%v,%v]", s.Freq.CoreMin, s.Freq.CoreBase)
+	check(s.Freq.UncoreMin > 0 && s.Freq.UncoreMin <= s.Freq.UncoreMax,
+		"uncore freq range [%v,%v]", s.Freq.UncoreMin, s.Freq.UncoreMax)
+	for c := Scalar; c < numVecClasses; c++ {
+		tt := s.Freq.Turbo[c]
+		check(len(tt) > 0, "missing %v turbo table", c)
+		prev := 0
+		for i, step := range tt {
+			check(step.MaxActive > prev, "%v turbo table step %d not ascending", c, i)
+			check(step.Freq > 0, "%v turbo table step %d freq %v", c, i, step.Freq)
+			prev = step.MaxActive
+		}
+		if len(tt) > 0 {
+			check(tt[len(tt)-1].MaxActive >= s.Cores(),
+				"%v turbo table does not cover %d cores", c, s.Cores())
+		}
+		check(s.FlopsPerCycle[c] > 0, "flops/cycle for %v", c)
+	}
+	check(s.Mem.CtrlGBs > 0, "controller bandwidth %v", s.Mem.CtrlGBs)
+	check(s.Mem.LinkGBs > 0, "cross-socket bandwidth %v", s.Mem.LinkGBs)
+	check(s.Mem.MeshGBs > 0, "intra-socket mesh bandwidth %v", s.Mem.MeshGBs)
+	check(s.Mem.StreamPerCoreGBs > 0, "per-core stream bandwidth %v", s.Mem.StreamPerCoreGBs)
+	check(s.Mem.LocalLatencyNs > 0 && s.Mem.RemoteLatencyNs >= s.Mem.LocalLatencyNs,
+		"memory latencies local %v remote %v", s.Mem.LocalLatencyNs, s.Mem.RemoteLatencyNs)
+	check(s.Mem.ContentionMaxFactor >= 1, "contention cap %v", s.Mem.ContentionMaxFactor)
+	check(s.NIC.NUMA >= 0 && s.NIC.NUMA < s.NUMANodes(), "NIC NUMA %d", s.NIC.NUMA)
+	check(s.NIC.WireGBs > 0, "wire bandwidth %v", s.NIC.WireGBs)
+	check(s.NIC.PCIeGBs > 0, "PCIe bandwidth %v", s.NIC.PCIeGBs)
+	check(s.NIC.WireLatencyNs > 0, "wire latency %v", s.NIC.WireLatencyNs)
+	check(s.NIC.SendCycles > 0 && s.NIC.RecvCycles > 0,
+		"software overheads send %v recv %v", s.NIC.SendCycles, s.NIC.RecvCycles)
+	check(s.NIC.DMAPriority >= 1, "DMA priority %v", s.NIC.DMAPriority)
+	return errors.Join(errs...)
+}

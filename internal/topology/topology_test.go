@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, spec := range Presets() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	cases := []struct {
+		spec  *NodeSpec
+		cores int
+		numa  int
+	}{
+		{Henri(), 36, 4},
+		{Bora(), 36, 2},
+		{Billy(), 64, 8},
+		{Pyxis(), 64, 2},
+	}
+	for _, c := range cases {
+		if got := c.spec.Cores(); got != c.cores {
+			t.Errorf("%s: cores = %d, want %d", c.spec.Name, got, c.cores)
+		}
+		if got := c.spec.NUMANodes(); got != c.numa {
+			t.Errorf("%s: NUMA nodes = %d, want %d", c.spec.Name, got, c.numa)
+		}
+	}
+}
+
+func TestNUMAOfCoreMapping(t *testing.T) {
+	h := Henri()
+	// 9 cores per NUMA node, NUMA-major numbering.
+	for _, tc := range []struct{ core, numa int }{
+		{0, 0}, {8, 0}, {9, 1}, {17, 1}, {18, 2}, {35, 3},
+	} {
+		if got := h.NUMAOfCore(tc.core); got != tc.numa {
+			t.Errorf("NUMAOfCore(%d) = %d, want %d", tc.core, got, tc.numa)
+		}
+	}
+}
+
+func TestNUMAOfCorePanicsOutOfRange(t *testing.T) {
+	h := Henri()
+	for _, core := range []int{-1, 36, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NUMAOfCore(%d) did not panic", core)
+				}
+			}()
+			h.NUMAOfCore(core)
+		}()
+	}
+}
+
+func TestSocketOfNUMA(t *testing.T) {
+	h := Henri() // 2 NUMA per socket
+	for _, tc := range []struct{ numa, socket int }{{0, 0}, {1, 0}, {2, 1}, {3, 1}} {
+		if got := h.SocketOfNUMA(tc.numa); got != tc.socket {
+			t.Errorf("SocketOfNUMA(%d) = %d, want %d", tc.numa, got, tc.socket)
+		}
+	}
+	b := Bora() // 1 NUMA per socket
+	if b.SocketOfNUMA(1) != 1 {
+		t.Error("bora SocketOfNUMA(1) != 1")
+	}
+}
+
+func TestLastCoreOfNUMA(t *testing.T) {
+	h := Henri()
+	if got := h.LastCoreOfNUMA(1); got != 17 {
+		t.Errorf("LastCoreOfNUMA(1) = %d, want 17", got)
+	}
+	if got := h.LastCoreOfNUMA(3); got != 35 {
+		t.Errorf("LastCoreOfNUMA(3) = %d, want 35", got)
+	}
+}
+
+func TestTurboTableLimit(t *testing.T) {
+	tt := TurboTable{{4, 3.0}, {8, 2.7}, {16, 2.4}, {36, 2.3}}
+	for _, tc := range []struct {
+		active int
+		want   GHz
+	}{
+		{1, 3.0}, {4, 3.0}, {5, 2.7}, {8, 2.7}, {9, 2.4}, {16, 2.4}, {17, 2.3}, {36, 2.3}, {40, 2.3},
+	} {
+		if got := tt.Limit(tc.active); got != tc.want {
+			t.Errorf("Limit(%d) = %v, want %v", tc.active, got, tc.want)
+		}
+	}
+	var empty TurboTable
+	if empty.Limit(1) != 0 {
+		t.Error("empty table should return 0")
+	}
+}
+
+func TestHenriAVXLicenceMatchesPaper(t *testing.T) {
+	// Fig 3: 4 AVX-512 cores run at 3.0 GHz, 20 at 2.3 GHz.
+	h := Henri()
+	if got := h.Freq.Turbo[AVX512].Limit(4); got != 3.0 {
+		t.Errorf("AVX512 limit(4) = %v, want 3.0", got)
+	}
+	if got := h.Freq.Turbo[AVX512].Limit(20); got != 2.3 {
+		t.Errorf("AVX512 limit(20) = %v, want 2.3", got)
+	}
+	// Scalar comm core holds 2.5 GHz in both cases.
+	if got := h.Freq.Turbo[Scalar].Limit(21); got != 2.5 {
+		t.Errorf("scalar limit(21) = %v, want 2.5", got)
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	s := Henri()
+	s.Sockets = 0
+	if s.Validate() == nil {
+		t.Error("zero sockets accepted")
+	}
+	s = Henri()
+	s.NIC.NUMA = 99
+	if s.Validate() == nil {
+		t.Error("out-of-range NIC NUMA accepted")
+	}
+	s = Henri()
+	s.Freq.Turbo[Scalar] = TurboTable{{2, 2.5}} // does not cover 36 cores
+	if s.Validate() == nil {
+		t.Error("short turbo table accepted")
+	}
+	s = Henri()
+	s.Mem.RemoteLatencyNs = 1 // below local
+	if s.Validate() == nil {
+		t.Error("remote < local latency accepted")
+	}
+}
+
+// Property: every core maps to a valid NUMA node and the mapping is
+// surjective onto [0, NUMANodes).
+func TestPropertyCoreNUMAMapping(t *testing.T) {
+	for name, spec := range Presets() {
+		seen := make(map[int]bool)
+		for c := 0; c < spec.Cores(); c++ {
+			n := spec.NUMAOfCore(c)
+			if n < 0 || n >= spec.NUMANodes() {
+				t.Fatalf("%s: core %d maps to NUMA %d", name, c, n)
+			}
+			seen[n] = true
+		}
+		if len(seen) != spec.NUMANodes() {
+			t.Errorf("%s: only %d of %d NUMA nodes have cores", name, len(seen), spec.NUMANodes())
+		}
+	}
+}
+
+// Property: turbo limits never increase with more active cores.
+func TestPropertyTurboMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%64)+1, int(b%64)+1
+		if x > y {
+			x, y = y, x
+		}
+		for _, spec := range Presets() {
+			for c := Scalar; c < numVecClasses; c++ {
+				if spec.Freq.Turbo[c].Limit(x) < spec.Freq.Turbo[c].Limit(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more numeric series as an ASCII line chart, so
+// the harness can show a figure's *shape* directly in the terminal
+// (medians only; the tables carry the full data).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area size in characters; zero
+	// values default to 64×16.
+	Width, Height int
+	// LogX plots the x axis in log scale (message-size sweeps).
+	LogX bool
+
+	xs     []float64
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	ys     []float64
+}
+
+// markers cycles through per-series point markers.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// NewChart creates a chart over the given x positions.
+func NewChart(title string, xs []float64) *Chart {
+	return &Chart{Title: title, Width: 64, Height: 16, xs: xs}
+}
+
+// AddSeries appends a named series; ys must align with the chart's xs.
+func (c *Chart) AddSeries(name string, ys []float64) *Chart {
+	if len(ys) != len(c.xs) {
+		panic(fmt.Sprintf("trace: series %q has %d points, chart has %d", name, len(ys), len(c.xs)))
+	}
+	c.series = append(c.series, chartSeries{
+		name:   name,
+		marker: markers[len(c.series)%len(markers)],
+		ys:     ys,
+	})
+	return c
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.xs) == 0 || len(c.series) == 0 {
+		_, err := io.WriteString(w, c.Title+" (no data)\n")
+		return err
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xpos := make([]float64, len(c.xs))
+	copy(xpos, c.xs)
+	if c.LogX {
+		for i, x := range xpos {
+			if x <= 0 {
+				x = 1e-12
+			}
+			xpos[i] = math.Log(x)
+		}
+	}
+	xmin, xmax := minMax(xpos)
+	var ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		lo, hi := minMax(s.ys)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-1, xmax+1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		f := (x - xmin) / (xmax - xmin)
+		p := int(f * float64(width-1))
+		return clampInt(p, 0, width-1)
+	}
+	row := func(y float64) int {
+		f := (y - ymin) / (ymax - ymin)
+		p := int(f * float64(height-1))
+		return clampInt(height-1-p, 0, height-1)
+	}
+	for _, s := range c.series {
+		// Connect consecutive points with linear interpolation so the
+		// shape reads as a curve, then overlay the point markers.
+		for i := 1; i < len(xpos); i++ {
+			c0, r0 := col(xpos[i-1]), row(s.ys[i-1])
+			c1, r1 := col(xpos[i]), row(s.ys[i])
+			steps := absInt(c1-c0) + absInt(r1-r0)
+			for t := 0; t <= steps; t++ {
+				f := 0.0
+				if steps > 0 {
+					f = float64(t) / float64(steps)
+				}
+				cc := c0 + int(f*float64(c1-c0)+0.5)
+				rr := r0 + int(f*float64(r1-r0)+0.5)
+				if grid[rr][cc] == ' ' {
+					grid[rr][cc] = '.'
+				}
+			}
+		}
+		for i := range xpos {
+			grid[row(s.ys[i])][col(xpos[i])] = s.marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	yfmt := func(v float64) string { return fmt.Sprintf("%9.3g", v) }
+	for r, line := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = yfmt(ymax)
+		case height - 1:
+			label = yfmt(ymin)
+		case (height - 1) / 2:
+			label = yfmt((ymin + ymax) / 2)
+		}
+		b.WriteString(label + " |" + string(line) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	xl, xr := c.xs[0], c.xs[len(c.xs)-1]
+	axis := fmt.Sprintf("%-12.4g", xl)
+	pad := width - len(axis) + 12 - len(fmt.Sprintf("%.4g", xr))
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(" ", 10) + axis + strings.Repeat(" ", pad) + fmt.Sprintf("%.4g", xr) + "\n")
+	if c.XLabel != "" || c.YLabel != "" {
+		b.WriteString(fmt.Sprintf("%12s x: %s   y: %s\n", "", c.XLabel, c.YLabel))
+	}
+	for _, s := range c.series {
+		b.WriteString(fmt.Sprintf("%12s %c %s\n", "", s.marker, s.name))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return fmt.Sprintf("trace: %v", err)
+	}
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersAllSeriesMarkers(t *testing.T) {
+	ch := NewChart("demo", []float64{1, 2, 3, 4})
+	ch.AddSeries("up", []float64{1, 2, 3, 4})
+	ch.AddSeries("down", []float64{4, 3, 2, 1})
+	out := ch.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing series markers:\n%s", out)
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
+func TestChartShapeTopBottom(t *testing.T) {
+	ch := NewChart("", []float64{0, 1})
+	ch.Width, ch.Height = 20, 5
+	ch.AddSeries("rise", []float64{0, 10})
+	lines := strings.Split(strings.TrimRight(ch.String(), "\n"), "\n")
+	// First plot row holds the max (right end), last plot row the min
+	// (left end).
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("max not on top row:\n%s", ch)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "10") {
+		t.Fatalf("top label not ymax:\n%s", lines[0])
+	}
+}
+
+func TestChartLogXHandlesWideRanges(t *testing.T) {
+	xs := []float64{4, 4096, 4 << 20}
+	ch := NewChart("sizes", xs)
+	ch.LogX = true
+	ch.AddSeries("lat", []float64{1, 2, 100})
+	out := ch.String()
+	if len(out) == 0 || !strings.Contains(out, "sizes") {
+		t.Fatal("log-x chart failed to render")
+	}
+}
+
+func TestChartFlatSeriesDoesNotDivideByZero(t *testing.T) {
+	ch := NewChart("flat", []float64{1, 2, 3})
+	ch.AddSeries("const", []float64{5, 5, 5})
+	if out := ch.String(); !strings.Contains(out, "*") {
+		t.Fatalf("flat series missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := NewChart("empty", nil)
+	if !strings.Contains(ch.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	ch := NewChart("bad", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	ch.AddSeries("short", []float64{1})
+}

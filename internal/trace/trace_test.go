@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add(1, 2.5)
+	tb.Add("x,y", `q"u`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.5\n\"x,y\",\"q\"\"u\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableASCIIAligned(t *testing.T) {
+	tb := NewTable("Demo", "col", "value")
+	tb.Add("x", 1.0)
+	tb.Add("longer", 2.0)
+	out := tb.String()
+	if !strings.Contains(out, "Demo\n====") {
+		t.Fatalf("missing title rule:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + rule + 2 rows + title/rule = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Aligned: all data lines have the same column offset for "value".
+	if !strings.HasPrefix(lines[2], "col   ") {
+		t.Fatalf("header misaligned: %q", lines[2])
+	}
+}
+
+func TestAddWrongArityPanics(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	tb.Add(1)
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.Add(10.123456)
+	if tb.Rows[0][0] != "10.12" {
+		t.Fatalf("float formatted as %q", tb.Rows[0][0])
+	}
+	tb.Add(float32(2.0))
+	if tb.Rows[1][0] != "2" {
+		t.Fatalf("float32 formatted as %q", tb.Rows[1][0])
+	}
+}
