@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench results examples fuzz clean
+.PHONY: all build test test-race verify bench results examples fuzz clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,15 +15,25 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-check the whole tree — the parallel experiment runner
+# (internal/runner) fans experiments out over a worker pool, so the
+# tier-1 verify flow runs the suite under the race detector too.
+test-race:
+	$(GO) test -race ./...
+
+# Re-run every experiment and diff against the golden files in results/
+# (non-zero exit + unified diff on drift).
+verify:
+	$(GO) run ./cmd/interference -all -verify -q
+
 # One testing.B benchmark per paper table/figure, with paper-comparable
 # custom metrics (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
 
-# Regenerate every experiment's series into results/ (ASCII tables).
+# Regenerate every experiment's golden file in results/ (ASCII tables).
 results:
-	mkdir -p results
-	$(GO) run ./cmd/interference -exp all -runs 3 -o results -q
+	$(GO) run ./cmd/interference -all -runs 3 -update -q
 
 # Run every example program.
 examples:
@@ -34,9 +44,10 @@ examples:
 	$(GO) run ./examples/autotune
 	$(GO) run ./examples/distributed
 
-# Short fuzz pass over the fluid solver invariants.
+# Short fuzz passes: fluid solver invariants, machine-spec JSON parsing.
 fuzz:
 	$(GO) test ./internal/fluid/ -fuzz FuzzSolverInvariants -fuzztime 30s
+	$(GO) test ./internal/topology/ -fuzz FuzzReadSpec -fuzztime 30s
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -1,12 +1,19 @@
 // Command interference runs the paper's experiments on the simulated
 // clusters and prints the tables/series behind every figure.
 //
+// Experiments are fanned out over a bounded worker pool (each owns an
+// isolated simulated clock, so concurrency never changes the numbers)
+// and results are streamed in registry order: output is byte-identical
+// at every -j value.
+//
 // Usage:
 //
 //	interference -list
 //	interference -cluster henri -exp fig4
 //	interference -cluster billy -exp all -format csv -o results/
 //	interference -cluster henri -exp fig7 -runs 5 -seed 42
+//	interference -all -j 8 -verify      # diff against results/ goldens
+//	interference -all -update           # regenerate results/ goldens
 package main
 
 import (
@@ -15,46 +22,74 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted, so tests can drive the
+// flag handling and exit codes directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("interference", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cluster  = flag.String("cluster", "henri", "cluster preset: henri, bora, billy or pyxis")
-		specFile = flag.String("spec", "", "JSON machine spec file (overrides -cluster; see `topo -json`)")
-		exp      = flag.String("exp", "", "experiment ID (fig1..fig10, tab1, sec5.2) or \"all\"")
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		format   = flag.String("format", "ascii", "output format: ascii or csv")
-		outDir   = flag.String("o", "", "write one file per experiment into this directory instead of stdout")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		runs     = flag.Int("runs", 3, "repetitions per configuration (decile bands)")
-		quiet    = flag.Bool("q", false, "suppress progress messages")
+		cluster  = fs.String("cluster", "henri", "cluster preset: henri, bora, billy or pyxis")
+		specFile = fs.String("spec", "", "JSON machine spec file (overrides -cluster; see `topo -json`)")
+		exp      = fs.String("exp", "", "experiment ID (fig1..fig10, tab1, sec5.2, ...) or \"all\"")
+		all      = fs.Bool("all", false, "run every registered experiment (same as -exp all)")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		format   = fs.String("format", "ascii", "output format: ascii or csv")
+		outDir   = fs.String("o", "", "write one file per experiment into this directory instead of stdout")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		runs     = fs.Int("runs", 3, "repetitions per configuration (decile bands)")
+		jobs     = fs.Int("j", 0, "experiments run concurrently; 0 means GOMAXPROCS")
+		verify   = fs.Bool("verify", false, "re-run experiments and diff against the golden files (exit 1 on drift)")
+		update   = fs.Bool("update", false, "regenerate the golden files from this run")
+		quiet    = fs.Bool("q", false, "suppress progress messages and the summary table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+	if *verify && *update {
+		fmt.Fprintln(stderr, "interference: -verify and -update are mutually exclusive")
+		return 2
+	}
+	if (*verify || *update) && *format != "ascii" {
+		fmt.Fprintln(stderr, "interference: golden files are ascii; -format", *format, "cannot be combined with -verify/-update")
+		return 2
+	}
+	if *all {
+		*exp = "all"
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "interference: -exp is required (or -list); e.g. -exp fig4")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "interference: -exp or -all is required (or -list); e.g. -exp fig4")
+		return 2
 	}
 	env, err := core.Env(*cluster, *seed, *runs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "interference:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "interference:", err)
+		return 2
 	}
 	if *specFile != "" {
 		spec, err := topology.LoadSpecFile(*specFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "interference:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
 		}
 		env.Spec = spec
 		*cluster = spec.Name
@@ -66,42 +101,82 @@ func main() {
 	} else {
 		e, ok := core.ByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "interference: unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "interference: unknown experiment %q; valid IDs: %s\n",
+				*exp, strings.Join(experimentIDs(), ", "))
+			return 2
 		}
 		todo = []core.Experiment{e}
 	}
 
-	for _, e := range todo {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s on %s ...\n", e.ID, *cluster)
+	// The golden directory: -o when given, the checked-in results/
+	// otherwise.
+	goldenDir := *outDir
+	if goldenDir == "" {
+		goldenDir = "results"
+	}
+
+	failed := 0
+	var done []runner.Result
+	for res := range runner.Run(env, todo, runner.Options{Workers: *jobs, Format: *format}) {
+		done = append(done, res)
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(stderr, "interference: %s: %v\n", res.Exp.ID, res.Err)
+			continue
 		}
-		start := time.Now()
-		tables := e.Run(env)
-		var w io.Writer = os.Stdout
-		if *outDir != "" {
+		switch {
+		case *verify:
+			if err := runner.VerifyGolden(goldenDir, *cluster, res); err != nil {
+				failed++
+				fmt.Fprintln(stdout, err)
+			}
+		case *update:
+			if err := runner.UpdateGolden(goldenDir, *cluster, res); err != nil {
+				failed++
+				fmt.Fprintf(stderr, "interference: %s: %v\n", res.Exp.ID, err)
+			}
+		case *outDir != "":
 			ext := ".txt"
 			if *format == "csv" {
 				ext = ".csv"
 			}
-			path := filepath.Join(*outDir, fmt.Sprintf("%s-%s%s", e.ID, *cluster, ext))
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "interference:", err)
-				os.Exit(1)
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(stderr, "interference:", err)
+				return 1
 			}
-			w = f
-			defer f.Close()
-		}
-		if err := core.WriteTables(w, *format, tables); err != nil {
-			fmt.Fprintln(os.Stderr, "interference:", err)
-			os.Exit(1)
-		}
-		if w == os.Stdout {
-			fmt.Println()
+			path := filepath.Join(*outDir, fmt.Sprintf("%s-%s%s", res.Exp.ID, *cluster, ext))
+			if err := os.WriteFile(path, []byte(res.Rendered), 0o644); err != nil {
+				fmt.Fprintln(stderr, "interference:", err)
+				return 1
+			}
+		default:
+			fmt.Fprint(stdout, res.Rendered)
+			fmt.Fprintln(stdout)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "%s done in %v (wall)\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "%s on %s done in %v (wall), %.3gs simulated across %d worlds\n",
+				res.Exp.ID, *cluster, res.Metrics.Wall.Round(time.Millisecond),
+				res.Metrics.SimSeconds, res.Metrics.Worlds)
 		}
 	}
+	if !*quiet && len(done) > 1 {
+		fmt.Fprintln(stderr)
+		if err := core.WriteTables(stderr, "ascii", []*trace.Table{runner.Summary(done)}); err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "interference: %d of %d experiments failed\n", failed, len(done))
+		return 1
+	}
+	return 0
+}
+
+// experimentIDs lists every registered experiment ID in order.
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range core.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() and returns exit code, stdout, stderr.
+func runCLI(args ...string) (int, string, string) {
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUnknownExperimentListsValidIDs(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "zzz")
+	if code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(stderr, "valid IDs") {
+		t.Fatalf("error does not announce the valid-ID list: %q", stderr)
+	}
+	for _, id := range []string{"fig1", "fig10", "tab1", "sec5.2", "ext-collectives"} {
+		if !strings.Contains(stderr, id) {
+			t.Fatalf("valid-ID list missing %s: %q", id, stderr)
+		}
+	}
+}
+
+func TestVerifyUpdateMutuallyExclusive(t *testing.T) {
+	code, _, stderr := runCLI("-all", "-verify", "-update")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestGoldenModesRejectCSV(t *testing.T) {
+	for _, mode := range []string{"-verify", "-update"} {
+		code, _, stderr := runCLI("-all", mode, "-format", "csv")
+		if code != 2 || !strings.Contains(stderr, "ascii") {
+			t.Fatalf("%s -format csv: exit %d, stderr %q", mode, code, stderr)
+		}
+	}
+}
+
+func TestMissingExperimentFlag(t *testing.T) {
+	code, _, stderr := runCLI()
+	if code != 2 || !strings.Contains(stderr, "-exp") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUnknownCluster(t *testing.T) {
+	code, _, stderr := runCLI("-cluster", "atlantis", "-exp", "fig3")
+	if code != 2 || !strings.Contains(stderr, "atlantis") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	if code, _, _ := runCLI("-no-such-flag"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	code, stdout, _ := runCLI("-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"fig1", "fig10", "tab1", "ext-tuner"} {
+		if !strings.Contains(stdout, id) {
+			t.Fatalf("-list missing %s:\n%s", id, stdout)
+		}
+	}
+}
+
+// TestGoldenWorkflow exercises the full loop on one cheap experiment:
+// -update writes the golden, -verify passes, corrupting the golden makes
+// -verify fail with a unified diff and exit 1.
+func TestGoldenWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig3", "-runs", "1", "-j", "2", "-q", "-o", dir}
+
+	code, _, stderr := runCLI(append(args, "-update")...)
+	if code != 0 {
+		t.Fatalf("update failed (%d): %s", code, stderr)
+	}
+	golden := filepath.Join(dir, "fig3-henri.txt")
+	if _, err := os.Stat(golden); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, _, stderr := runCLI(append(args, "-verify")...); code != 0 {
+		t.Fatalf("verify failed (%d): %s", code, stderr)
+	}
+
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(golden, append(data, "tampered\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCLI(append(args, "-verify")...)
+	if code != 1 {
+		t.Fatalf("verify of tampered golden exited %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "@@") || !strings.Contains(stdout, "-tampered") {
+		t.Fatalf("verify did not print a unified diff:\n%s", stdout)
+	}
+}
+
+// TestStdoutDeterministicAcrossJobs renders one experiment to stdout at
+// -j 1 and -j 4 and demands identical bytes.
+func TestStdoutDeterministicAcrossJobs(t *testing.T) {
+	_, out1, _ := runCLI("-exp", "sec5.2", "-runs", "1", "-j", "1", "-q")
+	code, out4, _ := runCLI("-exp", "sec5.2", "-runs", "1", "-j", "4", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out1 == "" || out1 != out4 {
+		t.Fatalf("stdout differs between -j 1 and -j 4:\n%q\n%q", out1, out4)
+	}
+}

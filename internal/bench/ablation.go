@@ -62,9 +62,11 @@ func Ablation(env Env) *trace.Table {
 	t := trace.NewTable("Ablation — Fig 4 full-load point with one model mechanism disabled at a time",
 		"variant", "latency_factor", "bandwidth_drop_%", "stream_GBps_per_core", "note")
 	for _, c := range ablationCases() {
-		spec := clone(env.Spec)
+		spec := env.Spec.Clone()
 		c.Mutate(spec)
-		caseEnv := Env{Spec: spec, Seed: env.Seed, Runs: 1}
+		caseEnv := env
+		caseEnv.Spec = spec
+		caseEnv.Runs = 1
 		pts := Fig4Contention(caseEnv, ContentionConfig{
 			Data: Near, CommThread: Far, CoreCounts: []int{spec.Cores() - 1},
 		})
@@ -80,14 +82,4 @@ func Ablation(env Env) *trace.Table {
 		t.Add(c.Name, latFactor, bwDrop, pt.Bandwidth.ComputeTogether.Median/1e9, c.Doc)
 	}
 	return t
-}
-
-// clone deep-copies a node spec so ablations never leak into the
-// caller's environment.
-func clone(s *topology.NodeSpec) *topology.NodeSpec {
-	out := *s
-	for c := range out.Freq.Turbo {
-		out.Freq.Turbo[c] = append(topology.TurboTable(nil), s.Freq.Turbo[c]...)
-	}
-	return &out
 }

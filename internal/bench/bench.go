@@ -31,6 +31,27 @@ type Env struct {
 	// Runs is how many times each configuration is repeated to build the
 	// decile bands.
 	Runs int
+	// Meter, when non-nil, is notified of every simulated world the
+	// drivers build, for per-experiment accounting (world count, total
+	// simulated seconds). Nil disables accounting.
+	Meter *Meter
+}
+
+// Isolated returns a copy of the environment that shares no mutable
+// state with the receiver: the spec is deep-copied and the copy gets
+// its own fresh Meter. Concurrent experiments must each run against
+// their own isolated Env.
+func (e Env) Isolated() Env {
+	e.Spec = e.Spec.Clone()
+	e.Meter = &Meter{}
+	return e
+}
+
+// track registers a freshly built world's kernel with the meter.
+func (e Env) track(k *sim.Kernel) {
+	if e.Meter != nil {
+		e.Meter.track(k)
+	}
 }
 
 // DefaultEnv returns the environment used by the harness: the henri
@@ -131,9 +152,11 @@ func computeCores(spec *topology.NodeSpec, n, commCore int) []int {
 	return cores
 }
 
-// newWorld builds a fresh cluster + network + MPI world for one run.
-func newWorld(spec *topology.NodeSpec, seed int64) (*machine.Cluster, *mpi.World) {
-	c := machine.NewCluster(spec, 2, seed)
+// newWorld builds a fresh cluster + network + MPI world for one run and
+// registers it with the environment's meter.
+func newWorld(env Env, seed int64) (*machine.Cluster, *mpi.World) {
+	c := machine.NewCluster(env.Spec, 2, seed)
+	env.track(c.K)
 	return c, mpi.NewWorld(c, net.New(c))
 }
 
@@ -169,7 +192,7 @@ func Interference(env Env, comm CommConfig, comp ComputeConfig) InterferenceResu
 
 		// Step 1: computation without communication.
 		if comp.Cores > 0 {
-			c, w := newWorld(env.Spec, seed)
+			c, w := newWorld(env, seed)
 			cores := computeCores(env.Spec, comp.Cores, pickCommCore(w, comm))
 			iters := comp.MinIters
 			if iters <= 0 {
@@ -193,7 +216,7 @@ func Interference(env Env, comm CommConfig, comp ComputeConfig) InterferenceResu
 
 		// Step 2: communication without computation.
 		{
-			c, w := newWorld(env.Spec, seed)
+			c, w := newWorld(env, seed)
 			pp := applyComm(w, comm)
 			var lats []sim.Duration
 			c.K.Spawn("init", func(p *sim.Proc) { lats = pp.Initiate(p, w.Rank(0), 1) })
@@ -206,7 +229,7 @@ func Interference(env Env, comm CommConfig, comp ComputeConfig) InterferenceResu
 
 		// Step 3: computation with side-by-side communication.
 		{
-			c, w := newWorld(env.Spec, seed)
+			c, w := newWorld(env, seed)
 			pp := applyComm(w, comm)
 			commDone := false
 			cores := computeCores(env.Spec, comp.Cores, w.Rank(0).CommCore)

@@ -28,7 +28,7 @@ func ExtEnergy(env Env) *trace.Table {
 	}
 	for _, ph := range phases {
 		for _, ghz := range []float64{env.Spec.Freq.CoreMin, env.Spec.Freq.CoreBase} {
-			c, w := newWorld(env.Spec, env.Seed)
+			c, w := newWorld(env, env.Seed)
 			for i := 0; i < 2; i++ {
 				r := w.Rank(i)
 				r.SetCommCore(env.Spec.LastCoreOfNUMA(env.Spec.NIC.NUMA))

@@ -42,9 +42,10 @@ func extCGApp(spec *topology.NodeSpec) func() *taskrt.App {
 // number of workers").
 func ExtTuner(env Env) *trace.Table {
 	res := tuning.WorkerSweep(tuning.Options{
-		Spec: env.Spec,
-		Seed: env.Seed,
-		App:  extCGApp(env.Spec),
+		Spec:  env.Spec,
+		Track: env.track,
+		Seed:  env.Seed,
+		App:   extCGApp(env.Spec),
 	})
 	t := trace.NewTable("EXT — §8 worker-count autotuning on a CG-like application",
 		"workers", "iteration_ms", "send_bandwidth_MBps", "memory_stall_%", "best")
@@ -67,6 +68,7 @@ func ExtThrottle(env Env) *trace.Table {
 	for _, throttle := range []int{0, 8, 16, 24} {
 		res := tuning.WorkerSweep(tuning.Options{
 			Spec:         env.Spec,
+			Track:        env.track,
 			Seed:         env.Seed,
 			App:          extCGApp(env.Spec),
 			WorkerCounts: []int{30},
@@ -96,6 +98,7 @@ func ExtScheduler(env Env) *trace.Table {
 	for _, pol := range []taskrt.SchedulerPolicy{taskrt.EagerFIFO, taskrt.NUMALocal} {
 		res := tuning.WorkerSweep(tuning.Options{
 			Spec:         env.Spec,
+			Track:        env.track,
 			Seed:         env.Seed,
 			App:          spreadApp,
 			WorkerCounts: []int{30},
@@ -114,7 +117,7 @@ func ExtOverlap(env Env) *trace.Table {
 	t := trace.NewTable("EXT — communication/computation overlap (after Denis & Trahay [7])",
 		"size_B", "comm_alone_us", "compute_alone_us", "together_us", "overlap_ratio")
 	for _, size := range []int64{64 << 10, 1 << 20, 16 << 20, 64 << 20} {
-		c, w := newWorld(env.Spec, env.Seed)
+		c, w := newWorld(env, env.Seed)
 		// Computation sized to the nominal transfer time at wire speed.
 		transferSecs := float64(size) / (env.Spec.NIC.WireGBs * 1e9)
 		flops := transferSecs * 2.5e9 * env.Spec.FlopsPerCycle[topology.Scalar]

@@ -42,7 +42,7 @@ func Fig1Frequencies(env Env, sizes []int64) []FrequencyPoint {
 			for _, size := range sizes {
 				var lats []float64
 				for run := 0; run < env.runs(); run++ {
-					c, w := newWorld(spec, env.Seed+int64(run))
+					c, w := newWorld(env, env.Seed+int64(run))
 					for i := 0; i < 2; i++ {
 						r := w.Rank(i)
 						r.SetCommCore(spec.LastCoreOfNUMA(spec.NIC.NUMA))
@@ -116,7 +116,7 @@ func Fig2FrequencyTrace(env Env) Fig2Result {
 
 	// (A) communication only: latency benchmark, trace frequencies.
 	{
-		c, w := newWorld(spec, env.Seed)
+		c, w := newWorld(env, env.Seed)
 		pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: 4, Iters: 30, Warmup: 5})
 		w.Rank(0).Node.Freq.StartTrace()
 		var lats []sim.Duration
@@ -130,7 +130,7 @@ func Fig2FrequencyTrace(env Env) Fig2Result {
 
 	// (B) idle: all cores asleep.
 	{
-		c, w := newWorld(spec, env.Seed)
+		c, w := newWorld(env, env.Seed)
 		n := w.Rank(0).Node
 		n.Freq.StartTrace()
 		c.K.Spawn("sleep", func(p *sim.Proc) { p.Sleep(sim.Duration(10 * sim.Millisecond)) })
@@ -140,7 +140,7 @@ func Fig2FrequencyTrace(env Env) Fig2Result {
 
 	// (C) communication + 20 computing cores.
 	{
-		c, w := newWorld(spec, env.Seed)
+		c, w := newWorld(env, env.Seed)
 		pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: 4, Iters: 30, Warmup: 5})
 		n := w.Rank(0).Node
 		n.Freq.StartTrace()
@@ -220,7 +220,7 @@ func Fig3AVX(env Env, coreCounts []int) []Fig3Result {
 			LatencyWith:      r.CommTogether,
 		}
 		// Probe the frequencies in the side-by-side state.
-		c, w := newWorld(env.Spec, env.Seed)
+		c, w := newWorld(env, env.Seed)
 		n := w.Rank(0).Node
 		for _, core := range computeCores(env.Spec, nc, w.Rank(0).CommCore) {
 			n.Freq.SetActive(core, topology.AVX512)

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Meter accumulates execution accounting for one experiment: every
+// simulated world the drivers build registers its kernel, so that after
+// the experiment returns the harness can report how many worlds were
+// simulated and how much simulated time they covered. A Meter is safe
+// for concurrent use, but the usual pattern is one Meter per experiment
+// (see Env.Isolated and the runner package).
+type Meter struct {
+	mu      sync.Mutex
+	kernels []*sim.Kernel
+}
+
+func (m *Meter) track(k *sim.Kernel) {
+	m.mu.Lock()
+	m.kernels = append(m.kernels, k)
+	m.mu.Unlock()
+}
+
+// Worlds returns how many simulated worlds have been built so far.
+func (m *Meter) Worlds() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.kernels)
+}
+
+// SimSeconds returns the total simulated time covered by the tracked
+// worlds. Call it after the experiment returns: each driver runs its
+// kernels to completion, so Now() is each world's end time.
+func (m *Meter) SimSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total float64
+	for _, k := range m.kernels {
+		total += sim.Duration(k.Now()).Seconds()
+	}
+	return total
+}

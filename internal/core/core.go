@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/topology"
@@ -57,6 +58,17 @@ func Env(cluster string, seed int64, runs int) (bench.Env, error) {
 		return bench.Env{}, fmt.Errorf("core: unknown cluster %q (have henri, bora, billy, pyxis)", cluster)
 	}
 	return bench.Env{Spec: spec, Seed: seed, Runs: runs}, nil
+}
+
+// RenderTables renders tables to a string in the chosen format ("ascii"
+// or "csv"). The string is exactly what WriteTables would emit, which
+// is also the byte-for-byte content of the golden files in results/.
+func RenderTables(format string, tables []*trace.Table) (string, error) {
+	var b strings.Builder
+	if err := WriteTables(&b, format, tables); err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // WriteTables renders tables to w in the chosen format ("ascii" or

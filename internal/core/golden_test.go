@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// -update regenerates the golden files instead of diffing against them:
+//
+//	go test ./internal/core -run TestGoldenFiles -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files in results/ from this run")
+
+// TestGoldenFiles is the regression lock on the reproduction: it re-runs
+// every registered experiment on the henri preset with the same seed and
+// repetition count that produced the checked-in results/ files and
+// demands byte-identical rendered tables. Any model, kernel, or
+// rendering change that moves a number shows up here as a unified diff.
+func TestGoldenFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign against results/; skipped with -short")
+	}
+	// Seed 1, 3 runs: the parameters of `make results`.
+	env, err := core.Env("henri", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("..", "..", "results")
+	n := 0
+	for res := range runner.Run(env, core.Experiments(), runner.Options{}) {
+		res := res
+		n++
+		t.Run(res.Exp.ID, func(t *testing.T) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if *updateGolden {
+				if err := runner.UpdateGolden(dir, "henri", res); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err := runner.VerifyGolden(dir, "henri", res); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if want := len(core.Experiments()); n != want {
+		t.Fatalf("campaign yielded %d results, want %d", n, want)
+	}
+}
+
+// TestGoldenFilesBilly locks the four experiments whose billy-cluster
+// outputs are also checked in (the paper reports them on both machines).
+func TestGoldenFilesBilly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("billy campaign against results/; skipped with -short")
+	}
+	env, err := core.Env("billy", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []core.Experiment
+	for _, id := range []string{"fig4", "fig7", "fig10", "sec5.2"} {
+		e, ok := core.ByID(id)
+		if !ok {
+			t.Fatalf("%s missing from registry", id)
+		}
+		exps = append(exps, e)
+	}
+	dir := filepath.Join("..", "..", "results")
+	for res := range runner.Run(env, exps, runner.Options{}) {
+		res := res
+		t.Run(res.Exp.ID, func(t *testing.T) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if *updateGolden {
+				if err := runner.UpdateGolden(dir, "billy", res); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err := runner.VerifyGolden(dir, "billy", res); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

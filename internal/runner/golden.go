@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// Golden files pin every experiment's rendered output so that model or
+// harness changes cannot drift silently: `interference -verify` and the
+// regression tests re-run the experiments and diff against these files,
+// and `interference -update` regenerates them.
+
+// GoldenPath returns the golden file for an experiment on a cluster,
+// e.g. results/fig4-henri.txt.
+func GoldenPath(dir, id, cluster string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%s.txt", id, cluster))
+}
+
+// VerifyGolden compares a result's rendering against its golden file.
+// On mismatch the error carries a unified diff (golden on the - side,
+// regenerated output on the + side). A missing golden file is an error
+// too: every experiment of a campaign must be pinned.
+func VerifyGolden(dir, cluster string, r Result) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	path := GoldenPath(dir, r.Exp.ID, cluster)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("runner: %s has no golden file (run with -update to create it): %w", r.Exp.ID, err)
+	}
+	if d := trace.UnifiedDiff(path, r.Exp.ID+" (regenerated)", string(want), r.Rendered); d != "" {
+		return fmt.Errorf("runner: %s output drifted from %s:\n%s", r.Exp.ID, path, d)
+	}
+	return nil
+}
+
+// UpdateGolden (re)writes a result's golden file.
+func UpdateGolden(dir, cluster string, r Result) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(GoldenPath(dir, r.Exp.ID, cluster), []byte(r.Rendered), 0o644)
+}

@@ -1,0 +1,170 @@
+// Package runner is the concurrent campaign engine: it fans a list of
+// experiments out over a bounded worker pool while keeping the output
+// deterministic. Each experiment runs against an isolated environment
+// (deep-copied spec, fresh meter, the same seed — see bench.Env.Isolated),
+// so workers share no mutable state, and results are streamed back in
+// the order the experiments were submitted regardless of completion
+// order: the rendering of a campaign is byte-identical at every worker
+// count.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Options configures one campaign.
+type Options struct {
+	// Workers bounds how many experiments run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Format selects the rendering ("ascii" or "csv"); "" means ascii.
+	Format string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// Exp is the experiment that ran; Index its position in the
+	// submitted slice (results arrive in ascending Index order).
+	Exp   core.Experiment
+	Index int
+	// Tables are the experiment's result tables; Rendered is their
+	// Options.Format rendering.
+	Tables   []*trace.Table
+	Rendered string
+	// Err is non-nil when the experiment panicked or failed to render;
+	// the other workers keep running.
+	Err error
+	// Metrics is the per-experiment accounting.
+	Metrics Metrics
+}
+
+// Metrics summarises one experiment's execution.
+type Metrics struct {
+	ID string
+	// Wall is the host time the experiment took.
+	Wall time.Duration
+	// SimSeconds is the total simulated time across the experiment's
+	// worlds; Worlds how many worlds it built.
+	SimSeconds float64
+	Worlds     int
+	// Tables and Rows count the result set.
+	Tables, Rows int
+}
+
+// Run executes exps over a bounded worker pool and returns a channel
+// that yields one Result per experiment, in the order of exps. The
+// channel is closed after the last result. Each experiment gets its own
+// isolated copy of env, so env itself is never mutated.
+func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	format := opts.Format
+	if format == "" {
+		format = "ascii"
+	}
+
+	// One buffered slot per experiment lets workers finish out of order
+	// while the collector drains strictly in submission order.
+	slots := make([]chan Result, len(exps))
+	for i := range slots {
+		slots[i] = make(chan Result, 1)
+	}
+	jobs := make(chan int)
+	go func() {
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				slots[i] <- runOne(env, exps[i], i, format)
+			}
+		}()
+	}
+	out := make(chan Result)
+	go func() {
+		for _, slot := range slots {
+			out <- <-slot
+		}
+		close(out)
+	}()
+	return out
+}
+
+// Collect drains a Run channel into a slice (convenience for callers
+// that do not need streaming).
+func Collect(results <-chan Result) []Result {
+	var out []Result
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}
+
+// runOne executes a single experiment against an isolated environment,
+// converting panics into errors so one broken experiment cannot take
+// down the campaign.
+func runOne(env bench.Env, e core.Experiment, index int, format string) Result {
+	res := Result{Exp: e, Index: index}
+	iso := env.Isolated()
+	start := time.Now()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				res.Err = fmt.Errorf("runner: experiment %s panicked: %v", e.ID, p)
+			}
+		}()
+		res.Tables = e.Run(iso)
+		res.Rendered, res.Err = core.RenderTables(format, res.Tables)
+	}()
+	res.Metrics = Metrics{
+		ID:         e.ID,
+		Wall:       time.Since(start),
+		SimSeconds: iso.Meter.SimSeconds(),
+		Worlds:     iso.Meter.Worlds(),
+		Tables:     len(res.Tables),
+	}
+	for _, t := range res.Tables {
+		res.Metrics.Rows += len(t.Rows)
+	}
+	return res
+}
+
+// Summary renders the per-experiment metrics of a campaign as a table:
+// wall-clock, simulated time, world count, and result-set size, plus a
+// totals row.
+func Summary(results []Result) *trace.Table {
+	t := trace.NewTable("Runner summary (per experiment)",
+		"experiment", "status", "wall_ms", "sim_s", "worlds", "tables", "rows")
+	var wall time.Duration
+	var sim float64
+	var worlds, tables, rows int
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "error"
+		}
+		m := r.Metrics
+		t.Add(m.ID, status, float64(m.Wall.Milliseconds()), m.SimSeconds, m.Worlds, m.Tables, m.Rows)
+		wall += m.Wall
+		sim += m.SimSeconds
+		worlds += m.Worlds
+		tables += m.Tables
+		rows += m.Rows
+	}
+	t.Add("TOTAL", "-", float64(wall.Milliseconds()), sim, worlds, tables, rows)
+	return t
+}

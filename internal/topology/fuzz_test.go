@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSpec feeds arbitrary bytes through the `-spec` JSON loading
+// path and checks that it either rejects the input with an error or
+// yields a spec whose basic invariants hold and that survives a
+// marshal/parse round-trip. Malformed machine-spec files must never
+// panic the CLI.
+func FuzzReadSpec(f *testing.F) {
+	for _, spec := range Presets() {
+		data, err := spec.MarshalJSON()
+		if err != nil {
+			f.Fatalf("marshal preset %s: %v", spec.Name, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"name":"x","sockets":-3}`))
+	f.Add([]byte(`{"name":"x","sockets":99999999,"numaPerSocket":99999999,"coresPerNUMA":99999999}`))
+	f.Add([]byte(`{"name":"x","freq":{"turbo":{"quantum":[{"maxActive":1,"freq":2}]}}}`))
+	f.Add([]byte(`{"name":"x","nic":{"numa":1000}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted specs must be safe to interrogate.
+		if s.Cores() <= 0 {
+			t.Fatalf("validated spec has %d cores", s.Cores())
+		}
+		if n := s.NUMANodes(); n <= 0 {
+			t.Fatalf("validated spec has %d NUMA nodes", n)
+		}
+		for core := 0; core < s.Cores(); core += 1 + s.CoresPerNUMA/2 {
+			numa := s.NUMAOfCore(core)
+			s.SocketOfNUMA(numa)
+			if last := s.LastCoreOfNUMA(numa); last < core {
+				t.Fatalf("last core of NUMA %d is %d, before core %d", numa, last, core)
+			}
+		}
+		if s.NIC.NUMA < 0 || s.NIC.NUMA >= s.NUMANodes() {
+			t.Fatalf("validated spec has NIC on NUMA %d of %d", s.NIC.NUMA, s.NUMANodes())
+		}
+		// Round-trip: writing the accepted spec and reading it back must
+		// reproduce the same machine shape.
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, s); err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		s2, err := ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if s2.Name != s.Name || s2.Cores() != s.Cores() || s2.NUMANodes() != s.NUMANodes() {
+			t.Fatalf("round-trip changed shape: %q %d/%d → %q %d/%d",
+				s.Name, s.Cores(), s.NUMANodes(), s2.Name, s2.Cores(), s2.NUMANodes())
+		}
+	})
+}

@@ -184,6 +184,17 @@ type NodeSpec struct {
 	Hyperthreading bool
 }
 
+// Clone returns a deep copy of the spec: mutating the copy (turbo
+// tables included) never affects the original, so concurrent
+// experiments can each own one spec without synchronisation.
+func (s *NodeSpec) Clone() *NodeSpec {
+	c := *s
+	for i, tt := range s.Freq.Turbo {
+		c.Freq.Turbo[i] = append(TurboTable(nil), tt...)
+	}
+	return &c
+}
+
 // Cores returns the total number of cores of the node.
 func (s *NodeSpec) Cores() int { return s.Sockets * s.NUMAPerSocket * s.CoresPerNUMA }
 
@@ -215,6 +226,14 @@ func (s *NodeSpec) LastCoreOfNUMA(numa int) int {
 	return (numa+1)*s.CoresPerNUMA - 1
 }
 
+// Sanity ceilings for machine shapes; generous for any real node, tight
+// enough that Sockets×NUMAPerSocket×CoresPerNUMA cannot overflow.
+const (
+	maxSockets       = 64
+	maxNUMAPerSocket = 64
+	maxCoresPerNUMA  = 1 << 12
+)
+
 // Validate checks internal consistency of the spec.
 func (s *NodeSpec) Validate() error {
 	var errs []error
@@ -224,9 +243,12 @@ func (s *NodeSpec) Validate() error {
 		}
 	}
 	check(s.Name != "", "missing name")
-	check(s.Sockets > 0, "sockets = %d", s.Sockets)
-	check(s.NUMAPerSocket > 0, "NUMA/socket = %d", s.NUMAPerSocket)
-	check(s.CoresPerNUMA > 0, "cores/NUMA = %d", s.CoresPerNUMA)
+	// Upper bounds keep Cores() far from integer overflow and reject
+	// absurd machine-spec files before they can stall or panic anything
+	// downstream (specs arrive unchecked from `-spec` JSON files).
+	check(s.Sockets > 0 && s.Sockets <= maxSockets, "sockets = %d", s.Sockets)
+	check(s.NUMAPerSocket > 0 && s.NUMAPerSocket <= maxNUMAPerSocket, "NUMA/socket = %d", s.NUMAPerSocket)
+	check(s.CoresPerNUMA > 0 && s.CoresPerNUMA <= maxCoresPerNUMA, "cores/NUMA = %d", s.CoresPerNUMA)
 	check(s.Freq.CoreMin > 0 && s.Freq.CoreMin <= s.Freq.CoreBase,
 		"core freq range [%v,%v]", s.Freq.CoreMin, s.Freq.CoreBase)
 	check(s.Freq.UncoreMin > 0 && s.Freq.UncoreMin <= s.Freq.UncoreMax,

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff compares two rendered outputs line by line and returns a
+// unified diff (the `diff -u` format: ---/+++ headers, @@ hunks with
+// three lines of context). It returns "" when the inputs are equal.
+// The golden-file verification of cmd/interference and the regression
+// tests use it to report exactly which table rows drifted.
+func UnifiedDiff(wantName, gotName, want, got string) string {
+	if want == got {
+		return ""
+	}
+	a := splitLines(want)
+	b := splitLines(got)
+	ops := diffOps(a, b)
+
+	const context = 3
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- %s\n+++ %s\n", wantName, gotName)
+	for h := 0; h < len(ops); {
+		// Skip runs of equal lines between hunks.
+		if ops[h].kind == opEqual {
+			h++
+			continue
+		}
+		// Grow the hunk: from the first change, extend until `context`
+		// equal lines separate it from the next change.
+		start := h
+		end := h
+		for i := h; i < len(ops); i++ {
+			if ops[i].kind != opEqual {
+				end = i
+			} else if i-end > 2*context {
+				break
+			}
+		}
+		first := max(0, start-context)
+		last := min(len(ops), end+1+context)
+
+		aStart, bStart := ops[first].aLine, ops[first].bLine
+		var aCount, bCount int
+		var body strings.Builder
+		for _, op := range ops[first:last] {
+			switch op.kind {
+			case opEqual:
+				body.WriteString(" " + op.text + "\n")
+				aCount++
+				bCount++
+			case opDelete:
+				body.WriteString("-" + op.text + "\n")
+				aCount++
+			case opInsert:
+				body.WriteString("+" + op.text + "\n")
+				bCount++
+			}
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		out.WriteString(body.String())
+		h = last
+	}
+	return out.String()
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opInsert
+)
+
+// diffOp is one line of the edit script, tagged with the 0-based line
+// numbers it starts at in each input.
+type diffOp struct {
+	kind         opKind
+	text         string
+	aLine, bLine int
+}
+
+// diffOps computes a line-level edit script via the classic LCS dynamic
+// program. Rendered tables are at most a few thousand lines, so the
+// quadratic table is far from being a bottleneck.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = length of the LCS of a[i:] and b[j:].
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{opInsert, b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opInsert, b[j], i, j})
+	}
+	return ops
+}
+
+// splitLines splits on '\n' without manufacturing a trailing empty
+// line for newline-terminated input.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}

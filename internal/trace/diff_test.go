@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnifiedDiffEqual(t *testing.T) {
+	s := "a\nb\nc\n"
+	if d := UnifiedDiff("want", "got", s, s); d != "" {
+		t.Fatalf("diff of equal inputs:\n%s", d)
+	}
+	if d := UnifiedDiff("want", "got", "", ""); d != "" {
+		t.Fatalf("diff of empty inputs:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffSingleChange(t *testing.T) {
+	want := "a\nb\nc\nd\ne\nf\ng\nh\ni\nj\n"
+	got := "a\nb\nc\nd\nE\nf\ng\nh\ni\nj\n"
+	expect := strings.Join([]string{
+		"--- want",
+		"+++ got",
+		"@@ -2,7 +2,7 @@",
+		" b",
+		" c",
+		" d",
+		"-e",
+		"+E",
+		" f",
+		" g",
+		" h",
+		"",
+	}, "\n")
+	if d := UnifiedDiff("want", "got", want, got); d != expect {
+		t.Fatalf("diff mismatch:\ngot:\n%s\nexpect:\n%s", d, expect)
+	}
+}
+
+func TestUnifiedDiffInsertDelete(t *testing.T) {
+	want := "1\n2\n3\n"
+	got := "1\n3\n4\n"
+	d := UnifiedDiff("want", "got", want, got)
+	for _, line := range []string{"-2", "+4", " 1", " 3"} {
+		if !strings.Contains(d, line+"\n") {
+			t.Fatalf("diff missing %q:\n%s", line, d)
+		}
+	}
+}
+
+func TestUnifiedDiffSeparateHunks(t *testing.T) {
+	// Two changes separated by far more than 2×context must produce two
+	// hunks; adjacent changes a single one.
+	var a, b []string
+	for i := 0; i < 30; i++ {
+		a = append(a, "line")
+		b = append(b, "line")
+	}
+	b[0] = "first"
+	b[29] = "last"
+	d := UnifiedDiff("want", "got", strings.Join(a, "\n")+"\n", strings.Join(b, "\n")+"\n")
+	if n := strings.Count(d, "@@ -"); n != 2 {
+		t.Fatalf("want 2 hunks, got %d:\n%s", n, d)
+	}
+	if !strings.Contains(d, "+first\n") || !strings.Contains(d, "+last\n") {
+		t.Fatalf("hunks missing changes:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffNoTrailingNewline(t *testing.T) {
+	d := UnifiedDiff("want", "got", "a\nb", "a\nc")
+	if !strings.Contains(d, "-b\n") || !strings.Contains(d, "+c\n") {
+		t.Fatalf("diff of non-terminated input:\n%s", d)
+	}
+}

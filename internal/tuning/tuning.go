@@ -19,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/net"
+	"repro/internal/sim"
 	"repro/internal/taskrt"
 	"repro/internal/topology"
 )
@@ -37,6 +38,9 @@ type Options struct {
 	// Scheduler and CommThrottle configure the runtime under test.
 	Scheduler    taskrt.SchedulerPolicy
 	CommThrottle int
+	// Track, when non-nil, is called with the kernel of every simulated
+	// world the sweep builds (campaign accounting; see bench.Meter).
+	Track func(*sim.Kernel)
 }
 
 // Point is one sweep measurement.
@@ -74,6 +78,9 @@ func defaultCounts(spec *topology.NodeSpec) []int {
 func runOnce(o Options, nworkers int) Point {
 	spec := o.Spec
 	c := machine.NewCluster(spec, 2, o.Seed)
+	if o.Track != nil {
+		o.Track(c.K)
+	}
 	w := mpi.NewWorld(c, net.New(c))
 	commCore := spec.LastCoreOfNUMA(spec.NUMANodes() - 1)
 	var workers []int
