@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench results examples fuzz clean
+.PHONY: all build test test-race verify bench results faults examples fuzz clean
 
 all: build vet test test-race
 
@@ -34,6 +34,11 @@ bench:
 # Regenerate every experiment's golden file in results/ (ASCII tables).
 results:
 	$(GO) run ./cmd/interference -all -runs 3 -update -q
+
+# Run the fault-injection experiment family (ping-pong and overlap
+# under the built-in fault-intensity sweep; see EXPERIMENTS.md).
+faults:
+	$(GO) run ./cmd/interference -exp faults
 
 # Run every example program.
 examples:

@@ -22,10 +22,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -50,10 +52,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outDir   = fs.String("o", "", "write one file per experiment into this directory instead of stdout")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		runs     = fs.Int("runs", 3, "repetitions per configuration (decile bands)")
-		jobs     = fs.Int("j", 0, "experiments run concurrently; 0 means GOMAXPROCS")
+		jobs     = fs.Int("j", runtime.GOMAXPROCS(0), "experiments run concurrently (must be >= 1)")
 		verify   = fs.Bool("verify", false, "re-run experiments and diff against the golden files (exit 1 on drift)")
 		update   = fs.Bool("update", false, "regenerate the golden files from this run")
 		quiet    = fs.Bool("q", false, "suppress progress messages and the summary table")
+		faults   = fs.String("faults", "", "fault schedule spec, e.g. \"loss:p=0.1;degrade:factor=0.5\" (see fault.ParseSpec); defaults -exp to the faults family")
+		timeout  = fs.Duration("timeout", 0, "per-experiment wall-clock deadline; 0 disables")
+		retry    = fs.Int("retry", 0, "extra attempts for a failed experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,8 +70,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "interference: -j %d is invalid: need at least one worker\n", *jobs)
+		return 2
+	}
+	if *retry < 0 {
+		fmt.Fprintf(stderr, "interference: -retry %d is invalid: need a non-negative attempt count\n", *retry)
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(stderr, "interference: -timeout %v is invalid: need a non-negative duration\n", *timeout)
+		return 2
+	}
 	if *verify && *update {
 		fmt.Fprintln(stderr, "interference: -verify and -update are mutually exclusive")
+		return 2
+	}
+	if *faults != "" && (*verify || *update) {
+		fmt.Fprintln(stderr, "interference: -faults cannot be combined with -verify/-update (goldens are recorded under the built-in schedules)")
 		return 2
 	}
 	if (*verify || *update) && *format != "ascii" {
@@ -75,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *all {
 		*exp = "all"
+	}
+	if *exp == "" && *faults != "" {
+		*exp = "faults"
 	}
 	if *exp == "" {
 		fmt.Fprintln(stderr, "interference: -exp or -all is required (or -list); e.g. -exp fig4")
@@ -95,10 +119,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*cluster = spec.Name
 	}
 
+	if *faults != "" {
+		sched, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		env.Faults = sched
+	}
+
 	var todo []core.Experiment
-	if *exp == "all" {
+	switch *exp {
+	case "all":
 		todo = core.Experiments()
-	} else {
+	case "faults":
+		for _, id := range core.FaultFamily() {
+			e, _ := core.ByID(id)
+			todo = append(todo, e)
+		}
+	default:
 		e, ok := core.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(stderr, "interference: unknown experiment %q; valid IDs: %s\n",
@@ -117,7 +156,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	failed := 0
 	var done []runner.Result
-	for res := range runner.Run(env, todo, runner.Options{Workers: *jobs, Format: *format}) {
+	opts := runner.Options{Workers: *jobs, Format: *format, Deadline: *timeout, Retries: *retry}
+	for res := range runner.Run(env, todo, opts) {
 		done = append(done, res)
 		if res.Err != nil {
 			failed++
@@ -154,9 +194,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 		if !*quiet {
-			fmt.Fprintf(stderr, "%s on %s done in %v (wall), %.3gs simulated across %d worlds\n",
+			line := fmt.Sprintf("%s on %s done in %v (wall), %.3gs simulated across %d worlds",
 				res.Exp.ID, *cluster, res.Metrics.Wall.Round(time.Millisecond),
 				res.Metrics.SimSeconds, res.Metrics.Worlds)
+			if ft := res.Metrics.Faults; ft.Any() {
+				line += fmt.Sprintf("; faults: %.0f retries, %.0f timeouts, %.0f lost, %.0f corrupted",
+					ft.SendRetries, ft.SendTimeouts+ft.RecvTimeouts, ft.MsgsLost, ft.MsgsCorrupted)
+			}
+			fmt.Fprintln(stderr, line)
 		}
 	}
 	if !*quiet && len(done) > 1 {
@@ -166,7 +211,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(stderr, "interference: %d of %d experiments failed\n", failed, len(done))
+		// Recap after the summary table, so a long campaign's failures
+		// are visible without scrolling back through the stream.
+		fmt.Fprintf(stderr, "\ninterference: %d of %d experiments failed:\n", failed, len(done))
+		for _, res := range done {
+			if res.Err != nil {
+				fmt.Fprintf(stderr, "  %-16s %v (after %d attempt(s))\n", res.Exp.ID, res.Err, res.Metrics.Attempts)
+			}
+		}
 		return 1
 	}
 	return 0

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -35,6 +36,12 @@ type Env struct {
 	// drivers build, for per-experiment accounting (world count, total
 	// simulated seconds). Nil disables accounting.
 	Meter *Meter
+	// Faults, when non-nil, is installed into every world the drivers
+	// build: each run gets a fresh fault.Injector seeded from the run's
+	// world seed, so injection composes with the usual seed+run
+	// reproducibility. Nil runs healthy worlds with an unchanged event
+	// sequence.
+	Faults *fault.Schedule
 }
 
 // Isolated returns a copy of the environment that shares no mutable
@@ -153,11 +160,22 @@ func computeCores(spec *topology.NodeSpec, n, commCore int) []int {
 }
 
 // newWorld builds a fresh cluster + network + MPI world for one run and
-// registers it with the environment's meter.
+// registers it with the environment's meter. When the environment
+// carries a fault schedule, a fresh injector (seeded from this world's
+// seed) is installed on the network before the MPI world binds to it.
 func newWorld(env Env, seed int64) (*machine.Cluster, *mpi.World) {
 	c := machine.NewCluster(env.Spec, 2, seed)
 	env.track(c.K)
-	return c, mpi.NewWorld(c, net.New(c))
+	nw := net.New(c)
+	if env.Faults != nil {
+		nw.InstallFaults(fault.NewInjector(c, env.Faults, seed))
+	}
+	if env.Meter != nil {
+		for _, n := range c.Nodes {
+			env.Meter.TrackCounters(n.Counters)
+		}
+	}
+	return c, mpi.NewWorld(c, nw)
 }
 
 // applyComm binds the communication threads and builds the ping-pong.

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// This file implements the `faults` experiment family: the paper's
+// ping-pong and overlap benchmarks re-run under deterministic fault
+// schedules, showing how latency, bandwidth and overlap degrade as the
+// fabric misbehaves — and how much recovery work (retransmissions,
+// timeouts) the communication layer performs to hide it.
+
+// FaultIntensitySchedule maps a scalar intensity x ∈ (0,1] onto a
+// combined fault schedule active for the whole run: transmissions are
+// dropped with probability x/2 and corrupted with probability x/4,
+// while every wire runs at a (1 − x/2) capacity factor. Intensity 0
+// returns nil — the healthy baseline.
+func FaultIntensitySchedule(x float64) *fault.Schedule {
+	if x <= 0 {
+		return nil
+	}
+	// A rendezvous handshake needs both the RTS and the CTS to survive,
+	// so at the top of the sweep (combined drop+corrupt probability
+	// 0.45 per transmission) the default 8-retry budget would exhaust;
+	// the sweep grants a deeper budget so every scenario completes and
+	// the degradation shows up as latency, not as failed experiments.
+	policy := fault.DefaultPolicy()
+	policy.MaxRetries = 20
+	return &fault.Schedule{
+		Events: []fault.Event{
+			{Kind: fault.PacketLoss, Prob: x / 2, Node: -1, From: -1, To: -1},
+			{Kind: fault.PacketCorrupt, Prob: x / 4, Node: -1, From: -1, To: -1},
+			{Kind: fault.LinkDegrade, Factor: 1 - x/2, Node: -1, From: -1, To: -1},
+		},
+		Policy: policy,
+	}
+}
+
+// faultTotals sums the fault/recovery counters over a cluster's nodes.
+func faultTotals(c *machine.Cluster) FaultTotals {
+	var t FaultTotals
+	for _, n := range c.Nodes {
+		t.SendRetries += n.Counters.SendRetries
+		t.SendTimeouts += n.Counters.SendTimeouts
+		t.RecvTimeouts += n.Counters.RecvTimeouts
+		t.MsgsLost += n.Counters.MsgsLost
+		t.MsgsCorrupted += n.Counters.MsgsCorrupted
+	}
+	return t
+}
+
+// runFaultPingPong runs the plain ping-pong (communication only) under
+// the environment's schedule and returns the per-iteration latencies in
+// seconds plus the aggregated recovery counters.
+func runFaultPingPong(env Env, cc CommConfig) ([]float64, FaultTotals) {
+	var lats []float64
+	var tot FaultTotals
+	for run := 0; run < env.runs(); run++ {
+		c, w := newWorld(env, env.Seed+int64(run))
+		pp := applyComm(w, cc)
+		var ls []sim.Duration
+		c.K.Spawn("init", func(p *sim.Proc) { ls = pp.Initiate(p, w.Rank(0), 1) })
+		c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+		c.K.Run()
+		for _, l := range ls {
+			lats = append(lats, l.Seconds())
+		}
+		t := faultTotals(c)
+		tot.SendRetries += t.SendRetries
+		tot.SendTimeouts += t.SendTimeouts
+		tot.RecvTimeouts += t.RecvTimeouts
+		tot.MsgsLost += t.MsgsLost
+		tot.MsgsCorrupted += t.MsgsCorrupted
+	}
+	return lats, tot
+}
+
+// faultScenarios resolves the scenario list: a custom schedule from the
+// environment (the -faults flag) runs alone, otherwise the default
+// intensity sweep.
+func faultScenarios(env Env) []struct {
+	name  string
+	sched *fault.Schedule
+} {
+	type sc = struct {
+		name  string
+		sched *fault.Schedule
+	}
+	if env.Faults != nil {
+		return []sc{{"custom", env.Faults}}
+	}
+	var out []sc
+	for _, x := range []float64{0, 0.1, 0.3, 0.6} {
+		out = append(out, sc{fmt.Sprintf("intensity=%.1f", x), FaultIntensitySchedule(x)})
+	}
+	return out
+}
+
+// FaultsPingPong reports ping-pong latency (4 B) and bandwidth (64 MB)
+// under increasing fault intensity, alongside the recovery work done:
+// retransmissions, expired timeouts, and the transmissions the injector
+// dropped or corrupted.
+func FaultsPingPong(env Env) *trace.Table {
+	t := trace.NewTable("FAULTS — ping-pong under fault injection (loss + corruption + degraded wires)",
+		"scenario", "latency_us", "bandwidth_MBps", "send_retries", "send_timeouts", "msgs_lost", "msgs_corrupted")
+	for _, sc := range faultScenarios(env) {
+		fenv := env
+		fenv.Faults = sc.sched
+		lat, latTot := runFaultPingPong(fenv, LatencyConfig())
+		bw, bwTot := runFaultPingPong(fenv, BandwidthConfig())
+		latMed := stats.Summarize(lat).Median
+		bwMed := stats.Summarize(bw).Median
+		var bwBps float64
+		if bwMed > 0 {
+			bwBps = float64(BandwidthConfig().Size) / bwMed
+		}
+		t.Add(sc.name, latMed*1e6, bwBps/1e6,
+			latTot.SendRetries+bwTot.SendRetries,
+			latTot.SendTimeouts+bwTot.SendTimeouts,
+			latTot.MsgsLost+bwTot.MsgsLost,
+			latTot.MsgsCorrupted+bwTot.MsgsCorrupted)
+	}
+	return t
+}
+
+// FaultsOverlap reports the communication/computation overlap benchmark
+// (after reference [7]) under targeted fault scenarios: degraded wires
+// stretch the communication phase, a NIC stall freezes it outright, and
+// straggler cores stretch the computation phase — each shifting which
+// side of the overlap hides the other.
+func FaultsOverlap(env Env) *trace.Table {
+	t := trace.NewTable("FAULTS — communication/computation overlap under faults",
+		"scenario", "comm_alone_us", "compute_alone_us", "together_us", "overlap_ratio")
+	type sc = struct {
+		name  string
+		sched *fault.Schedule
+	}
+	stall := fault.Event{Kind: fault.NICStall, Node: -1, From: -1, To: -1,
+		At: 2 * sim.Millisecond, For: 3 * sim.Millisecond}
+	straggle := fault.Event{Kind: fault.Straggler, Node: -1, From: -1, To: -1, Factor: 2}
+	scenarios := []sc{
+		{"none", nil},
+		{"degrade-50%", &fault.Schedule{Events: []fault.Event{
+			{Kind: fault.LinkDegrade, Factor: 0.5, Node: -1, From: -1, To: -1}}}},
+		{"nic-stall-3ms", &fault.Schedule{Events: []fault.Event{stall}}},
+		{"straggler-2x", &fault.Schedule{Events: []fault.Event{straggle}}},
+		{"stall+straggler", &fault.Schedule{Events: []fault.Event{stall, straggle}}},
+	}
+	if env.Faults != nil {
+		scenarios = []sc{{"custom", env.Faults}}
+	}
+	const size = 16 << 20
+	for _, s := range scenarios {
+		fenv := env
+		fenv.Faults = s.sched
+		c, w := newWorld(fenv, fenv.Seed)
+		transferSecs := float64(size) / (env.Spec.NIC.WireGBs * 1e9)
+		flops := transferSecs * 2.5e9 * env.Spec.FlopsPerCycle[topology.Scalar]
+		ov := &mpi.Overlap{
+			Size:        size,
+			Compute:     machine.ComputeSpec{Flops: flops, Class: topology.Scalar},
+			ComputeCore: 1,
+			Iters:       4,
+		}
+		var res mpi.OverlapResult
+		c.K.Spawn("overlap", func(p *sim.Proc) { res = ov.Run(p, w.Rank(0), 1) })
+		c.K.Spawn("peer", func(p *sim.Proc) { ov.RunPeer(p, w.Rank(1), 0) })
+		c.K.Run()
+		t.Add(s.name, res.CommAlone.Micros(), res.ComputeAlone.Micros(),
+			res.Together.Micros(), res.Ratio)
+	}
+	return t
+}

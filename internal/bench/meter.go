@@ -3,6 +3,7 @@ package bench
 import (
 	"sync"
 
+	"repro/internal/counters"
 	"repro/internal/sim"
 )
 
@@ -15,6 +16,7 @@ import (
 type Meter struct {
 	mu      sync.Mutex
 	kernels []*sim.Kernel
+	sets    []*counters.Set
 }
 
 func (m *Meter) track(k *sim.Kernel) {
@@ -28,6 +30,46 @@ func (m *Meter) Worlds() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.kernels)
+}
+
+// TrackCounters registers one node's counter set so the harness can
+// aggregate fault/recovery statistics over every world an experiment
+// built.
+func (m *Meter) TrackCounters(s *counters.Set) {
+	m.mu.Lock()
+	m.sets = append(m.sets, s)
+	m.mu.Unlock()
+}
+
+// FaultTotals aggregates the fault and recovery counters across every
+// tracked node. All fields are zero for healthy experiments.
+type FaultTotals struct {
+	SendRetries   float64
+	SendTimeouts  float64
+	RecvTimeouts  float64
+	MsgsLost      float64
+	MsgsCorrupted float64
+}
+
+// Any reports whether any fault activity was recorded.
+func (t FaultTotals) Any() bool {
+	return t.SendRetries+t.SendTimeouts+t.RecvTimeouts+t.MsgsLost+t.MsgsCorrupted > 0
+}
+
+// FaultTotals sums the fault counters of every tracked node. Call it
+// after the experiment returns.
+func (m *Meter) FaultTotals() FaultTotals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t FaultTotals
+	for _, s := range m.sets {
+		t.SendRetries += s.SendRetries
+		t.SendTimeouts += s.SendTimeouts
+		t.RecvTimeouts += s.RecvTimeouts
+		t.MsgsLost += s.MsgsLost
+		t.MsgsCorrupted += s.MsgsCorrupted
+	}
+	return t
 }
 
 // SimSeconds returns the total simulated time covered by the tracked

@@ -45,6 +45,18 @@ func Experiments() []Experiment {
 	return out
 }
 
+// FaultFamily returns the IDs of the fault-injection experiments, the
+// default set when the harness is invoked with -faults but no -exp.
+func FaultFamily() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		if strings.HasPrefix(e.ID, "faults-") {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, bool) {
 	e, ok := registry[id]
@@ -264,6 +276,20 @@ func init() {
 		Title: "EXTENSION [7]: communication/computation overlap benchmark",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtOverlap(env)}
+		},
+	})
+	register(Experiment{
+		ID:    "faults-pingpong",
+		Title: "FAULTS: ping-pong latency and bandwidth degradation vs fault intensity",
+		Run: func(env bench.Env) []*trace.Table {
+			return []*trace.Table{bench.FaultsPingPong(env)}
+		},
+	})
+	register(Experiment{
+		ID:    "faults-overlap",
+		Title: "FAULTS: communication/computation overlap under fault scenarios",
+		Run: func(env bench.Env) []*trace.Table {
+			return []*trace.Table{bench.FaultsOverlap(env)}
 		},
 	})
 	register(Experiment{

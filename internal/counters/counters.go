@@ -27,6 +27,15 @@ type Set struct {
 	BytesSent     float64
 	BytesReceived float64
 	SendBusySecs  float64
+	// Fault/recovery accounting, fed by the MPI layer under fault
+	// injection (all zero on healthy runs): retransmissions performed,
+	// retransmission-timeout expiries, receive-timeout expiries, and
+	// transmissions the injector dropped or corrupted.
+	SendRetries   float64
+	SendTimeouts  float64
+	RecvTimeouts  float64
+	MsgsLost      float64
+	MsgsCorrupted float64
 }
 
 // NewSet returns counters for n cores.
@@ -40,6 +49,11 @@ func (s *Set) Reset() {
 	s.BytesSent = 0
 	s.BytesReceived = 0
 	s.SendBusySecs = 0
+	s.SendRetries = 0
+	s.SendTimeouts = 0
+	s.RecvTimeouts = 0
+	s.MsgsLost = 0
+	s.MsgsCorrupted = 0
 }
 
 // Core returns a pointer to core i's counters.

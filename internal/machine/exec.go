@@ -42,7 +42,7 @@ func (n *Node) ExecCycles(p *sim.Proc, core int, cycles float64) {
 	if cycles <= 0 {
 		return
 	}
-	d := n.Freq.Cycles(core, cycles)
+	d := sim.Duration(float64(n.Freq.Cycles(core, cycles)) * n.CoreSlowdown(core))
 	n.Counters.AddExec(core, cycles, 0, 0, 0)
 	p.Sleep(d)
 }
@@ -126,7 +126,7 @@ func (n *Node) ExecCompute(p *sim.Proc, core int, spec ComputeSpec) sim.Duration
 	if spec.Bytes == 0 {
 		// Pure CPU: the flow is denominated in flops, capped by the
 		// core's flop ceiling (which tracks frequency changes).
-		capOf := func() float64 { return n.Freq.FlopsRate(core, spec.Class) }
+		capOf := func() float64 { return n.Freq.FlopsRate(core, spec.Class) / n.CoreSlowdown(core) }
 		flow = n.cluster.Fluid.StartFlow(name, spec.Flops, capOf(), nil, done.Broadcast)
 		n.coreFlow[core] = &runningKernel{flow: flow, class: spec.Class, capOf: capOf}
 	} else {
@@ -135,14 +135,15 @@ func (n *Node) ExecCompute(p *sim.Proc, core int, spec ComputeSpec) sim.Duration
 		// intensity, and it shares the memory path fairly.
 		ai := spec.Flops / spec.Bytes
 		capOf := func() float64 {
+			slow := n.CoreSlowdown(core)
 			if ai == 0 {
-				return n.Spec.Mem.StreamPerCoreGBs * 1e9
+				return n.Spec.Mem.StreamPerCoreGBs * 1e9 / slow
 			}
 			byteRate := n.Freq.FlopsRate(core, spec.Class) / ai
 			if limit := n.Spec.Mem.StreamPerCoreGBs * 1e9; byteRate > limit {
 				byteRate = limit
 			}
-			return byteRate
+			return byteRate / slow
 		}
 		n.addStream(memNUMA)
 		defer n.removeStream(memNUMA)

@@ -74,6 +74,11 @@ type Node struct {
 	// coreFlow tracks the active compute flow per core so frequency
 	// changes can rescale its rate cap.
 	coreFlow []*runningKernel
+
+	// slow holds per-core slowdown multipliers (straggler model: a
+	// throttled or faulty core retires work slower by this factor);
+	// nil means every core at its nominal speed.
+	slow []float64
 }
 
 // runningKernel is the bookkeeping for an in-flight compute flow.
@@ -261,6 +266,36 @@ func (n *Node) AccessLatency(from, to int) sim.Duration {
 		extra += n.contentionFactor(n.Link(from, to))
 	}
 	return sim.Duration(base * (1 + extra))
+}
+
+// CoreSlowdown returns the straggler multiplier of a core (1 = nominal
+// speed). Cycle burns take CoreSlowdown times longer and compute-flow
+// rate caps are divided by it.
+func (n *Node) CoreSlowdown(core int) float64 {
+	if n.slow == nil {
+		return 1
+	}
+	return n.slow[core]
+}
+
+// SetCoreSlowdown sets a core's straggler multiplier (≥ some positive
+// value; 1 restores nominal speed) and rescales the core's running
+// compute flow, mirroring what a frequency change does.
+func (n *Node) SetCoreSlowdown(core int, f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("machine: non-positive slowdown %g", f))
+	}
+	n.Spec.NUMAOfCore(core) // range check
+	if n.slow == nil {
+		n.slow = make([]float64, n.Spec.Cores())
+		for i := range n.slow {
+			n.slow[i] = 1
+		}
+	}
+	n.slow[core] = f
+	if rk := n.coreFlow[core]; rk != nil && !rk.flow.Finished() {
+		n.cluster.Fluid.SetCap(rk.flow, rk.capOf())
+	}
 }
 
 // Jitter applies multiplicative measurement noise of relative amplitude

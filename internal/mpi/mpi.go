@@ -12,8 +12,10 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/net"
 	"repro/internal/sim"
@@ -24,13 +26,20 @@ type World struct {
 	cluster *machine.Cluster
 	nw      *net.Network
 	ranks   []*Rank
+	// inj is the fault injector installed on the network, nil on
+	// healthy worlds. Under a lossy schedule the point-to-point
+	// protocols switch to their recovery paths: bounded retransmission
+	// with exponential backoff + jitter for eager messages, RTS/CTS
+	// retransmission for rendezvous handshakes. Healthy worlds never
+	// enter those paths, so their event sequence is unchanged.
+	inj *fault.Injector
 }
 
 // NewWorld creates one rank per node of the cluster. Each rank's
 // communication thread is initially bound to the last core of the last
 // NUMA node (the paper's default placement: far from the NIC).
 func NewWorld(c *machine.Cluster, nw *net.Network) *World {
-	w := &World{cluster: c, nw: nw}
+	w := &World{cluster: c, nw: nw, inj: nw.Faults()}
 	for i, n := range c.Nodes {
 		w.ranks = append(w.ranks, &Rank{
 			world:    w,
@@ -80,6 +89,13 @@ type message struct {
 	rbuf    *machine.Buffer // receiver's landing buffer, set before CTS
 	cts     *sim.Signal
 	dmaDone *sim.Signal
+
+	// Fault recovery: delivered dedups retransmitted RTS (the sender
+	// reuses the same message object per attempt), and resendCTS, set by
+	// the receiver once it has answered, re-sends the CTS when a
+	// duplicate RTS reveals the previous CTS was lost.
+	delivered bool
+	resendCTS func()
 }
 
 // pendingRecv is a posted receive awaiting its message.
@@ -127,18 +143,61 @@ func (r *Rank) deliver(m *message) {
 	r.unexp[key] = append(r.unexp[key], m)
 }
 
+// deliverRTS routes a (possibly retransmitted) rendezvous RTS: the
+// first copy goes through normal matching; a duplicate — the sender
+// retransmits when no CTS arrived within its timeout — re-triggers the
+// CTS if the receiver has already answered (the CTS was lost on the
+// wire), and is ignored otherwise (the receiver simply has not posted
+// its receive yet). Runs in event context.
+func (r *Rank) deliverRTS(m *message) {
+	if m.delivered {
+		if m.resendCTS != nil {
+			m.resendCTS()
+		}
+		return
+	}
+	m.delivered = true
+	r.deliver(m)
+}
+
 // match returns the oldest unexpected message for key, or registers a
 // pending receive and blocks p until one arrives.
 func (r *Rank) match(p *sim.Proc, key matchKey) *message {
+	m, _ := r.matchTimeout(p, key, 0)
+	return m
+}
+
+// matchTimeout is match with a deadline: it reports false when no
+// message arrived within d (a non-positive d waits forever). On timeout
+// the pending receive is withdrawn, so a message arriving later is
+// queued as unexpected instead of completing a receive nobody waits on.
+func (r *Rank) matchTimeout(p *sim.Proc, key matchKey, d sim.Duration) (*message, bool) {
 	if q := r.unexp[key]; len(q) > 0 {
 		m := q[0]
 		r.unexp[key] = q[1:]
-		return m
+		return m, true
 	}
 	pr := &pendingRecv{sig: sim.NewSignal(r.world.cluster.K)}
 	r.pending[key] = append(r.pending[key], pr)
-	pr.sig.Wait(p)
-	return pr.msg
+	if !pr.sig.WaitTimeout(p, d) {
+		q := r.pending[key]
+		for i, x := range q {
+			if x == pr {
+				r.pending[key] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		return nil, false
+	}
+	return pr.msg, true
+}
+
+// gateComm blocks p while a comm-thread hang fault is active on this
+// rank's node.
+func (r *Rank) gateComm(p *sim.Proc) {
+	if inj := r.world.inj; inj != nil {
+		inj.GateComm(p, r.Node.ID)
+	}
 }
 
 // Send transmits size bytes of buf to rank dst with the given tag,
@@ -149,11 +208,13 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 	if size < 0 || (buf != nil && size > buf.Size) {
 		panic(fmt.Sprintf("mpi: send size %d out of buffer bounds", size))
 	}
+	r.gateComm(p)
 	start := p.Now()
 	peer := r.world.Rank(dst)
 	k := r.world.cluster.K
 	nw := r.world.nw
 	node := r.Node
+	inj := r.world.inj
 
 	bufNUMA := node.Spec.NIC.NUMA
 	if buf != nil {
@@ -171,26 +232,36 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 		if buf != nil {
 			dataNUMA = buf.NUMA
 		}
-		m := &message{
-			src: r.ID, tag: tag, size: size, eager: true,
-			arrivedSig: sim.NewSignal(k),
-		}
-		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-		k.After(lat, func() {
-			if size == 0 {
-				m.arrived = true
-				m.arrivedSig.Broadcast()
-				peer.deliver(m)
-				return
+		if inj != nil && inj.Lossy() {
+			// Each transmission attempt can be dropped or corrupted;
+			// losses are detected by retransmission timeout, corruptions
+			// by the receiver's checksum after the wasted transfer.
+			for attempt := 0; ; attempt++ {
+				switch inj.Tx() {
+				case fault.TxOK:
+					r.injectEager(p, peer, tag, size, dataNUMA)
+					r.accountSend(size, p.Now().Sub(start))
+					return
+				case fault.TxCorrupt:
+					node.Counters.MsgsCorrupted++
+					// The doomed payload still crosses the wire before
+					// the receiver discards it.
+					if size > 0 {
+						nw.Memcpy(p, node, r.CommCore, dataNUMA, node.Spec.NIC.NUMA, size)
+						nw.TransferEager(p, node, peer.Node, size)
+					}
+				default: // TxLost
+					node.Counters.MsgsLost++
+				}
+				node.Counters.SendTimeouts++
+				if attempt >= inj.Policy().MaxRetries {
+					panic(&fault.TransferError{Op: "eager", Src: node.ID, Dst: peer.Node.ID, Attempts: attempt + 1})
+				}
+				node.Counters.SendRetries++
+				p.Sleep(inj.Backoff(attempt))
 			}
-			k.Spawn("eager-payload", func(tp *sim.Proc) {
-				nw.TransferEager(tp, node, peer.Node, size)
-				m.arrived = true
-				m.arrivedSig.Broadcast()
-			})
-			peer.deliver(m)
-		})
-		nw.Memcpy(p, node, r.CommCore, dataNUMA, node.Spec.NIC.NUMA, size)
+		}
+		r.injectEager(p, peer, tag, size, dataNUMA)
 		r.accountSend(size, p.Now().Sub(start))
 		return
 	}
@@ -204,9 +275,35 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 		cts:     sim.NewSignal(k),
 		dmaDone: sim.NewSignal(k),
 	}
-	lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-	k.After(lat, func() { peer.deliver(m) })
-	m.cts.Wait(p)
+	if inj != nil && inj.Lossy() {
+		// RTS/CTS recovery: retransmit the RTS with exponential backoff
+		// until the CTS arrives. The receiver dedups duplicate RTS (see
+		// deliverRTS) and re-sends a lost CTS when a duplicate shows the
+		// handshake stalled on its side.
+		for attempt := 0; ; attempt++ {
+			switch inj.Tx() {
+			case fault.TxOK:
+				lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+				k.After(lat, func() { peer.deliverRTS(m) })
+			case fault.TxCorrupt:
+				node.Counters.MsgsCorrupted++
+			default: // TxLost
+				node.Counters.MsgsLost++
+			}
+			if m.cts.WaitTimeout(p, inj.Backoff(attempt)) {
+				break
+			}
+			node.Counters.SendTimeouts++
+			if attempt >= inj.Policy().MaxRetries {
+				panic(&fault.TransferError{Op: "rendezvous", Src: node.ID, Dst: peer.Node.ID, Attempts: attempt + 1})
+			}
+			node.Counters.SendRetries++
+		}
+	} else {
+		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+		k.After(lat, func() { peer.deliver(m) })
+		m.cts.Wait(p)
+	}
 	// Process the CTS before programming the RDMA engine.
 	node.ExecCycles(p, r.CommCore, node.Spec.NIC.RecvCycles/2)
 	nw.TransferDMA(p, node, buf, peer.Node, m.recvBuf(), size)
@@ -214,8 +311,41 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 	r.accountSend(size, p.Now().Sub(start))
 }
 
+// injectEager performs one successful eager transmission: schedule the
+// wire delivery and pay the staging copy. Shared by the healthy path and
+// the winning attempt of the lossy retransmission loop.
+func (r *Rank) injectEager(p *sim.Proc, peer *Rank, tag int, size int64, dataNUMA int) {
+	node := r.Node
+	nw := r.world.nw
+	k := r.world.cluster.K
+	m := &message{
+		src: r.ID, tag: tag, size: size, eager: true,
+		arrivedSig: sim.NewSignal(k),
+	}
+	lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+	k.After(lat, func() {
+		if size == 0 {
+			m.arrived = true
+			m.arrivedSig.Broadcast()
+			peer.deliver(m)
+			return
+		}
+		k.Spawn("eager-payload", func(tp *sim.Proc) {
+			nw.TransferEager(tp, node, peer.Node, size)
+			m.arrived = true
+			m.arrivedSig.Broadcast()
+		})
+		peer.deliver(m)
+	})
+	nw.Memcpy(p, node, r.CommCore, dataNUMA, node.Spec.NIC.NUMA, size)
+}
+
 // recvBuf is set by the receiver before broadcasting CTS.
 func (m *message) recvBuf() *machine.Buffer { return m.rbuf }
+
+// ErrTimeout reports that a timed receive expired before a matching
+// message arrived.
+var ErrTimeout = errors.New("mpi: receive timed out")
 
 // Recv receives a message from rank src with the given tag into buf,
 // blocking p until the payload is fully in place.
@@ -223,11 +353,40 @@ func (r *Rank) Recv(p *sim.Proc, src, tag int, buf *machine.Buffer, size int64) 
 	if size < 0 || (buf != nil && size > buf.Size) {
 		panic(fmt.Sprintf("mpi: recv size %d out of buffer bounds", size))
 	}
+	r.gateComm(p)
+	m := r.match(p, matchKey{src, tag})
+	r.complete(p, m, buf, size)
+}
+
+// RecvTimeout is Recv with a deadline on the matching phase: if no
+// message from src with the given tag arrives within d, the posted
+// receive is withdrawn, the node's receive-timeout counter is bumped,
+// and ErrTimeout is returned (a non-positive d waits forever). Once a
+// message has matched, completion proceeds without further deadline —
+// the payload is already committed to the wire.
+func (r *Rank) RecvTimeout(p *sim.Proc, src, tag int, buf *machine.Buffer, size int64, d sim.Duration) error {
+	if size < 0 || (buf != nil && size > buf.Size) {
+		panic(fmt.Sprintf("mpi: recv size %d out of buffer bounds", size))
+	}
+	r.gateComm(p)
+	m, ok := r.matchTimeout(p, matchKey{src, tag}, d)
+	if !ok {
+		r.Node.Counters.RecvTimeouts++
+		return ErrTimeout
+	}
+	r.complete(p, m, buf, size)
+	return nil
+}
+
+// complete finishes a matched receive: drain the eager payload into the
+// user buffer, or answer the rendezvous RTS with a CTS and wait for the
+// RDMA write to land.
+func (r *Rank) complete(p *sim.Proc, m *message, buf *machine.Buffer, size int64) {
 	nw := r.world.nw
 	node := r.Node
 	k := r.world.cluster.K
+	inj := r.world.inj
 
-	m := r.match(p, matchKey{src, tag})
 	if m.size > size {
 		panic(fmt.Sprintf("mpi: message of %d bytes into %d-byte receive", m.size, size))
 	}
@@ -257,8 +416,27 @@ func (r *Rank) Recv(p *sim.Proc, src, tag int, buf *machine.Buffer, size int64) 
 	node.ExecCycles(p, r.CommCore, (node.Spec.NIC.RecvCycles+node.Spec.NIC.SendCycles)/2)
 	r.register(p, buf)
 	m.rbuf = buf
-	lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-	k.After(lat, func() { m.cts.Broadcast() })
+	if inj != nil && inj.Lossy() {
+		// The CTS itself can be lost or corrupted; the sender's RTS
+		// retransmission re-triggers it via resendCTS (deliverRTS).
+		sendCTS := func() {
+			switch inj.Tx() {
+			case fault.TxCorrupt:
+				node.Counters.MsgsCorrupted++
+				return
+			case fault.TxLost:
+				node.Counters.MsgsLost++
+				return
+			}
+			lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+			k.After(lat, func() { m.cts.Broadcast() })
+		}
+		m.resendCTS = sendCTS
+		sendCTS()
+	} else {
+		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+		k.After(lat, func() { m.cts.Broadcast() })
+	}
 	m.dmaDone.Wait(p)
 	rNUMA := node.Spec.NIC.NUMA
 	if buf != nil {

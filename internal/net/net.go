@@ -9,7 +9,9 @@ package net
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/fluid"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -20,6 +22,12 @@ import (
 type Network struct {
 	cluster *machine.Cluster
 	wires   map[[2]int]*fluid.Resource // key: [from, to]
+	// inj, when non-nil, is the fault injector bound to this network:
+	// it scales wire capacities (link degradation) and gates operations
+	// on NIC stalls. Nil on healthy worlds — every consult below is
+	// nil-guarded so the fault-free path is byte-identical to before the
+	// fault subsystem existed.
+	inj *fault.Injector
 }
 
 // New builds the interconnect for a cluster.
@@ -35,6 +43,45 @@ func New(c *machine.Cluster) *Network {
 		}
 	}
 	return nw
+}
+
+// InstallFaults binds a fault injector to the network: LinkDegrade
+// events scale wire capacities (relative to the spec's healthy
+// capacity), NICStall events gate the PIO path and transfer starts, and
+// the MPI layer above reads the injector back via Faults for loss,
+// corruption and comm-thread hangs.
+func (nw *Network) InstallFaults(inj *fault.Injector) {
+	nw.inj = inj
+	base := nw.cluster.Spec.NIC.WireGBs * 1e9
+	inj.BindWires(func(from, to int, factor float64) {
+		if from < 0 { // every wire, in deterministic order
+			keys := make([][2]int, 0, len(nw.wires))
+			for key := range nw.wires {
+				keys = append(keys, key)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i][0] != keys[j][0] {
+					return keys[i][0] < keys[j][0]
+				}
+				return keys[i][1] < keys[j][1]
+			})
+			for _, key := range keys {
+				nw.cluster.Fluid.SetCapacity(nw.wires[key], base*factor)
+			}
+			return
+		}
+		nw.cluster.Fluid.SetCapacity(nw.Wire(from, to), base*factor)
+	})
+}
+
+// Faults returns the installed fault injector, or nil on healthy worlds.
+func (nw *Network) Faults() *fault.Injector { return nw.inj }
+
+// gateNIC blocks p while a NIC-stall fault is active on node id.
+func (nw *Network) gateNIC(p *sim.Proc, id int) {
+	if nw.inj != nil {
+		nw.inj.GateNIC(p, id)
+	}
 }
 
 // Wire returns the directed wire resource from node i to node j.
@@ -108,6 +155,7 @@ func payloadAccessTime(n *machine.Node, commCore, bufNUMA int) sim.Duration {
 // the core's current frequency, the PIO access mix toward the NIC, and
 // one payload touch on the buffer's NUMA node.
 func (nw *Network) SendOverhead(p *sim.Proc, n *machine.Node, commCore, bufNUMA int) {
+	nw.gateNIC(p, n.ID)
 	n.ExecCycles(p, commCore, n.Spec.NIC.SendCycles)
 	p.Sleep(pioAccessTime(n, commCore, n.Spec.NIC.SendMemAccesses) +
 		payloadAccessTime(n, commCore, bufNUMA))
@@ -116,6 +164,7 @@ func (nw *Network) SendOverhead(p *sim.Proc, n *machine.Node, commCore, bufNUMA 
 // RecvOverhead blocks p for the software overhead of completing one
 // message reception on node n from commCore.
 func (nw *Network) RecvOverhead(p *sim.Proc, n *machine.Node, commCore, bufNUMA int) {
+	nw.gateNIC(p, n.ID)
 	n.ExecCycles(p, commCore, n.Spec.NIC.RecvCycles)
 	p.Sleep(pioAccessTime(n, commCore, n.Spec.NIC.RecvMemAccesses) +
 		payloadAccessTime(n, commCore, bufNUMA))
@@ -165,6 +214,9 @@ func (nw *Network) DMAUses(src *machine.Node, srcNUMA int, dst *machine.Node, ds
 // crossed controllers (DESIGN.md §4).
 func (nw *Network) TransferDMA(p *sim.Proc, src *machine.Node, srcBuf *machine.Buffer,
 	dst *machine.Node, dstBuf *machine.Buffer, bytes int64) {
+	// A stalled NIC at either end delays programming the RDMA engine.
+	nw.gateNIC(p, src.ID)
+	nw.gateNIC(p, dst.ID)
 	pri := (src.DMAPriority(srcBuf.NUMA) + dst.DMAPriority(dstBuf.NUMA)) / 2
 	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
 	done := sim.NewSignal(nw.cluster.K)
@@ -220,6 +272,8 @@ func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int6
 	if bytes <= 0 {
 		return
 	}
+	nw.gateNIC(p, src.ID)
+	nw.gateNIC(p, dst.ID)
 	pri := (src.DMAPriority(src.Spec.NIC.NUMA) + dst.DMAPriority(dst.Spec.NIC.NUMA)) / 2
 	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
 	uses := []fluid.Use{

@@ -25,6 +25,14 @@ type Options struct {
 	Workers int
 	// Format selects the rendering ("ascii" or "csv"); "" means ascii.
 	Format string
+	// Deadline bounds each experiment attempt's wall-clock time; an
+	// attempt that overruns is abandoned and reported as a failure
+	// (possibly retried, see Retries). 0 disables the deadline.
+	Deadline time.Duration
+	// Retries re-runs a failed attempt (panic, render error or blown
+	// deadline) up to this many extra times before the experiment is
+	// reported as failed. 0 means one attempt only.
+	Retries int
 }
 
 // Result is the outcome of one experiment.
@@ -55,6 +63,11 @@ type Metrics struct {
 	Worlds     int
 	// Tables and Rows count the result set.
 	Tables, Rows int
+	// Attempts is how many times the experiment ran (1 + retries used).
+	Attempts int
+	// Faults aggregates the fault/recovery counters over every world
+	// the experiment built; all zero for healthy runs.
+	Faults bench.FaultTotals
 }
 
 // Run executes exps over a bounded worker pool and returns a channel
@@ -90,7 +103,7 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobs {
-				slots[i] <- runOne(env, exps[i], i, format)
+				slots[i] <- runOne(env, exps[i], i, format, opts)
 			}
 		}()
 	}
@@ -114,10 +127,46 @@ func Collect(results <-chan Result) []Result {
 	return out
 }
 
-// runOne executes a single experiment against an isolated environment,
-// converting panics into errors so one broken experiment cannot take
-// down the campaign.
-func runOne(env bench.Env, e core.Experiment, index int, format string) Result {
+// runOne executes a single experiment, retrying failed attempts up to
+// Options.Retries times, so a campaign degrades gracefully: one broken
+// experiment yields one failed Result while every other experiment
+// completes.
+func runOne(env bench.Env, e core.Experiment, index int, format string, opts Options) Result {
+	for attempt := 0; ; attempt++ {
+		res := attemptOne(env, e, index, format, opts.Deadline)
+		res.Metrics.Attempts = attempt + 1
+		if res.Err == nil || attempt >= opts.Retries {
+			return res
+		}
+	}
+}
+
+// attemptOne runs one attempt of an experiment against an isolated
+// environment, converting panics into errors and enforcing the
+// wall-clock deadline. A blown deadline abandons the attempt's
+// goroutine (a simulated experiment cannot be interrupted; the
+// goroutine finishes on its own and its result is discarded).
+func attemptOne(env bench.Env, e core.Experiment, index int, format string, deadline time.Duration) Result {
+	start := time.Now()
+	done := make(chan Result, 1)
+	go func() { done <- execute(env, e, index, format) }()
+	if deadline <= 0 {
+		return <-done
+	}
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(deadline):
+		return Result{
+			Exp: e, Index: index,
+			Err:     fmt.Errorf("runner: experiment %s exceeded the %v deadline", e.ID, deadline),
+			Metrics: Metrics{ID: e.ID, Wall: time.Since(start)},
+		}
+	}
+}
+
+// execute performs the experiment body and accounting of one attempt.
+func execute(env bench.Env, e core.Experiment, index int, format string) Result {
 	res := Result{Exp: e, Index: index}
 	iso := env.Isolated()
 	start := time.Now()
@@ -136,6 +185,7 @@ func runOne(env bench.Env, e core.Experiment, index int, format string) Result {
 		SimSeconds: iso.Meter.SimSeconds(),
 		Worlds:     iso.Meter.Worlds(),
 		Tables:     len(res.Tables),
+		Faults:     iso.Meter.FaultTotals(),
 	}
 	for _, t := range res.Tables {
 		res.Metrics.Rows += len(t.Rows)

@@ -121,6 +121,38 @@ func (s *Signal) Signal() {
 	s.k.At(s.k.now, p.run)
 }
 
+// WaitTimeout suspends p until the signal fires or d elapses, whichever
+// comes first, and reports whether the signal fired (false on timeout).
+// A non-positive d degenerates to Wait. When the timer fires first, p is
+// removed from the waiter queue, so a later Signal wakes the next waiter
+// instead of a process that has already given up — the primitive behind
+// the MPI layer's retransmission timeouts.
+//
+// When the signal and the timer fire at the same instant, the one
+// scheduled first wins (the kernel's deterministic event order), so a
+// given seed always resolves the tie the same way.
+func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
+	if d <= 0 {
+		s.Wait(p)
+		return true
+	}
+	timedOut := false
+	timer := s.k.After(d, func() {
+		for i, w := range s.waiters {
+			if w == p {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				timedOut = true
+				p.blocked = false
+				s.k.At(s.k.now, p.run)
+				return
+			}
+		}
+	})
+	s.Wait(p)
+	s.k.Cancel(timer)
+	return !timedOut
+}
+
 // Broadcast wakes every waiter, oldest first.
 func (s *Signal) Broadcast() {
 	for len(s.waiters) > 0 {

@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	var fired bool
+	var woke Time
+	k.Spawn("waiter", func(p *Proc) {
+		fired = s.WaitTimeout(p, 5*Microsecond)
+		woke = p.Now()
+	})
+	k.Run()
+	if fired {
+		t.Fatal("WaitTimeout reported signal on a silent signal")
+	}
+	if woke != Time(5*Microsecond) {
+		t.Fatalf("woke at %v, want 5us", woke)
+	}
+	if s.Waiters() != 0 {
+		t.Fatalf("%d waiters left after timeout", s.Waiters())
+	}
+}
+
+func TestWaitTimeoutSignalWins(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	var fired bool
+	var woke Time
+	k.Spawn("waiter", func(p *Proc) {
+		fired = s.WaitTimeout(p, 10*Microsecond)
+		woke = p.Now()
+	})
+	k.Spawn("signaller", func(p *Proc) {
+		p.Sleep(3 * Microsecond)
+		s.Broadcast()
+	})
+	k.Run()
+	if !fired {
+		t.Fatal("WaitTimeout reported timeout despite the signal firing first")
+	}
+	if woke != Time(3*Microsecond) {
+		t.Fatalf("woke at %v, want 3us", woke)
+	}
+}
+
+func TestWaitTimeoutNonPositiveWaitsForever(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	var fired bool
+	k.Spawn("waiter", func(p *Proc) { fired = s.WaitTimeout(p, 0) })
+	k.Spawn("signaller", func(p *Proc) {
+		p.Sleep(Second)
+		s.Broadcast()
+	})
+	k.Run()
+	if !fired {
+		t.Fatal("WaitTimeout(0) must behave as Wait and report the signal")
+	}
+}
+
+func TestWaitTimeoutReleasesOnlyTheExpiredWaiter(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSignal(k)
+	var impatient, patient bool
+	k.Spawn("impatient", func(p *Proc) { impatient = s.WaitTimeout(p, 2*Microsecond) })
+	k.Spawn("patient", func(p *Proc) { patient = s.WaitTimeout(p, Second) })
+	k.Spawn("signaller", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		s.Signal() // one wake: must go to the patient waiter
+	})
+	k.Run()
+	if impatient {
+		t.Fatal("impatient waiter reported signal after timing out")
+	}
+	if !patient {
+		t.Fatal("patient waiter missed the signal (timed-out waiter still queued?)")
+	}
+}
