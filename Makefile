@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench results faults examples fuzz clean
+.PHONY: all build test test-race verify bench results faults crash examples fuzz clean
 
 all: build vet test test-race
 
@@ -40,6 +40,12 @@ results:
 faults:
 	$(GO) run ./cmd/interference -exp faults
 
+# Run the node-crash fault-tolerance experiments: ping-pong under peer
+# death and the resilient CG with checkpoint rollback (EXPERIMENTS.md).
+crash:
+	$(GO) run ./cmd/interference -exp faults-crash-pingpong
+	$(GO) run ./cmd/interference -exp faults-crash-cg
+
 # Run every example program.
 examples:
 	$(GO) run ./examples/quickstart
@@ -48,11 +54,14 @@ examples:
 	$(GO) run ./examples/kernels
 	$(GO) run ./examples/autotune
 	$(GO) run ./examples/distributed
+	$(GO) run ./examples/faults
 
-# Short fuzz passes: fluid solver invariants, machine-spec JSON parsing.
+# Short fuzz passes: fluid solver invariants, machine-spec JSON
+# parsing, fault-schedule spec parsing.
 fuzz:
 	$(GO) test ./internal/fluid/ -fuzz FuzzSolverInvariants -fuzztime 30s
 	$(GO) test ./internal/topology/ -fuzz FuzzReadSpec -fuzztime 30s
+	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime 30s
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

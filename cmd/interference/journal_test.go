@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResumeRequiresJournal(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "sec5.2", "-resume")
+	if code != 2 || !strings.Contains(stderr, "-journal") {
+		t.Fatalf("-resume without -journal: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestJournalRejectedWithGoldenModes(t *testing.T) {
+	for _, mode := range []string{"-verify", "-update"} {
+		code, _, stderr := runCLI("-exp", "sec5.2", "-journal", "j.jsonl", mode)
+		if code != 2 || !strings.Contains(stderr, "-journal") {
+			t.Fatalf("-journal %s: exit %d, stderr %q", mode, code, stderr)
+		}
+	}
+}
+
+func TestJournalUnwritablePathRejected(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "fig3", "-runs", "1", "-q",
+		"-journal", filepath.Join(t.TempDir(), "no", "such", "dir", "j.jsonl"))
+	if code != 2 || !strings.Contains(stderr, "journal") {
+		t.Fatalf("unwritable journal: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestResumeWorkflow pins the crash-safe campaign contract end to end:
+// a campaign killed after experiment k (modelled by journaling a strict
+// subset) re-run with -resume produces byte-identical stdout while
+// executing only the missing experiments.
+func TestResumeWorkflow(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	base := []string{"-exp", "faults", "-runs", "1", "-j", "2"}
+
+	// The uninterrupted reference campaign (no journal).
+	_, want, _ := runCLI(append(base, "-q")...)
+	if want == "" {
+		t.Fatal("reference campaign produced no output")
+	}
+
+	// "Killed" campaign: only the first experiment of the family ran to
+	// completion and made it into the journal.
+	code, _, stderr := runCLI("-exp", "faults-crash-cg", "-runs", "1", "-j", "2", "-q", "-journal", journal)
+	if code != 0 {
+		t.Fatalf("partial campaign failed (%d): %s", code, stderr)
+	}
+
+	// Resume: the journaled experiment is replayed, the rest execute.
+	code, got, stderr := runCLI(append(base, "-journal", journal, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume failed (%d): %s", code, stderr)
+	}
+	if got != want {
+		t.Fatalf("resumed campaign differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if !strings.Contains(stderr, "replayed from the journal") {
+		t.Fatalf("progress log does not mark the cached experiment:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "cached") {
+		t.Fatalf("summary does not mark the cached experiment:\n%s", stderr)
+	}
+
+	// A second resume replays everything and still matches.
+	code, got2, stderr2 := runCLI(append(base, "-q", "-journal", journal, "-resume")...)
+	if code != 0 {
+		t.Fatalf("second resume failed (%d): %s", code, stderr2)
+	}
+	if got2 != want {
+		t.Fatal("fully-cached resume differs from uninterrupted run")
+	}
+}
+
+// TestJournalWithoutResumeReRuns: -journal alone records but never
+// replays, so a second run re-executes everything (attempts stay live).
+func TestJournalWithoutResumeReRuns(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	args := []string{"-exp", "fig3", "-runs", "1", "-j", "1", "-q", "-journal", journal}
+	if code, _, stderr := runCLI(args...); code != 0 {
+		t.Fatalf("first run failed: %s", stderr)
+	}
+	code, _, stderr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("second run failed: %s", stderr)
+	}
+	if strings.Contains(stderr, "replayed from the journal") {
+		t.Fatal("-journal without -resume replayed a cached result")
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("journal holds %d lines after two recorded runs, want 2", n)
+	}
+}
+
+// TestResumeIgnoresStaleConfig: journal entries recorded under a
+// different seed must not be replayed (the config hash differs).
+func TestResumeIgnoresStaleConfig(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	if code, _, stderr := runCLI("-exp", "fig3", "-runs", "1", "-q", "-seed", "1", "-journal", journal); code != 0 {
+		t.Fatalf("seed-1 run failed: %s", stderr)
+	}
+	code, _, stderr := runCLI("-exp", "fig3", "-runs", "1", "-seed", "2", "-journal", journal, "-resume")
+	if code != 0 {
+		t.Fatalf("seed-2 resume failed: %s", stderr)
+	}
+	if strings.Contains(stderr, "replayed from the journal") {
+		t.Fatal("resume replayed an entry recorded under a different seed")
+	}
+}

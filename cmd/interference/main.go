@@ -59,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults   = fs.String("faults", "", "fault schedule spec, e.g. \"loss:p=0.1;degrade:factor=0.5\" (see fault.ParseSpec); defaults -exp to the faults family")
 		timeout  = fs.Duration("timeout", 0, "per-experiment wall-clock deadline; 0 disables")
 		retry    = fs.Int("retry", 0, "extra attempts for a failed experiment")
+		journal  = fs.String("journal", "", "append completed results to this JSON-lines journal (crash-safe campaigns)")
+		resume   = fs.Bool("resume", false, "replay results already in -journal and run only the missing experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +86,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *verify && *update {
 		fmt.Fprintln(stderr, "interference: -verify and -update are mutually exclusive")
+		return 2
+	}
+	if *resume && *journal == "" {
+		fmt.Fprintln(stderr, "interference: -resume requires -journal (nothing to resume from)")
+		return 2
+	}
+	if *journal != "" && (*verify || *update) {
+		fmt.Fprintln(stderr, "interference: -journal cannot be combined with -verify/-update (goldens must re-run every experiment)")
 		return 2
 	}
 	if *faults != "" && (*verify || *update) {
@@ -157,7 +167,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failed := 0
 	var done []runner.Result
 	opts := runner.Options{Workers: *jobs, Format: *format, Deadline: *timeout, Retries: *retry}
-	for res := range runner.Run(env, todo, opts) {
+	var results <-chan runner.Result
+	if *journal != "" {
+		j, err := runner.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		defer j.Close()
+		results = runner.RunResumable(env, todo, opts, j, *cluster, *resume)
+	} else {
+		results = runner.Run(env, todo, opts)
+	}
+	for res := range results {
 		done = append(done, res)
 		if res.Err != nil {
 			failed++
@@ -197,9 +219,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			line := fmt.Sprintf("%s on %s done in %v (wall), %.3gs simulated across %d worlds",
 				res.Exp.ID, *cluster, res.Metrics.Wall.Round(time.Millisecond),
 				res.Metrics.SimSeconds, res.Metrics.Worlds)
+			if res.Cached {
+				line = fmt.Sprintf("%s on %s replayed from the journal (%.3gs simulated across %d worlds)",
+					res.Exp.ID, *cluster, res.Metrics.SimSeconds, res.Metrics.Worlds)
+			}
 			if ft := res.Metrics.Faults; ft.Any() {
 				line += fmt.Sprintf("; faults: %.0f retries, %.0f timeouts, %.0f lost, %.0f corrupted",
 					ft.SendRetries, ft.SendTimeouts+ft.RecvTimeouts, ft.MsgsLost, ft.MsgsCorrupted)
+				if ft.PeerDeaths > 0 || ft.TasksReexecuted > 0 || ft.RollbackIters > 0 || ft.Checkpoints > 0 {
+					line += fmt.Sprintf("; crashes: %.0f deaths seen, %.0f tasks re-executed, %.0f iters rolled back, %.0f checkpoints, %.2fms recovering",
+						ft.PeerDeaths, ft.TasksReexecuted, ft.RollbackIters, ft.Checkpoints, ft.RecoverySecs*1e3)
+				}
 			}
 			fmt.Fprintln(stderr, line)
 		}

@@ -1,0 +1,161 @@
+// Faults: run a resilient two-rank distributed CG through a scheduled
+// node crash and watch the recovery machinery work — the heartbeat
+// failure detector declares the death, the survivor shrinks the ring,
+// rolls back to the last checkpoint, re-executes the dead rank's tasks,
+// and converges to the exact residual a healthy run produces.
+//
+// The numerics run host-side (a small SPD tridiagonal CG) and are
+// driven by the simulated iterations: checkpoints deep-copy the solver
+// state and a rollback restores it, so the replayed iterations redo
+// bit-identical float arithmetic. The simulated tasks model what that
+// compute and its halo exchanges cost on the cluster, crash included.
+//
+// This example uses internal packages directly (it lives in the same
+// module); the library's public entry points remain the root package.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/taskrt"
+	"repro/internal/topology"
+)
+
+// cg is a tiny host-side conjugate-gradient solve (A tridiagonal SPD,
+// b = ones) whose state can be checkpointed and rolled back.
+type cg struct {
+	x, r, p []float64
+	rsold   float64
+}
+
+func newCG(n int) *cg {
+	s := &cg{x: make([]float64, n), r: make([]float64, n), p: make([]float64, n), rsold: float64(n)}
+	for i := range s.r {
+		s.r[i], s.p[i] = 1, 1
+	}
+	return s
+}
+
+func (s *cg) step() {
+	n := len(s.x)
+	ap := make([]float64, n)
+	var pap float64
+	for i := 0; i < n; i++ {
+		ap[i] = 2.001 * s.p[i]
+		if i > 0 {
+			ap[i] -= s.p[i-1]
+		}
+		if i < n-1 {
+			ap[i] -= s.p[i+1]
+		}
+		pap += s.p[i] * ap[i]
+	}
+	alpha := s.rsold / pap
+	var rsnew float64
+	for i := 0; i < n; i++ {
+		s.x[i] += alpha * s.p[i]
+		s.r[i] -= alpha * ap[i]
+		rsnew += s.r[i] * s.r[i]
+	}
+	for i := 0; i < n; i++ {
+		s.p[i] = s.r[i] + rsnew/s.rsold*s.p[i]
+	}
+	s.rsold = rsnew
+}
+
+func (s *cg) clone() *cg {
+	c := &cg{rsold: s.rsold}
+	c.x = append([]float64(nil), s.x...)
+	c.r = append([]float64(nil), s.r...)
+	c.p = append([]float64(nil), s.p...)
+	return c
+}
+
+func (s *cg) restore(c *cg) {
+	copy(s.x, c.x)
+	copy(s.r, c.r)
+	copy(s.p, c.p)
+	s.rsold = c.rsold
+}
+
+// solve runs the resilient app under the given fault schedule and
+// returns the recovery statistics plus the final residual.
+func solve(sched *fault.Schedule) (taskrt.ResilientStats, float64) {
+	spec := topology.Henri()
+	spec.NIC.NoiseFrac = 0
+	cluster := machine.NewCluster(spec, 2, 1)
+	nw := net.New(cluster)
+	if sched != nil {
+		nw.InstallFaults(fault.NewInjector(cluster, sched, 1))
+	}
+	world := mpi.NewWorld(cluster, nw)
+	det := world.StartHeartbeat(mpi.DefaultHeartbeat())
+
+	var rts [2]*taskrt.Runtime
+	for i := 0; i < 2; i++ {
+		rts[i] = taskrt.New(taskrt.Config{
+			Node:        cluster.Nodes[i],
+			Rank:        world.Rank(i),
+			MainCore:    0,
+			CommCore:    world.Rank(i).CommCore,
+			WorkerCores: []int{1, 2},
+		})
+		rts[i].Start()
+	}
+
+	solver := newCG(64)
+	snaps := map[int]*cg{-1: solver.clone()}
+	app := &taskrt.ResilientApp{
+		Name:            "cg",
+		Slice:           func(int) machine.ComputeSpec { return kernels.CGBlock(512, 512, -1) },
+		TasksPerIter:    8,
+		Iterations:      12,
+		MsgSize:         256 << 10,
+		HandleNUMA:      -1,
+		CheckpointEvery: 3,
+		CheckpointBytes: 1 << 20,
+		OnIteration:     func(int) { solver.step() },
+		OnCheckpoint:    func(it int) { snaps[it] = solver.clone() },
+		OnRollback:      func(ckpt int) { solver.restore(snaps[ckpt]) },
+	}
+	st := app.Run(rts[:], det)
+	return st, math.Sqrt(solver.rsold)
+}
+
+func main() {
+	healthy, wantResid := solve(nil)
+	fmt.Printf("healthy run : %2d iterations on %d ranks in %v, residual %.10e\n",
+		healthy.CompletedIters, healthy.Survivors, healthy.Elapsed, wantResid)
+
+	// Crash node 1 at 40% of the healthy runtime.
+	crashAt := sim.DurationOfSeconds(healthy.Elapsed.Seconds() * 0.4)
+	sched := &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.NodeCrash, Node: 1, From: -1, To: -1, At: crashAt},
+	}}
+	st, resid := solve(sched)
+	fmt.Printf("crashed run : %2d iterations, node 1 lost at %v, residual %.10e\n",
+		st.CompletedIters, crashAt, resid)
+
+	fmt.Printf("\nrecovery statistics:\n")
+	fmt.Printf("  survivors            %d of 2\n", st.Survivors)
+	fmt.Printf("  tasks re-executed    %.0f (the dead rank's lineage since the last checkpoint)\n", st.TasksReexec)
+	fmt.Printf("  iterations replayed  %.0f (rolled back to the checkpoint)\n", st.RollbackIters)
+	fmt.Printf("  checkpoints taken    %.0f (every 3 iterations, 1 MB each)\n", st.Checkpoints)
+	fmt.Printf("  time lost recovering %.3f ms\n", st.RecoverySecs*1e3)
+	fmt.Printf("  elapsed              %v (healthy: %v)\n", st.Elapsed, healthy.Elapsed)
+
+	if resid == wantResid {
+		fmt.Println("\nThe crash-recovered solve converged to the byte-identical residual:")
+		fmt.Println("checkpoint rollback replays the exact float arithmetic the healthy")
+		fmt.Println("run performs, so losing a node costs time, never the answer.")
+	} else {
+		fmt.Println("\nWARNING: residuals diverged — recovery is broken.")
+	}
+}

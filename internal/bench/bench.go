@@ -175,6 +175,10 @@ func newWorld(env Env, seed int64) (*machine.Cluster, *mpi.World) {
 			env.Meter.TrackCounters(n.Counters)
 		}
 	}
+	// Note: node-crash schedules additionally need the heartbeat failure
+	// detector, but arming it here would keep every kernel alive forever
+	// (the monitors tick until stopped, so Run() would never drain). The
+	// crash-aware drivers arm it themselves and Stop() it when done.
 	return c, mpi.NewWorld(c, nw)
 }
 

@@ -48,11 +48,7 @@ func FaultIntensitySchedule(x float64) *fault.Schedule {
 func faultTotals(c *machine.Cluster) FaultTotals {
 	var t FaultTotals
 	for _, n := range c.Nodes {
-		t.SendRetries += n.Counters.SendRetries
-		t.SendTimeouts += n.Counters.SendTimeouts
-		t.RecvTimeouts += n.Counters.RecvTimeouts
-		t.MsgsLost += n.Counters.MsgsLost
-		t.MsgsCorrupted += n.Counters.MsgsCorrupted
+		t.add(n.Counters)
 	}
 	return t
 }
@@ -73,12 +69,7 @@ func runFaultPingPong(env Env, cc CommConfig) ([]float64, FaultTotals) {
 		for _, l := range ls {
 			lats = append(lats, l.Seconds())
 		}
-		t := faultTotals(c)
-		tot.SendRetries += t.SendRetries
-		tot.SendTimeouts += t.SendTimeouts
-		tot.RecvTimeouts += t.RecvTimeouts
-		tot.MsgsLost += t.MsgsLost
-		tot.MsgsCorrupted += t.MsgsCorrupted
+		tot.merge(faultTotals(c))
 	}
 	return lats, tot
 }

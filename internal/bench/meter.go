@@ -49,11 +49,46 @@ type FaultTotals struct {
 	RecvTimeouts  float64
 	MsgsLost      float64
 	MsgsCorrupted float64
+	// Crash-recovery totals (zero without node-crash injection).
+	PeerDeaths      float64
+	TasksReexecuted float64
+	RollbackIters   float64
+	Checkpoints     float64
+	RecoverySecs    float64
+}
+
+// add accrues one node's counter set into the totals.
+func (t *FaultTotals) add(s *counters.Set) {
+	t.SendRetries += s.SendRetries
+	t.SendTimeouts += s.SendTimeouts
+	t.RecvTimeouts += s.RecvTimeouts
+	t.MsgsLost += s.MsgsLost
+	t.MsgsCorrupted += s.MsgsCorrupted
+	t.PeerDeaths += s.PeerDeaths
+	t.TasksReexecuted += s.TasksReexecuted
+	t.RollbackIters += s.RollbackIters
+	t.Checkpoints += s.Checkpoints
+	t.RecoverySecs += s.RecoverySecs
+}
+
+// merge accrues another totals value into t.
+func (t *FaultTotals) merge(o FaultTotals) {
+	t.SendRetries += o.SendRetries
+	t.SendTimeouts += o.SendTimeouts
+	t.RecvTimeouts += o.RecvTimeouts
+	t.MsgsLost += o.MsgsLost
+	t.MsgsCorrupted += o.MsgsCorrupted
+	t.PeerDeaths += o.PeerDeaths
+	t.TasksReexecuted += o.TasksReexecuted
+	t.RollbackIters += o.RollbackIters
+	t.Checkpoints += o.Checkpoints
+	t.RecoverySecs += o.RecoverySecs
 }
 
 // Any reports whether any fault activity was recorded.
 func (t FaultTotals) Any() bool {
-	return t.SendRetries+t.SendTimeouts+t.RecvTimeouts+t.MsgsLost+t.MsgsCorrupted > 0
+	return t.SendRetries+t.SendTimeouts+t.RecvTimeouts+t.MsgsLost+t.MsgsCorrupted+
+		t.PeerDeaths+t.TasksReexecuted+t.RollbackIters+t.Checkpoints+t.RecoverySecs > 0
 }
 
 // FaultTotals sums the fault counters of every tracked node. Call it
@@ -63,11 +98,7 @@ func (m *Meter) FaultTotals() FaultTotals {
 	defer m.mu.Unlock()
 	var t FaultTotals
 	for _, s := range m.sets {
-		t.SendRetries += s.SendRetries
-		t.SendTimeouts += s.SendTimeouts
-		t.RecvTimeouts += s.RecvTimeouts
-		t.MsgsLost += s.MsgsLost
-		t.MsgsCorrupted += s.MsgsCorrupted
+		t.add(s)
 	}
 	return t
 }

@@ -293,6 +293,20 @@ func init() {
 		},
 	})
 	register(Experiment{
+		ID:    "faults-crash-pingpong",
+		Title: "FAULTS: ping-pong under peer node crash (heartbeat detection, ErrPeerDead)",
+		Run: func(env bench.Env) []*trace.Table {
+			return []*trace.Table{bench.CrashPingPong(env)}
+		},
+	})
+	register(Experiment{
+		ID:    "faults-crash-cg",
+		Title: "FAULTS: resilient CG surviving a node crash (checkpoint rollback + task re-execution)",
+		Run: func(env bench.Env) []*trace.Table {
+			return []*trace.Table{bench.CrashCG(env)}
+		},
+	})
+	register(Experiment{
 		ID:    "sec5.2",
 		Title: "Latency overhead of the task-based runtime (§5.2)",
 		Run: func(env bench.Env) []*trace.Table {

@@ -11,7 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "ext-collectives", "ext-energy", "ext-overlap", "ext-sched", "ext-throttle", "ext-tuner",
-		"faults-overlap", "faults-pingpong",
+		"faults-crash-cg", "faults-crash-pingpong", "faults-overlap", "faults-pingpong",
 		"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "sec5.2", "tab1"}
 	got := Experiments()
@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestFaultFamily(t *testing.T) {
 	got := FaultFamily()
-	want := []string{"faults-overlap", "faults-pingpong"}
+	want := []string{"faults-crash-cg", "faults-crash-pingpong", "faults-overlap", "faults-pingpong"}
 	if len(got) != len(want) {
 		t.Fatalf("FaultFamily() = %v, want %v", got, want)
 	}

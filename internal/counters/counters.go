@@ -36,6 +36,17 @@ type Set struct {
 	RecvTimeouts  float64
 	MsgsLost      float64
 	MsgsCorrupted float64
+	// Crash-recovery accounting, fed by the failure detector and the
+	// resilient task runtime (all zero without node crashes): peer death
+	// declarations observed by this node, tasks re-executed because their
+	// original execution (or its output) was lost with a crashed node,
+	// iterations rolled back to the last checkpoint, checkpoints taken,
+	// and the sim-time spent re-doing lost progress.
+	PeerDeaths      float64
+	TasksReexecuted float64
+	RollbackIters   float64
+	Checkpoints     float64
+	RecoverySecs    float64
 }
 
 // NewSet returns counters for n cores.
@@ -54,6 +65,11 @@ func (s *Set) Reset() {
 	s.RecvTimeouts = 0
 	s.MsgsLost = 0
 	s.MsgsCorrupted = 0
+	s.PeerDeaths = 0
+	s.TasksReexecuted = 0
+	s.RollbackIters = 0
+	s.Checkpoints = 0
+	s.RecoverySecs = 0
 }
 
 // Core returns a pointer to core i's counters.

@@ -46,6 +46,16 @@ const (
 	// Straggler multiplies the execution time of a node's cores by
 	// Factor while active (per-core slowdown, e.g. thermal throttling).
 	Straggler
+	// NodeCrash fail-stops a node at At: its cores stop executing (the
+	// next execution primitive a process enters blocks), its NIC drops
+	// every in-flight transfer (the flows freeze and crash-aware waiters
+	// cancel them), and fault-tolerant MPI operations against it return
+	// ErrPeerDead once the failure detector declares it. A For > 0
+	// schedules an automatic recovery when the window closes.
+	NodeCrash
+	// NodeRecover brings a previously crashed node back up at At (its
+	// gated processes resume; lost in-flight transfers stay lost).
+	NodeRecover
 )
 
 var kindNames = map[Kind]string{
@@ -55,6 +65,8 @@ var kindNames = map[Kind]string{
 	NICStall:      "stall",
 	CommHang:      "hang",
 	Straggler:     "straggler",
+	NodeCrash:     "crash",
+	NodeRecover:   "recover",
 }
 
 func (k Kind) String() string {
@@ -127,6 +139,13 @@ func (e Event) validate() error {
 		if e.Factor < 1 {
 			return fmt.Errorf("fault: straggler factor %g below 1", e.Factor)
 		}
+	case NodeCrash, NodeRecover:
+		if e.Node < 0 {
+			return fmt.Errorf("fault: %s event needs an explicit node", e.Kind)
+		}
+		if e.Kind == NodeRecover && e.For != 0 {
+			return errors.New("fault: recover is instantaneous (for= not allowed)")
+		}
 	default:
 		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
 	}
@@ -161,6 +180,22 @@ func (s *Schedule) Lossy() bool {
 	}
 	for _, e := range s.Events {
 		if e.Kind == PacketLoss || e.Kind == PacketCorrupt {
+			return true
+		}
+	}
+	return false
+}
+
+// Crashy reports whether the schedule contains node-crash events. Like
+// Lossy it is a static, per-world property: only crashy worlds arm the
+// heartbeat failure detector and take the crash-aware transfer paths,
+// so crash-free worlds keep their exact event sequence.
+func (s *Schedule) Crashy() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == NodeCrash {
 			return true
 		}
 	}
@@ -214,6 +249,9 @@ func (s *Schedule) String() string {
 //	stall:node=0,at=100us,for=300us   NIC frozen for 300µs
 //	hang:node=1,at=50us,for=200us     comm thread blocked
 //	straggler:factor=2,node=1,cores=0+1+2   cores 0-2 run 2× slower
+//	crash:node=1,at=1ms                crash node 1 permanently at t=1ms
+//	crash:node=0,at=1ms,for=2ms        crash with automatic recovery
+//	recover:node=1,at=5ms              explicit recovery of a crashed node
 //
 // Durations use Go syntax restricted to ns/us/ms/s suffixes.
 func ParseSpec(spec string) (*Schedule, error) {
@@ -231,7 +269,7 @@ func ParseSpec(spec string) (*Schedule, error) {
 			}
 		}
 		if kind < 0 {
-			return nil, fmt.Errorf("fault: unknown event kind %q (have loss, corrupt, degrade, stall, hang, straggler)", kindStr)
+			return nil, fmt.Errorf("fault: unknown event kind %q (have loss, corrupt, degrade, stall, hang, straggler, crash, recover)", kindStr)
 		}
 		e := Event{Kind: kind, Node: -1, From: -1, To: -1}
 		if args != "" {

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParseSchedule feeds arbitrary strings through the `-faults` spec
+// parsing path and checks that it either rejects the input with an
+// error or yields a schedule that validates and survives a
+// String() → ParseSpec round-trip. Malformed fault specs must never
+// panic the CLI.
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		"loss:p=0.1",
+		"corrupt:p=0.05,at=1ms,for=5ms",
+		"degrade:factor=0.5",
+		"degrade:factor=0.25,link=0-1",
+		"stall:node=0,at=100us,for=300us",
+		"hang:node=1,at=50us,for=200us",
+		"straggler:factor=2,node=1,cores=0+1+2",
+		"crash:node=1,at=1ms",
+		"crash:node=0,at=1ms,for=2ms",
+		"recover:node=1,at=5ms",
+		"crash:node=1,at=1ms;recover:node=1,at=5ms;loss:p=0.2",
+		"",
+		";;;",
+		"loss",
+		"loss:p",
+		"loss:p=",
+		"crash",
+		"crash:node=-5",
+		"recover:node=0,for=1ms",
+		"degrade:factor=1e309",
+		"straggler:cores=0+0+999999999999999999999",
+		"loss:p=0.1,at=99999999999999999s",
+		"stall:node=0,at=1ms,for=0ns",
+		"kind:with=garbage,=,==",
+		"crash:node=1,at=1ms,node=2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted schedules must validate: ParseSpec applies the same
+		// per-event checks the programmatic API does.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted a schedule its own Validate rejects: %v", spec, err)
+		}
+		// The rendering must reparse to an equivalent schedule.
+		r1 := s.String()
+		s2, err := ParseSpec(r1)
+		if err != nil {
+			t.Fatalf("reparse of %q (rendered from %q): %v", r1, spec, err)
+		}
+		if len(s2.Events) != len(s.Events) {
+			t.Fatalf("%q: round trip changed event count %d -> %d (rendered %q)",
+				spec, len(s.Events), len(s2.Events), r1)
+		}
+		for i := range s.Events {
+			if s2.Events[i].Kind != s.Events[i].Kind {
+				t.Fatalf("%q event %d: round trip changed kind %v -> %v",
+					spec, i, s.Events[i].Kind, s2.Events[i].Kind)
+			}
+		}
+		if s2.Lossy() != s.Lossy() || s2.Crashy() != s.Crashy() {
+			t.Fatalf("%q: round trip changed Lossy/Crashy (%v/%v -> %v/%v)",
+				spec, s.Lossy(), s.Crashy(), s2.Lossy(), s2.Crashy())
+		}
+		// Rendering the reparse must itself parse: String() is a fixed
+		// point of the grammar, not just a one-shot debug form.
+		if _, err := ParseSpec(s2.String()); err != nil {
+			t.Fatalf("second-generation spec %q does not parse: %v", s2.String(), err)
+		}
+	})
+}

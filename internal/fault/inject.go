@@ -118,10 +118,28 @@ type Injector struct {
 	allFactor  float64
 	linkFactor map[[2]int]float64
 	scaleWire  func(from, to int, factor float64)
+
+	// Crash bookkeeping: one flag per node, flipped by armed crash and
+	// recover transitions. Watched signals are broadcast on every
+	// transition so processes blocked on a transfer- or protocol-signal
+	// can wake up and re-check liveness; onCrash callbacks run (in event
+	// context) when a node goes down.
+	crashy  bool
+	down    []bool
+	watch   []*sim.Signal
+	onCrash []func(node int)
 }
 
+// frozenWireFactor is the capacity multiplier applied to every wire
+// touching a crashed node. The fluid model panics on a zero capacity,
+// so a dead NIC is modelled as a wire so slow that even a one-byte
+// flow's completion lies beyond the solver's scheduling horizon: the
+// in-flight transfer freezes (never completes, generates no events)
+// until a crash-aware waiter cancels it.
+const frozenWireFactor = 1e-24
+
 // NewInjector builds the injector for a cluster and arms the machine
-//-level events (stragglers). Wire-level events are armed when the
+// -level events (stragglers). Wire-level events are armed when the
 // network binds via BindWires. The seed should be the world seed; the
 // injector derives an independent RNG stream from it so that fault draws
 // never perturb the cluster's measurement-jitter stream.
@@ -137,6 +155,7 @@ func NewInjector(c *machine.Cluster, s *Schedule, seed int64) *Injector {
 		cluster:    c,
 		allFactor:  1,
 		linkFactor: make(map[[2]int]float64),
+		down:       make([]bool, len(c.Nodes)),
 	}
 	if inj.policy.zero() {
 		inj.policy = DefaultPolicy()
@@ -153,9 +172,78 @@ func NewInjector(c *machine.Cluster, s *Schedule, seed int64) *Injector {
 			inj.hangs = append(inj.hangs, e)
 		case Straggler:
 			inj.armStraggler(e)
+		case NodeCrash:
+			inj.crashy = true
+			inj.armCrash(e)
+		case NodeRecover:
+			e := e
+			inj.k.At(sim.Time(0).Add(e.At), func() { inj.setDown(e.Node, false) })
 		}
 	}
 	return inj
+}
+
+// armCrash schedules the fail-stop transition of one event (and the
+// automatic recovery when the event carries a window).
+func (inj *Injector) armCrash(e Event) {
+	inj.targetNodes(e.Node) // range check at arm time
+	inj.k.At(sim.Time(0).Add(e.At), func() { inj.setDown(e.Node, true) })
+	if e.For > 0 {
+		inj.k.At(e.end(), func() { inj.setDown(e.Node, false) })
+	}
+}
+
+// setDown flips a node's crash state: the machine layer gates its
+// execution primitives, every wire touching it freezes, crash callbacks
+// fire (on the down transition) and watched signals are broadcast so
+// blocked waiters re-check liveness. Runs in event context.
+func (inj *Injector) setDown(node int, down bool) {
+	if node < 0 || node >= len(inj.down) || inj.down[node] == down {
+		return
+	}
+	inj.down[node] = down
+	inj.cluster.Nodes[node].SetDown(down)
+	inj.push()
+	if down {
+		for _, fn := range inj.onCrash {
+			fn(node)
+		}
+	}
+	for _, s := range inj.watch {
+		s.Broadcast()
+	}
+}
+
+// Crashy reports whether the schedule contains node-crash events at
+// all; a static property like Lossy, so crash-free worlds never take
+// the crash-aware code paths.
+func (inj *Injector) Crashy() bool { return inj.crashy }
+
+// Crashed reports whether a node is currently down.
+func (inj *Injector) Crashed(node int) bool {
+	return node >= 0 && node < len(inj.down) && inj.down[node]
+}
+
+// OnCrash registers a callback run (in event context) whenever a node
+// goes down.
+func (inj *Injector) OnCrash(fn func(node int)) {
+	inj.onCrash = append(inj.onCrash, fn)
+}
+
+// WatchCrash registers a signal to be broadcast on every crash/recover
+// transition. A process waiting on a protocol signal that a dead peer
+// will never fire registers it here, wakes on the transition, re-checks
+// liveness, and unregisters via the returned function.
+func (inj *Injector) WatchCrash(s *sim.Signal) (unwatch func()) {
+	inj.watch = append(inj.watch, s)
+	return func() {
+		for i, x := range inj.watch {
+			if x == s {
+				inj.watch = append(inj.watch[:i], inj.watch[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // Policy returns the effective retry policy.
@@ -302,5 +390,27 @@ func (inj *Injector) push() {
 	})
 	for _, key := range keys {
 		inj.scaleWire(key[0], key[1], inj.allFactor*inj.linkFactor[key])
+	}
+	// Freeze every wire touching a crashed node (after the degrade
+	// factors above, so recovery restores the degraded — not the full —
+	// capacity).
+	anyDown := false
+	for _, d := range inj.down {
+		anyDown = anyDown || d
+	}
+	if !anyDown {
+		return
+	}
+	for from := range inj.down {
+		for to := range inj.down {
+			if from == to || (!inj.down[from] && !inj.down[to]) {
+				continue
+			}
+			f, ok := inj.linkFactor[[2]int{from, to}]
+			if !ok {
+				f = 1
+			}
+			inj.scaleWire(from, to, inj.allFactor*f*frozenWireFactor)
+		}
 	}
 }

@@ -42,6 +42,7 @@ func (n *Node) ExecCycles(p *sim.Proc, core int, cycles float64) {
 	if cycles <= 0 {
 		return
 	}
+	n.gateUp(p)
 	d := sim.Duration(float64(n.Freq.Cycles(core, cycles)) * n.CoreSlowdown(core))
 	n.Counters.AddExec(core, cycles, 0, 0, 0)
 	p.Sleep(d)
@@ -55,6 +56,7 @@ func (n *Node) MemAccesses(p *sim.Proc, core int, to int, count float64) {
 	if count <= 0 {
 		return
 	}
+	n.gateUp(p)
 	from := n.Spec.NUMAOfCore(core)
 	lat := n.AccessLatency(from, to)
 	p.Sleep(sim.Duration(float64(lat) * count))
@@ -103,6 +105,7 @@ func (n *Node) ExecCompute(p *sim.Proc, core int, spec ComputeSpec) sim.Duration
 	if spec.Flops == 0 && spec.Bytes == 0 {
 		return 0
 	}
+	n.gateUp(p)
 	exposure := spec.StallExposure
 	if exposure == 0 {
 		exposure = 1

@@ -79,6 +79,14 @@ type Node struct {
 	// throttled or faulty core retires work slower by this factor);
 	// nil means every core at its nominal speed.
 	slow []float64
+
+	// down marks a fail-stopped node (crash fault): every execution
+	// primitive entered while down blocks on upSig until recovery.
+	// In-flight fluid flows are the fault injector's concern (frozen
+	// wires); this flag stops the node's processes at the next slice
+	// boundary — the fail-stop granularity of the crash model.
+	down  bool
+	upSig *sim.Signal
 }
 
 // runningKernel is the bookkeeping for an in-flight compute flow.
@@ -99,6 +107,7 @@ func newNode(c *Cluster, id int, spec *topology.NodeSpec) *Node {
 		cluster:  c,
 		links:    make(map[linkKey]*fluid.Resource),
 		coreFlow: make([]*runningKernel, spec.Cores()),
+		upSig:    sim.NewSignal(c.K),
 	}
 	for i := 0; i < spec.NUMANodes(); i++ {
 		name := fmt.Sprintf("n%d.ctrl%d", id, i)
@@ -295,6 +304,31 @@ func (n *Node) SetCoreSlowdown(core int, f float64) {
 	n.slow[core] = f
 	if rk := n.coreFlow[core]; rk != nil && !rk.flow.Finished() {
 		n.cluster.Fluid.SetCap(rk.flow, rk.capOf())
+	}
+}
+
+// SetDown flips the node's crash state. Bringing the node back up wakes
+// every process gated on an execution primitive. Safe to call from
+// event context (the fault injector's crash/recover transitions).
+func (n *Node) SetDown(down bool) {
+	if n.down == down {
+		return
+	}
+	n.down = down
+	if !down {
+		n.upSig.Broadcast()
+	}
+}
+
+// Down reports whether the node is currently fail-stopped.
+func (n *Node) Down() bool { return n.down }
+
+// gateUp blocks p while the node is down. Called at the top of every
+// execution primitive: a crashed node's processes stop at the next
+// slice boundary and resume only on recovery.
+func (n *Node) gateUp(p *sim.Proc) {
+	for n.down {
+		n.upSig.Wait(p)
 	}
 }
 

@@ -1,0 +1,277 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Fault-tolerant point-to-point operations. SendFT and RecvFT mirror
+// Send and Recv but return ErrPeerDead instead of hanging when the
+// failure detector declares the peer dead mid-operation: every blocking
+// wait registers the protocol signal with the detector (Detector.Watch)
+// so a death declaration wakes the waiter, which re-checks the
+// completion flag (arrived / ctsOK / dmaOK) and the peer's liveness in
+// a loop. Without a detector (StartHeartbeat never called) they degrade
+// to the plain operations, so crash-free worlds keep their exact event
+// sequence.
+
+// ErrPeerDead reports that the failure detector declared the peer rank
+// dead before the operation could complete.
+var ErrPeerDead = errors.New("mpi: peer rank is dead")
+
+// SendFT is the fault-tolerant Send: it returns ErrPeerDead once the
+// detector declares dst dead (before or during the operation), and
+// wraps the lossy retransmission panic into an error return. A nil
+// detector falls back to plain Send.
+func (r *Rank) SendFT(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) error {
+	det := r.world.det
+	if det == nil {
+		r.Send(p, dst, tag, buf, size)
+		return nil
+	}
+	if size < 0 || (buf != nil && size > buf.Size) {
+		panic(fmt.Sprintf("mpi: send size %d out of buffer bounds", size))
+	}
+	if det.Dead(dst) {
+		return ErrPeerDead
+	}
+	r.gateComm(p)
+	start := p.Now()
+	peer := r.world.Rank(dst)
+	k := r.world.cluster.K
+	nw := r.world.nw
+	node := r.Node
+	inj := r.world.inj
+
+	bufNUMA := node.Spec.NIC.NUMA
+	if buf != nil {
+		bufNUMA = buf.NUMA
+	}
+	nw.SendOverhead(p, node, r.CommCore, bufNUMA)
+
+	if size <= r.eagerMax() {
+		dataNUMA := node.Spec.NIC.NUMA
+		if buf != nil {
+			dataNUMA = buf.NUMA
+		}
+		if inj != nil && inj.Lossy() {
+			for attempt := 0; ; attempt++ {
+				if det.Dead(dst) {
+					return ErrPeerDead
+				}
+				switch inj.Tx() {
+				case fault.TxOK:
+					r.injectEager(p, peer, tag, size, dataNUMA)
+					r.accountSend(size, p.Now().Sub(start))
+					return nil
+				case fault.TxCorrupt:
+					node.Counters.MsgsCorrupted++
+					if size > 0 {
+						nw.Memcpy(p, node, r.CommCore, dataNUMA, node.Spec.NIC.NUMA, size)
+						nw.TransferEager(p, node, peer.Node, size)
+					}
+				default: // TxLost
+					node.Counters.MsgsLost++
+				}
+				node.Counters.SendTimeouts++
+				if attempt >= inj.Policy().MaxRetries {
+					return &fault.TransferError{Op: "eager", Src: node.ID, Dst: peer.Node.ID, Attempts: attempt + 1}
+				}
+				node.Counters.SendRetries++
+				p.Sleep(inj.Backoff(attempt))
+			}
+		}
+		// An eager send to a dead (not yet declared) peer completes
+		// locally like real MPI: the payload is dropped on the crashed
+		// node's NIC and the error surfaces on a later operation.
+		r.injectEager(p, peer, tag, size, dataNUMA)
+		r.accountSend(size, p.Now().Sub(start))
+		return nil
+	}
+
+	// Rendezvous: the CTS wait is the blocking point a dead receiver
+	// would never release, so it is detector-watched.
+	r.register(p, buf)
+	m := &message{
+		src: r.ID, tag: tag, size: size,
+		srcRank: r, srcBuf: buf,
+		cts:     sim.NewSignal(k),
+		dmaDone: sim.NewSignal(k),
+	}
+	sendRTS := func() {
+		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+		k.After(lat, func() {
+			// A crashed node's NIC drops incoming control messages.
+			if inj != nil && inj.Crashed(peer.Node.ID) {
+				return
+			}
+			peer.deliverRTS(m)
+		})
+	}
+	if inj != nil && inj.Lossy() {
+		for attempt := 0; ; attempt++ {
+			if det.Dead(dst) {
+				return ErrPeerDead
+			}
+			switch inj.Tx() {
+			case fault.TxOK:
+				sendRTS()
+			case fault.TxCorrupt:
+				node.Counters.MsgsCorrupted++
+			default: // TxLost
+				node.Counters.MsgsLost++
+			}
+			if m.cts.WaitTimeout(p, inj.Backoff(attempt)) && m.ctsOK {
+				break
+			}
+			node.Counters.SendTimeouts++
+			if attempt >= inj.Policy().MaxRetries {
+				return &fault.TransferError{Op: "rendezvous", Src: node.ID, Dst: peer.Node.ID, Attempts: attempt + 1}
+			}
+			node.Counters.SendRetries++
+		}
+	} else {
+		sendRTS()
+		unwatch := det.Watch(m.cts)
+		for !m.ctsOK {
+			if det.Dead(dst) {
+				unwatch()
+				return ErrPeerDead
+			}
+			m.cts.Wait(p)
+		}
+		unwatch()
+	}
+	node.ExecCycles(p, r.CommCore, node.Spec.NIC.RecvCycles/2)
+	if !nw.TransferDMA(p, node, buf, peer.Node, m.recvBuf(), size) {
+		// The RDMA write was cut by a node crash; the detector will
+		// declare the death shortly, report it now.
+		return ErrPeerDead
+	}
+	m.dmaOK = true
+	m.dmaDone.Broadcast()
+	r.accountSend(size, p.Now().Sub(start))
+	return nil
+}
+
+// RecvFT is the fault-tolerant Recv: it returns ErrPeerDead when src is
+// (or is declared while waiting) dead and no matching message is
+// already queued. A nil detector falls back to plain Recv.
+func (r *Rank) RecvFT(p *sim.Proc, src, tag int, buf *machine.Buffer, size int64) error {
+	det := r.world.det
+	if det == nil {
+		r.Recv(p, src, tag, buf, size)
+		return nil
+	}
+	if size < 0 || (buf != nil && size > buf.Size) {
+		panic(fmt.Sprintf("mpi: recv size %d out of buffer bounds", size))
+	}
+	r.gateComm(p)
+	key := matchKey{src, tag}
+	var m *message
+	for m == nil {
+		if q := r.unexp[key]; len(q) > 0 {
+			m = q[0]
+			r.unexp[key] = q[1:]
+			break
+		}
+		if det.Dead(src) {
+			return ErrPeerDead
+		}
+		pr := &pendingRecv{sig: sim.NewSignal(r.world.cluster.K)}
+		r.pending[key] = append(r.pending[key], pr)
+		unwatch := det.Watch(pr.sig)
+		pr.sig.Wait(p)
+		unwatch()
+		if pr.msg != nil {
+			m = pr.msg
+			break
+		}
+		// Woken by a death broadcast, not a delivery: withdraw the
+		// posted receive and re-check liveness.
+		q := r.pending[key]
+		for i, x := range q {
+			if x == pr {
+				r.pending[key] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+	return r.completeFT(p, det, m, buf, size)
+}
+
+// completeFT finishes a matched receive like complete, but every wait on
+// the sender is detector-watched so a sender dying mid-protocol turns
+// into ErrPeerDead instead of a hang.
+func (r *Rank) completeFT(p *sim.Proc, det *Detector, m *message, buf *machine.Buffer, size int64) error {
+	nw := r.world.nw
+	node := r.Node
+	k := r.world.cluster.K
+	inj := r.world.inj
+
+	if m.size > size {
+		panic(fmt.Sprintf("mpi: message of %d bytes into %d-byte receive", m.size, size))
+	}
+	if m.eager {
+		unwatch := det.Watch(m.arrivedSig)
+		for !m.arrived {
+			if det.Dead(m.src) {
+				unwatch()
+				return ErrPeerDead
+			}
+			m.arrivedSig.Wait(p)
+		}
+		unwatch()
+		dNUMA := node.Spec.NIC.NUMA
+		if buf != nil {
+			dNUMA = buf.NUMA
+		}
+		nw.RecvOverhead(p, node, r.CommCore, dNUMA)
+		nw.Memcpy(p, node, r.CommCore, node.Spec.NIC.NUMA, dNUMA, m.size)
+		r.Node.Counters.BytesReceived += float64(m.size)
+		return nil
+	}
+
+	// Rendezvous.
+	node.ExecCycles(p, r.CommCore, (node.Spec.NIC.RecvCycles+node.Spec.NIC.SendCycles)/2)
+	r.register(p, buf)
+	m.rbuf = buf
+	sendCTS := func() {
+		if inj != nil && inj.Lossy() {
+			switch inj.Tx() {
+			case fault.TxCorrupt:
+				node.Counters.MsgsCorrupted++
+				return
+			case fault.TxLost:
+				node.Counters.MsgsLost++
+				return
+			}
+		}
+		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
+		k.After(lat, func() { m.ctsOK = true; m.cts.Broadcast() })
+	}
+	if inj != nil && inj.Lossy() {
+		m.resendCTS = sendCTS
+	}
+	sendCTS()
+	unwatch := det.Watch(m.dmaDone)
+	for !m.dmaOK {
+		if det.Dead(m.src) {
+			unwatch()
+			return ErrPeerDead
+		}
+		m.dmaDone.Wait(p)
+	}
+	unwatch()
+	rNUMA := node.Spec.NIC.NUMA
+	if buf != nil {
+		rNUMA = buf.NUMA
+	}
+	nw.RecvOverhead(p, node, r.CommCore, rNUMA)
+	r.Node.Counters.BytesReceived += float64(m.size)
+	return nil
+}

@@ -33,6 +33,9 @@ type World struct {
 	// retransmission for rendezvous handshakes. Healthy worlds never
 	// enter those paths, so their event sequence is unchanged.
 	inj *fault.Injector
+	// det is the heartbeat failure detector, armed by StartHeartbeat on
+	// worlds whose fault schedule contains node crashes; nil otherwise.
+	det *Detector
 }
 
 // NewWorld creates one rank per node of the cluster. Each rank's
@@ -83,12 +86,17 @@ type message struct {
 
 	// Rendezvous: the receiver broadcasts cts once its buffer is ready
 	// and the CTS control message has crossed the wire; the sender
-	// broadcasts dmaDone when the RDMA write has fully landed.
+	// broadcasts dmaDone when the RDMA write has fully landed. The ctsOK
+	// and dmaOK flags record those completions as state, so a
+	// fault-tolerant waiter woken by a crash broadcast (not by the
+	// protocol signal itself) can distinguish "done" from "peer died".
 	srcRank *Rank
 	srcBuf  *machine.Buffer
 	rbuf    *machine.Buffer // receiver's landing buffer, set before CTS
 	cts     *sim.Signal
+	ctsOK   bool
 	dmaDone *sim.Signal
+	dmaOK   bool
 
 	// Fault recovery: delivered dedups retransmitted RTS (the sender
 	// reuses the same message object per attempt), and resendCTS, set by
@@ -307,6 +315,7 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 	// Process the CTS before programming the RDMA engine.
 	node.ExecCycles(p, r.CommCore, node.Spec.NIC.RecvCycles/2)
 	nw.TransferDMA(p, node, buf, peer.Node, m.recvBuf(), size)
+	m.dmaOK = true
 	m.dmaDone.Broadcast()
 	r.accountSend(size, p.Now().Sub(start))
 }
@@ -331,7 +340,11 @@ func (r *Rank) injectEager(p *sim.Proc, peer *Rank, tag int, size int64, dataNUM
 			return
 		}
 		k.Spawn("eager-payload", func(tp *sim.Proc) {
-			nw.TransferEager(tp, node, peer.Node, size)
+			// A payload dropped by a node crash never arrives; the
+			// fault-tolerant receive path detects the dead sender instead.
+			if !nw.TransferEager(tp, node, peer.Node, size) {
+				return
+			}
 			m.arrived = true
 			m.arrivedSig.Broadcast()
 		})
@@ -429,13 +442,13 @@ func (r *Rank) complete(p *sim.Proc, m *message, buf *machine.Buffer, size int64
 				return
 			}
 			lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-			k.After(lat, func() { m.cts.Broadcast() })
+			k.After(lat, func() { m.ctsOK = true; m.cts.Broadcast() })
 		}
 		m.resendCTS = sendCTS
 		sendCTS()
 	} else {
 		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-		k.After(lat, func() { m.cts.Broadcast() })
+		k.After(lat, func() { m.ctsOK = true; m.cts.Broadcast() })
 	}
 	m.dmaDone.Wait(p)
 	rNUMA := node.Spec.NIC.NUMA

@@ -208,19 +208,42 @@ func (nw *Network) DMAUses(src *machine.Node, srcNUMA int, dst *machine.Node, ds
 	return uses
 }
 
+// waitFlow blocks p until the flow completes. On crash-free worlds it
+// is a plain signal wait (the historical event sequence). On worlds
+// with a crash schedule the wait is crash-aware: if either endpoint
+// dies, the frozen in-flight flow is cancelled (the NIC drops it) and
+// waitFlow reports false.
+func (nw *Network) waitFlow(p *sim.Proc, flow *fluid.Flow, done *sim.Signal, srcID, dstID int) bool {
+	if nw.inj == nil || !nw.inj.Crashy() {
+		done.Wait(p)
+		return true
+	}
+	unwatch := nw.inj.WatchCrash(done)
+	defer unwatch()
+	for !flow.Finished() {
+		if nw.inj.Crashed(srcID) || nw.inj.Crashed(dstID) {
+			nw.cluster.Fluid.Cancel(flow)
+			return false
+		}
+		done.Wait(p)
+	}
+	return true
+}
+
 // TransferDMA moves `bytes` from srcBuf to dstBuf as one zero-copy RDMA
 // flow, blocking p until the last byte lands. The flow's arbitration
 // priority against core streams grows with the stream census on the
-// crossed controllers (DESIGN.md §4).
+// crossed controllers (DESIGN.md §4). Reports false when a node crash
+// at either end dropped the transfer mid-flight (crash schedules only).
 func (nw *Network) TransferDMA(p *sim.Proc, src *machine.Node, srcBuf *machine.Buffer,
-	dst *machine.Node, dstBuf *machine.Buffer, bytes int64) {
+	dst *machine.Node, dstBuf *machine.Buffer, bytes int64) bool {
 	// A stalled NIC at either end delays programming the RDMA engine.
 	nw.gateNIC(p, src.ID)
 	nw.gateNIC(p, dst.ID)
 	pri := (src.DMAPriority(srcBuf.NUMA) + dst.DMAPriority(dstBuf.NUMA)) / 2
 	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
 	done := sim.NewSignal(nw.cluster.K)
-	nw.cluster.Fluid.Start(fluid.FlowSpec{
+	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
 		Name:     fmt.Sprintf("dma.n%d->n%d", src.ID, dst.ID),
 		Work:     float64(bytes),
 		Cap:      cap,
@@ -228,7 +251,7 @@ func (nw *Network) TransferDMA(p *sim.Proc, src *machine.Node, srcBuf *machine.B
 		Uses:     nw.DMAUses(src, srcBuf.NUMA, dst, dstBuf.NUMA),
 		OnDone:   done.Broadcast,
 	})
-	done.Wait(p)
+	return nw.waitFlow(p, flow, done, src.ID, dst.ID)
 }
 
 // Memcpy moves `bytes` on node n from srcNUMA to dstNUMA through the
@@ -267,10 +290,11 @@ func (nw *Network) Memcpy(p *sim.Proc, n *machine.Node, core int, srcNUMA, dstNU
 // message has landed there. The sender-side staging copy and the
 // receiver-side delivery copy are performed by the caller (mpi) around
 // this transfer. The flow crosses both PCIe links, the wire, and the
-// NIC-NUMA controllers of both ends.
-func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int64) {
+// NIC-NUMA controllers of both ends. Reports false when a node crash
+// dropped the transfer mid-flight (crash schedules only).
+func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int64) bool {
 	if bytes <= 0 {
-		return
+		return true
 	}
 	nw.gateNIC(p, src.ID)
 	nw.gateNIC(p, dst.ID)
@@ -284,7 +308,7 @@ func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int6
 		{Resource: dst.NUMA(dst.Spec.NIC.NUMA).Ctrl, Weight: 1},
 	}
 	done := sim.NewSignal(nw.cluster.K)
-	nw.cluster.Fluid.Start(fluid.FlowSpec{
+	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
 		Name:     fmt.Sprintf("eager.n%d->n%d", src.ID, dst.ID),
 		Work:     float64(bytes),
 		Cap:      cap,
@@ -292,5 +316,5 @@ func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int6
 		Uses:     uses,
 		OnDone:   done.Broadcast,
 	})
-	done.Wait(p)
+	return nw.waitFlow(p, flow, done, src.ID, dst.ID)
 }

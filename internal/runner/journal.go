@@ -1,0 +1,252 @@
+package runner
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// The campaign journal makes long campaigns crash-safe: every
+// completed experiment's result is appended to a JSON-lines file the
+// moment it finishes, keyed by experiment ID and a hash of the full
+// configuration (spec, seed, runs, format, fault schedule). A campaign
+// that is killed after experiment k can be re-run with -resume: results
+// already in the journal are replayed byte-identically and only the
+// missing experiments execute. Failed experiments are never journaled,
+// so a resume retries them.
+
+// journalSchema versions the entry format; entries with a different
+// schema are ignored on load (a stale journal degrades to a fresh
+// campaign, never to corrupt output).
+const journalSchema = 1
+
+// JournalEntry is one completed experiment as recorded on disk.
+type JournalEntry struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	// Cluster names the spec the experiment ran on; Hash fingerprints
+	// the full configuration (see ConfigHash) so a journal recorded
+	// under different settings is never replayed.
+	Cluster string `json:"cluster"`
+	Hash    string `json:"hash"`
+	// Rendered is the experiment's formatted output, replayed verbatim
+	// on resume.
+	Rendered string `json:"rendered"`
+	// The per-experiment accounting, preserved so the resumed
+	// campaign's summary still covers the cached rows.
+	SimSeconds float64           `json:"sim_seconds"`
+	Worlds     int               `json:"worlds"`
+	Tables     int               `json:"tables"`
+	Rows       int               `json:"rows"`
+	Attempts   int               `json:"attempts"`
+	WallMs     float64           `json:"wall_ms"`
+	Faults     bench.FaultTotals `json:"faults"`
+}
+
+// Journal is an append-only record of completed experiments.
+type Journal struct {
+	f       *os.File
+	entries map[string]JournalEntry // keyed by ID + "\x00" + Hash
+}
+
+// OpenJournal opens (creating if needed) the journal at path and loads
+// its entries. A corrupt trailing line — the signature of a campaign
+// killed mid-append — is tolerated: it is truncated away so later
+// appends start a clean line. Corruption anywhere else is an error.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: reading journal: %w", err)
+	}
+	j := &Journal{entries: make(map[string]JournalEntry)}
+	offset, truncateAt := 0, -1
+	for line := 1; offset < len(data); line++ {
+		end := bytes.IndexByte(data[offset:], '\n')
+		text := data[offset:]
+		next := len(data)
+		if end >= 0 {
+			text = data[offset : offset+end]
+			next = offset + end + 1
+		}
+		if len(bytes.TrimSpace(text)) == 0 {
+			offset = next
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(text, &e); err != nil {
+			if truncateAt >= 0 {
+				return nil, fmt.Errorf("runner: journal %s corrupt before line %d", path, line)
+			}
+			truncateAt = offset
+			offset = next
+			continue
+		}
+		if truncateAt >= 0 {
+			// A valid entry after a corrupt line means the damage was
+			// not a truncated tail.
+			return nil, fmt.Errorf("runner: journal %s corrupt before line %d", path, line)
+		}
+		if e.Schema == journalSchema {
+			j.entries[e.ID+"\x00"+e.Hash] = e
+		}
+		offset = next
+	}
+	if truncateAt >= 0 {
+		if err := os.Truncate(path, int64(truncateAt)); err != nil {
+			return nil, fmt.Errorf("runner: dropping journal %s torn tail: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Lookup returns the journaled entry for an experiment under the given
+// configuration hash, if one exists.
+func (j *Journal) Lookup(id, hash string) (JournalEntry, bool) {
+	e, ok := j.entries[id+"\x00"+hash]
+	return e, ok
+}
+
+// Len reports how many entries the journal holds.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Append records a completed experiment. The write is a single
+// appended line, so concurrent campaigns against distinct journals and
+// kills between experiments never corrupt earlier entries.
+func (j *Journal) Append(e JournalEntry) error {
+	e.Schema = journalSchema
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("runner: encoding journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("runner: appending to journal: %w", err)
+	}
+	j.entries[e.ID+"\x00"+e.Hash] = e
+	return nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ConfigHash fingerprints everything that determines an experiment's
+// output: the cluster spec, seed, run count, output format and fault
+// schedule. Two campaigns share journal entries exactly when their
+// outputs would be byte-identical.
+func ConfigHash(env bench.Env, format string) string {
+	spec, err := json.Marshal(env.Spec)
+	if err != nil {
+		spec = []byte(err.Error())
+	}
+	faults := ""
+	if env.Faults != nil {
+		faults = env.Faults.String()
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|seed=%d|runs=%d|format=%s|faults=%s", spec, env.Seed, env.Runs, format, faults)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entryFor converts a successful Result into its journal record.
+func entryFor(res Result, cluster, hash string) JournalEntry {
+	m := res.Metrics
+	return JournalEntry{
+		Schema:     journalSchema,
+		ID:         res.Exp.ID,
+		Cluster:    cluster,
+		Hash:       hash,
+		Rendered:   res.Rendered,
+		SimSeconds: m.SimSeconds,
+		Worlds:     m.Worlds,
+		Tables:     m.Tables,
+		Rows:       m.Rows,
+		Attempts:   m.Attempts,
+		WallMs:     float64(m.Wall.Milliseconds()),
+		Faults:     m.Faults,
+	}
+}
+
+// resultFor converts a journaled entry back into a (cached) Result.
+func resultFor(e JournalEntry, exp core.Experiment, index int) Result {
+	return Result{
+		Exp:      exp,
+		Index:    index,
+		Rendered: e.Rendered,
+		Cached:   true,
+		Metrics: Metrics{
+			ID:         e.ID,
+			SimSeconds: e.SimSeconds,
+			Worlds:     e.Worlds,
+			Tables:     e.Tables,
+			Rows:       e.Rows,
+			Attempts:   e.Attempts,
+			Faults:     e.Faults,
+		},
+	}
+}
+
+// RunResumable is Run with a crash-safe journal: freshly completed
+// experiments are appended to j as they finish, and when resume is
+// true, experiments already journaled under the same configuration are
+// replayed from the journal instead of executing. Results still arrive
+// in the order of exps — cached and fresh interleaved — so the
+// campaign output stays byte-identical to an uninterrupted run.
+// Failed experiments are never journaled. Journal append errors are
+// reported through the result's Err (the experiment itself succeeded,
+// but the campaign is no longer crash-safe, which the caller must see).
+func RunResumable(env bench.Env, exps []core.Experiment, opts Options, j *Journal, cluster string, resume bool) <-chan Result {
+	format := opts.Format
+	if format == "" {
+		format = "ascii"
+	}
+	hash := ConfigHash(env, format)
+
+	cached := make(map[int]JournalEntry)
+	var pending []core.Experiment
+	pendingIndex := make(map[string]int) // experiment ID -> index in exps
+	for i, e := range exps {
+		if resume {
+			if entry, ok := j.Lookup(e.ID, hash); ok {
+				cached[i] = entry
+				continue
+			}
+		}
+		pending = append(pending, e)
+		pendingIndex[e.ID] = i
+	}
+
+	fresh := Run(env, pending, opts)
+	out := make(chan Result)
+	go func() {
+		defer close(out)
+		for i, e := range exps {
+			if entry, ok := cached[i]; ok {
+				out <- resultFor(entry, e, i)
+				continue
+			}
+			res, ok := <-fresh
+			if !ok {
+				return
+			}
+			res.Index = pendingIndex[res.Exp.ID]
+			if res.Err == nil {
+				if err := j.Append(entryFor(res, cluster, hash)); err != nil {
+					res.Err = err
+				}
+			}
+			out <- res
+		}
+	}()
+	return out
+}

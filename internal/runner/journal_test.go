@@ -1,0 +1,237 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// fakeExp builds a cheap deterministic experiment that renders one row;
+// calls, when non-nil, counts executions (shared across workers only in
+// single-worker tests).
+func fakeExp(id string, calls *int) core.Experiment {
+	return core.Experiment{ID: id, Title: id, Run: func(bench.Env) []*trace.Table {
+		if calls != nil {
+			*calls++
+		}
+		tb := trace.NewTable("t:"+id, "v")
+		tb.Add(id)
+		return []*trace.Table{tb}
+	}}
+}
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "j.jsonl")
+}
+
+func TestJournalAppendLookupReload(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := JournalEntry{ID: "fig3", Cluster: "henri", Hash: "abc", Rendered: "table\n", Worlds: 2, Rows: 5}
+	if err := j.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Lookup("fig3", "other"); ok {
+		t.Fatal("Lookup matched a different hash")
+	}
+	got, ok := j.Lookup("fig3", "abc")
+	if !ok || got.Rendered != "table\n" || got.Worlds != 2 {
+		t.Fatalf("Lookup after Append: %+v, ok=%v", got, ok)
+	}
+	j.Close()
+
+	// Reload from disk: the entry persists.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got, ok := j2.Lookup("fig3", "abc"); !ok || got.Rendered != "table\n" {
+		t.Fatalf("Lookup after reload: %+v, ok=%v", got, ok)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("reloaded journal holds %d entries, want 1", j2.Len())
+	}
+}
+
+// TestJournalToleratesTruncatedTail: a campaign killed mid-append
+// leaves a partial final line; opening the journal drops it and keeps
+// every complete entry.
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalEntry{ID: "a", Hash: "h", Rendered: "A\n"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"schema":1,"id":"b","hash":"h","rend`) // torn write, no newline
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("truncated tail not tolerated: %v", err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("a", "h"); !ok {
+		t.Fatal("complete entry lost")
+	}
+	if _, ok := j2.Lookup("b", "h"); ok {
+		t.Fatal("torn entry resurrected")
+	}
+	// Appending after recovery starts a fresh valid line.
+	if err := j2.Append(JournalEntry{ID: "c", Hash: "h", Rendered: "C\n"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after recovery append: %v", err)
+	}
+	defer j3.Close()
+	if _, ok := j3.Lookup("c", "h"); !ok {
+		t.Fatal("post-recovery append lost")
+	}
+}
+
+// TestJournalRejectsMidFileCorruption: damage that is not a truncated
+// tail is an error, not a silent skip.
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := tmpJournal(t)
+	body := `garbage not json
+{"schema":1,"id":"a","hash":"h"}
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption accepted: %v", err)
+	}
+}
+
+func TestConfigHashSensitivity(t *testing.T) {
+	env := testEnv(t)
+	base := ConfigHash(env, "ascii")
+	if base != ConfigHash(env, "ascii") {
+		t.Fatal("hash not deterministic")
+	}
+	seed := env
+	seed.Seed++
+	runs := env
+	runs.Runs++
+	faulty := env
+	faulty.Faults = &fault.Schedule{Events: []fault.Event{{Kind: fault.PacketLoss, Prob: 0.5, Node: -1, From: -1, To: -1}}}
+	for name, h := range map[string]string{
+		"format": ConfigHash(env, "csv"),
+		"seed":   ConfigHash(seed, "ascii"),
+		"runs":   ConfigHash(runs, "ascii"),
+		"faults": ConfigHash(faulty, "ascii"),
+	} {
+		if h == base {
+			t.Errorf("changing %s does not change the config hash", name)
+		}
+	}
+}
+
+// TestRunResumableSkipsJournaled: with resume on, journaled experiments
+// replay without executing, fresh ones run and are appended, and the
+// merged stream stays in submission order.
+func TestRunResumableSkipsJournaled(t *testing.T) {
+	env := testEnv(t)
+	j, err := OpenJournal(tmpJournal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var aCalls, bCalls, cCalls int
+	exps := []core.Experiment{fakeExp("a", &aCalls), fakeExp("b", &bCalls), fakeExp("c", &cCalls)}
+	opts := Options{Workers: 1}
+
+	// Seed the journal with a completed run of "b" under this config.
+	hash := ConfigHash(env, "ascii")
+	pre := Collect(Run(env, exps[1:2], opts))
+	if err := j.Append(entryFor(pre[0], "henri", hash)); err != nil {
+		t.Fatal(err)
+	}
+	bRendered := pre[0].Rendered
+
+	res := Collect(RunResumable(env, exps, opts, j, "henri", true))
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if res[i].Exp.ID != want || res[i].Index != i {
+			t.Fatalf("result %d is %s (index %d), want %s (submission order)", i, res[i].Exp.ID, res[i].Index, want)
+		}
+		if res[i].Err != nil {
+			t.Fatalf("%s: %v", want, res[i].Err)
+		}
+	}
+	if aCalls != 1 || cCalls != 1 {
+		t.Fatalf("fresh experiments ran %d/%d times, want 1/1", aCalls, cCalls)
+	}
+	if bCalls != 1 {
+		t.Fatalf("journaled experiment executed again (%d runs total, want the 1 seeding run)", bCalls)
+	}
+	if !res[1].Cached || res[1].Rendered != bRendered {
+		t.Fatalf("cached result wrong: cached=%v rendered=%q", res[1].Cached, res[1].Rendered)
+	}
+	if res[0].Cached || res[2].Cached {
+		t.Fatal("fresh results marked cached")
+	}
+	// The fresh completions were journaled: a second resume is all-cached.
+	res2 := Collect(RunResumable(env, exps, opts, j, "henri", true))
+	for i, r := range res2 {
+		if !r.Cached {
+			t.Fatalf("result %d not cached on second resume", i)
+		}
+		if r.Rendered != res[i].Rendered {
+			t.Fatalf("result %d rendering drifted across resume", i)
+		}
+	}
+	if aCalls != 1 || bCalls != 1 || cCalls != 1 {
+		t.Fatalf("second resume executed experiments: %d/%d/%d", aCalls, bCalls, cCalls)
+	}
+}
+
+// TestRunResumableNeverJournalsFailures: a failing experiment yields an
+// error result and stays out of the journal, so a resume retries it.
+func TestRunResumableNeverJournalsFailures(t *testing.T) {
+	env := testEnv(t)
+	j, err := OpenJournal(tmpJournal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	boom := core.Experiment{ID: "boom", Title: "boom", Run: func(bench.Env) []*trace.Table {
+		panic("kaboom")
+	}}
+	exps := []core.Experiment{fakeExp("ok", nil), boom}
+	res := Collect(RunResumable(env, exps, Options{Workers: 1}, j, "henri", false))
+	if res[0].Err != nil || res[1].Err == nil {
+		t.Fatalf("unexpected outcomes: %v / %v", res[0].Err, res[1].Err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("journal holds %d entries, want 1 (failures must not be recorded)", j.Len())
+	}
+	if _, ok := j.Lookup("boom", ConfigHash(env, "ascii")); ok {
+		t.Fatal("failed experiment journaled")
+	}
+}

@@ -48,6 +48,10 @@ type Result struct {
 	// Err is non-nil when the experiment panicked or failed to render;
 	// the other workers keep running.
 	Err error
+	// Cached marks a result replayed from a campaign journal instead of
+	// executed (see RunResumable); Tables is nil for cached results but
+	// Rendered and Metrics carry the journaled values.
+	Cached bool
 	// Metrics is the per-experiment accounting.
 	Metrics Metrics
 }
@@ -204,8 +208,11 @@ func Summary(results []Result) *trace.Table {
 	var worlds, tables, rows int
 	for _, r := range results {
 		status := "ok"
-		if r.Err != nil {
+		switch {
+		case r.Err != nil:
 			status = "error"
+		case r.Cached:
+			status = "cached"
 		}
 		m := r.Metrics
 		t.Add(m.ID, status, float64(m.Wall.Milliseconds()), m.SimSeconds, m.Worlds, m.Tables, m.Rows)

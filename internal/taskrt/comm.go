@@ -23,6 +23,43 @@ func (rt *Runtime) PostRecv(p *sim.Proc, peer, tag int, buf *machine.Buffer, siz
 	return rt.post(p, &commReq{send: false, peer: peer, tag: tag, buf: buf, size: size, onDone: onDone})
 }
 
+// CommHandle tracks a fault-tolerant communication request posted with
+// PostSendFT/PostRecvFT.
+type CommHandle struct {
+	req *commReq
+}
+
+// Done reports whether the request has completed (successfully or not).
+func (h *CommHandle) Done() bool { return h.req.complete }
+
+// Err returns the request's outcome; only meaningful once Done.
+func (h *CommHandle) Err() error { return h.req.err }
+
+// Wait blocks p until the request completes and returns its outcome:
+// nil on success, mpi.ErrPeerDead when the peer died mid-transfer.
+func (h *CommHandle) Wait(p *sim.Proc) error {
+	for !h.req.complete {
+		h.req.doneSig.Wait(p)
+	}
+	return h.req.err
+}
+
+// PostSendFT is PostSend routed through the fault-tolerant MPI send:
+// instead of hanging on a dead peer, the request completes with
+// mpi.ErrPeerDead (surfaced by the returned handle's Wait).
+func (rt *Runtime) PostSendFT(p *sim.Proc, peer, tag int, buf *machine.Buffer, size int64) *CommHandle {
+	req := &commReq{send: true, peer: peer, tag: tag, buf: buf, size: size, ft: true}
+	rt.post(p, req)
+	return &CommHandle{req: req}
+}
+
+// PostRecvFT is PostRecv routed through the fault-tolerant MPI receive.
+func (rt *Runtime) PostRecvFT(p *sim.Proc, peer, tag int, buf *machine.Buffer, size int64) *CommHandle {
+	req := &commReq{send: false, peer: peer, tag: tag, buf: buf, size: size, ft: true}
+	rt.post(p, req)
+	return &CommHandle{req: req}
+}
+
 func (rt *Runtime) post(p *sim.Proc, req *commReq) *sim.Signal {
 	if rt.cfg.Rank == nil {
 		panic("taskrt: runtime has no MPI rank")
@@ -73,9 +110,17 @@ func (rt *Runtime) commLoop(p *sim.Proc) {
 			if req.send {
 				label = "send"
 			}
-			if req.send {
+			switch {
+			case req.ft && req.send:
+				req.err = rank.SendFT(hp, req.peer, req.tag, req.buf, req.size)
+			case req.ft:
+				req.err = rank.RecvFT(hp, req.peer, req.tag, req.buf, req.size)
+				if req.err == nil {
+					node.MemAccesses(hp, core, dataNUMA, handleAccesses)
+				}
+			case req.send:
 				rank.Send(hp, req.peer, req.tag, req.buf, req.size)
-			} else {
+			default:
 				rank.Recv(hp, req.peer, req.tag, req.buf, req.size)
 				node.MemAccesses(hp, core, dataNUMA, handleAccesses)
 			}

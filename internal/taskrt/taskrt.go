@@ -127,6 +127,11 @@ type commReq struct {
 	doneSig  *sim.Signal
 	complete bool
 	sentinel bool
+	// ft routes the request through the fault-tolerant MPI operations
+	// (SendFT/RecvFT); err records their outcome (nil, ErrPeerDead, or a
+	// retransmission-budget failure) for CommHandle.Wait.
+	ft  bool
+	err error
 }
 
 // Runtime is one node's runtime instance.
