@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench results faults crash examples fuzz clean
+.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz clean
 
-all: build vet test test-race
+all: build vet test test-race bench
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,31 @@ test-race:
 verify:
 	$(GO) run ./cmd/interference -all -verify -q
 
-# One testing.B benchmark per paper table/figure, with paper-comparable
-# custom metrics (see EXPERIMENTS.md).
+# Performance trajectory: solver/kernel microbenchmarks (with their
+# reference-solver baselines), the per-figure paper benchmarks, and a
+# timed full-campaign run, all folded into BENCH_sim.json by
+# cmd/benchreport. Compare trajectories with
+#   go run ./cmd/benchreport -totext <old.json> > old.txt   (+ new)
+#   benchstat old.txt new.txt
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchmem -benchtime=200ms -run='^$$' ./internal/fluid ./internal/sim > bench_output.txt
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . >> bench_output.txt
+	$(GO) run ./cmd/benchreport -in bench_output.txt -out BENCH_sim.json
+
+# Total test coverage, and the ratchet: fail if total coverage drops
+# more than 0.5 points below the committed baseline
+# (.github/coverage-baseline.txt). Raise the baseline when coverage
+# durably improves.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	base=$$(cat .github/coverage-baseline.txt); \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { \
+		if (t + 0.5 < b) { printf "coverage %.1f%% is more than 0.5 points below the %.1f%% baseline\n", t, b; exit 1 } \
+		printf "coverage %.1f%% (baseline %.1f%%)\n", t, b }'
 
 # Regenerate every experiment's golden file in results/ (ASCII tables).
 results:

@@ -1,0 +1,240 @@
+// Command benchreport turns `go test -bench` output plus a timed
+// full-campaign run into BENCH_sim.json, the repo's committed
+// performance trajectory.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... > bench_output.txt
+//	benchreport -in bench_output.txt -out BENCH_sim.json
+//	benchreport -totext BENCH_sim.json      # re-emit Go benchmark text for benchstat
+//
+// The JSON records ns/op, B/op and allocs/op for every benchmark, the
+// optimized-vs-reference solver ratios the acceptance bar tracks, and
+// the wall time of a full golden campaign run in-process. -totext
+// converts a (current or historical) BENCH_sim.json back into the Go
+// benchmark text format, so CI can diff trajectories with benchstat.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Benchmark is one benchmark's measured costs.
+type Benchmark struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Campaign is the timed full-golden-campaign run.
+type Campaign struct {
+	Cluster     string  `json:"cluster"`
+	Experiments int     `json:"experiments"`
+	Runs        int     `json:"runs"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Schema     int                  `json:"schema"`
+	GoVersion  string               `json:"go_version"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+	// Derived holds the solver acceptance ratios: how much faster and
+	// how much less allocation-hungry the incremental solver is than
+	// the reference solver on the same workload.
+	Derived  map[string]float64 `json:"derived"`
+	Campaign *Campaign          `json:"campaign,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, with or without
+// the -benchmem columns and the -N GOMAXPROCS suffix.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	var (
+		in       = flag.String("in", "bench_output.txt", "file with `go test -bench` output")
+		out      = flag.String("out", "BENCH_sim.json", "report destination")
+		campaign = flag.Bool("campaign", true, "also run and time the full golden campaign in-process")
+		cluster  = flag.String("cluster", "henri", "campaign cluster preset")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "campaign worker count")
+		toText   = flag.String("totext", "", "convert this BENCH_sim.json to Go benchmark text on stdout and exit")
+	)
+	flag.Parse()
+
+	if *toText != "" {
+		if err := emitText(*toText); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	benches, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep := Report{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		Benchmarks: benches,
+		Derived:    derive(benches),
+	}
+	if *campaign {
+		c, err := timeCampaign(*cluster, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		rep.Campaign = c
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: %d benchmarks -> %s\n", len(benches), *out)
+	for _, k := range []string{"solve_speedup_vs_reference", "solve_allocs_saved_per_op",
+		"churn_speedup_vs_reference", "churn_allocs_ratio"} {
+		if v, ok := rep.Derived[k]; ok {
+			fmt.Printf("  %s = %.2f\n", k, v)
+		}
+	}
+	if rep.Campaign != nil {
+		fmt.Printf("  campaign: %d experiments on %s in %.2fs (j=%d)\n",
+			rep.Campaign.Experiments, rep.Campaign.Cluster, rep.Campaign.WallSeconds, rep.Campaign.Workers)
+	}
+}
+
+// parseBench extracts every benchmark result line from a `go test
+// -bench` output file. Duplicate names (e.g. the same benchmark from
+// -count>1) keep the last occurrence.
+func parseBench(path string) (map[string]Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	benches := map[string]Benchmark{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		mm := benchLine.FindStringSubmatch(sc.Text())
+		if mm == nil {
+			continue
+		}
+		var b Benchmark
+		b.Iters, _ = strconv.ParseInt(mm[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(mm[3], 64)
+		if mm[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(mm[4], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(mm[5], 64)
+		}
+		benches[mm[1]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return benches, nil
+}
+
+// derive computes the optimized-vs-reference solver ratios tracked by
+// the acceptance bar. Alloc comparisons come in two flavours: a plain
+// ratio when the optimized side still allocates, and an absolute
+// allocs-saved figure when it reaches zero (a ratio against zero is
+// meaningless).
+func derive(b map[string]Benchmark) map[string]float64 {
+	d := map[string]float64{}
+	pair := func(prefix, opt, ref string) {
+		o, okO := b[opt]
+		r, okR := b[ref]
+		if !okO || !okR || o.NsPerOp == 0 {
+			return
+		}
+		d[prefix+"_speedup_vs_reference"] = r.NsPerOp / o.NsPerOp
+		if o.AllocsPerOp > 0 {
+			d[prefix+"_allocs_ratio"] = r.AllocsPerOp / o.AllocsPerOp
+		} else {
+			d[prefix+"_allocs_saved_per_op"] = r.AllocsPerOp
+		}
+	}
+	pair("solve", "BenchmarkSolve", "BenchmarkSolveReference")
+	pair("churn", "BenchmarkFlowChurn", "BenchmarkFlowChurnReference")
+	return d
+}
+
+// timeCampaign runs the full experiment registry in-process (the same
+// configuration the goldens are recorded under: seed 1, 3 runs) and
+// reports its wall time.
+func timeCampaign(cluster string, jobs int) (*Campaign, error) {
+	env, err := core.Env(cluster, 1, 3)
+	if err != nil {
+		return nil, err
+	}
+	todo := core.Experiments()
+	start := time.Now()
+	for res := range runner.Run(env, todo, runner.Options{Workers: jobs}) {
+		if res.Err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", res.Exp.ID, res.Err)
+		}
+	}
+	return &Campaign{
+		Cluster:     cluster,
+		Experiments: len(todo),
+		Runs:        3,
+		Workers:     jobs,
+		WallSeconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// emitText converts a BENCH_sim.json back into Go benchmark text
+// format (sorted by name, fixed GOMAXPROCS suffix elided) so two
+// trajectories can be compared with benchstat.
+func emitText(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := rep.Benchmarks[name]
+		fmt.Printf("%s %d %.4g ns/op %.4g B/op %.4g allocs/op\n",
+			name, b.Iters, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	if rep.Campaign != nil {
+		// Encode campaign wall time as a synthetic benchmark so it rides
+		// along in the benchstat comparison.
+		fmt.Printf("BenchmarkCampaign%s 1 %.6g ns/op\n",
+			rep.Campaign.Cluster, rep.Campaign.WallSeconds*1e9)
+	}
+	return nil
+}

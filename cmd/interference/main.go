@@ -23,11 +23,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fluid"
 	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -61,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retry    = fs.Int("retry", 0, "extra attempts for a failed experiment")
 		journal  = fs.String("journal", "", "append completed results to this JSON-lines journal (crash-safe campaigns)")
 		resume   = fs.Bool("resume", false, "replay results already in -journal and run only the missing experiments")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (whole process: with -j>1 all workers share one profile)")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit (whole process: with -j>1 all workers share one profile)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,6 +107,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if (*verify || *update) && *format != "ascii" {
 		fmt.Fprintln(stderr, "interference: golden files are ascii; -format", *format, "cannot be combined with -verify/-update")
 		return 2
+	}
+	// Profiles cover the whole process by design: experiment workers are
+	// goroutines in this process, so with -j>1 the profile aggregates
+	// every worker rather than attributing samples per experiment. That
+	// is the useful view for solver/kernel hot-spot hunting; per-
+	// experiment attribution falls out of the pprof call graph anyway
+	// (each experiment enters through its own registered function).
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "interference:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "interference:", err)
+			}
+		}()
+	}
+	if *verify {
+		// Golden verification also arms the solver's differential oracle:
+		// every incremental re-solve is shadowed by the reference solver
+		// and any disagreement panics, so a -verify pass certifies both
+		// the rendered bytes and the allocation math behind them.
+		fluid.SetDifferential(true)
 	}
 	if *all {
 		*exp = "all"

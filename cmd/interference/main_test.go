@@ -128,3 +128,35 @@ func TestStdoutDeterministicAcrossJobs(t *testing.T) {
 		t.Fatalf("stdout differs between -j 1 and -j 4:\n%q\n%q", out1, out4)
 	}
 }
+
+// TestProfilingFlags runs a small experiment with -cpuprofile and
+// -memprofile and checks both profiles materialise (whole-process
+// profiles, valid at any -j).
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	code, _, stderr := runCLI("-exp", "sec5.2", "-runs", "1", "-j", "2", "-q",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestCPUProfileUnwritable checks the flag fails cleanly when the
+// profile path cannot be created.
+func TestCPUProfileUnwritable(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "sec5.2", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"))
+	if code != 2 {
+		t.Fatalf("exit %d, want 2: %s", code, stderr)
+	}
+}

@@ -6,11 +6,20 @@ import (
 	"repro/internal/sim"
 )
 
-// BenchmarkSolve measures one progressive-filling pass at the scale of
-// a loaded henri node: ~20 resources, ~40 flows.
-func BenchmarkSolve(b *testing.B) {
+// Solver benchmarks, in incremental/reference pairs so BENCH_sim.json
+// can report the speedup and allocation ratios directly. The
+// *PaperScale variants use the shape of the paper's experiments: a
+// henri-node-sized resource graph (2 NUMA nodes: controllers, inter-die
+// link, per-core ports) with 35 concurrent flows — the largest flow
+// count any figure drives through one node.
+
+// benchTopology builds ~20 resources with 40 flows spread across them,
+// the scale of a loaded node.
+func benchTopology(b *testing.B) *Model {
+	b.Helper()
 	k := sim.NewKernel(1)
 	m := NewModel(k)
+	m.differential = false
 	var res []*Resource
 	for i := 0; i < 20; i++ {
 		res = append(res, m.NewResource("r", 50e9))
@@ -22,24 +31,96 @@ func BenchmarkSolve(b *testing.B) {
 		}
 		m.StartFlow("f", 1e18, 12e9, uses, nil)
 	}
+	return m
+}
+
+// paperTopology models a henri node at paper scale: 2 NUMA domains,
+// each with a memory controller and 8 core ports, plus the UPI link —
+// 19 resources — loaded with 35 flows (compute kernels pinned to a
+// port+controller, memory streams crossing the link).
+func paperTopology(b *testing.B) *Model {
+	b.Helper()
+	k := sim.NewKernel(1)
+	m := NewModel(k)
+	m.differential = false
+	ctrl := []*Resource{m.NewResource("numa0.mc", 45e9), m.NewResource("numa1.mc", 45e9)}
+	upi := m.NewResource("upi", 20e9)
+	var ports []*Resource
+	for i := 0; i < 16; i++ {
+		ports = append(ports, m.NewResource("port", 15e9))
+	}
+	for i := 0; i < 35; i++ {
+		port := ports[i%16]
+		local := ctrl[(i%16)/8]
+		uses := []Use{{port, 1}, {local, 1}}
+		if i%4 == 0 { // remote accesses cross the inter-die link
+			uses = append(uses, Use{upi, 1}, Use{ctrl[1-(i%16)/8], 1})
+		}
+		m.StartFlow("k", 1e18, 14e9, uses, nil)
+	}
+	return m
+}
+
+// BenchmarkSolve measures one full progressive-filling pass of the
+// incremental solver (all components dirty) at loaded-node scale.
+func BenchmarkSolve(b *testing.B) {
+	m := benchTopology(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.solve()
+		m.solveAll()
 	}
 }
 
-// BenchmarkFlowChurn measures start+cancel cycles (each triggers a
-// re-solve), the dominant cost of fine-grained kernels.
-func BenchmarkFlowChurn(b *testing.B) {
-	k := sim.NewKernel(1)
-	m := NewModel(k)
-	r := m.NewResource("bus", 50e9)
-	for i := 0; i < 30; i++ {
-		m.StartFlow("bg", 1e18, 2e9, []Use{{r, 1}}, nil)
-	}
+// BenchmarkSolveReference is the same pass through the original
+// map-based whole-model solver.
+func BenchmarkSolveReference(b *testing.B) {
+	m := benchTopology(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := m.StartFlow("churn", 1e12, 12e9, []Use{{r, 1}}, nil)
+		m.solveReferenceInPlace()
+	}
+}
+
+// BenchmarkSolvePaperScale is a full pass over the henri-sized graph
+// with 35 flows.
+func BenchmarkSolvePaperScale(b *testing.B) {
+	m := paperTopology(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.solveAll()
+	}
+}
+
+// churn runs start+cancel cycles (each triggers a re-solve) against a
+// loaded-node model — the dominant cost of fine-grained kernels. The
+// uses slice lives outside the loop: Start copies it, so steady-state
+// churn allocates only the Flow struct itself.
+func churn(b *testing.B, m *Model) {
+	b.Helper()
+	uses := []Use{{m.resources[0], 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := m.StartFlow("churn", 1e12, 12e9, uses, nil)
 		m.Cancel(f)
 	}
+}
+
+func BenchmarkFlowChurn(b *testing.B) {
+	churn(b, benchTopology(b))
+}
+
+func BenchmarkFlowChurnReference(b *testing.B) {
+	m := benchTopology(b)
+	m.UseReference(true)
+	churn(b, m)
+}
+
+// BenchmarkFlowChurnPaperScale starts and cancels a memory-stream flow
+// against the loaded henri-sized graph.
+func BenchmarkFlowChurnPaperScale(b *testing.B) {
+	churn(b, paperTopology(b))
 }

@@ -13,6 +13,22 @@
 // The model is driven by a sim.Kernel: whenever the flow set or a
 // capacity changes, rates are re-solved and the next flow completion is
 // (re)scheduled as a simulation event.
+//
+// # Solver implementation
+//
+// The solver is incremental: resources and flows carry dense integer
+// indices into preallocated scratch arrays, every resource keeps an
+// adjacency list of the flows crossing it, and a mutation (flow
+// add/remove, cap or capacity change) re-solves only the connected
+// component of the resource/flow bipartite graph that the mutation
+// touched — flows in unrelated components keep their rates. The
+// restriction is exact, not approximate: progressive filling fixes
+// flows in ascending threshold order and a fix only mutates the
+// availability/weight bookkeeping of the resources that flow crosses,
+// so the sequence of floating-point operations applied to a component
+// is bit-for-bit the one a full re-solve would apply (see
+// reference.go for the original whole-model solver, kept as the
+// differential oracle, and DESIGN.md §4 for the equivalence argument).
 package fluid
 
 import (
@@ -31,6 +47,23 @@ type Resource struct {
 	model    *Model
 	// load is the sum of w·r over current flows, maintained by solve.
 	load float64
+	// id is the dense index into the model's scratch arrays.
+	id int
+	// flows lists the active flows crossing this resource (the
+	// adjacency the incremental solver walks to find the touched
+	// connected component).
+	flows []resUse
+	// mark is the epoch stamp of the last component traversal that
+	// visited this resource.
+	mark uint64
+}
+
+// resUse is one edge of the resource→flow adjacency: the flow and the
+// position of this resource in the flow's uses list (so removal can fix
+// up the back-pointers of the entry swapped into the hole).
+type resUse struct {
+	f   *Flow
+	idx int
 }
 
 // Name returns the resource name given at creation.
@@ -76,11 +109,13 @@ type Flow struct {
 	rate      float64
 	cap       float64 // private rate bound; 0 means unbounded
 	priority  float64 // rate multiplier in the fair allocation; ≥ default 1
-	uses      []Use
+	uses      []Use   // model-owned copy of the spec's uses (pooled)
+	usePos    []int   // position of this flow in each use's resource list
 	onDone    func()
 	started   sim.Time
 	finished  bool
-	index     int // position in model.flows, -1 when removed
+	index     int    // position in model.flows, -1 when removed
+	mark      uint64 // component-traversal epoch stamp
 }
 
 // FlowSpec describes a flow to start.
@@ -95,7 +130,9 @@ type FlowSpec struct {
 	// Hardware DMA engines, which win memory-controller arbitration
 	// against core streams, get Priority > 1. Zero means 1.
 	Priority float64
-	// Uses lists the resources crossed, with consumption weights.
+	// Uses lists the resources crossed, with consumption weights. The
+	// slice is copied into model-owned (pooled) storage at Start, so
+	// callers may reuse a scratch buffer across starts.
 	Uses []Use
 	// OnDone, if non-nil, runs as a simulation event at completion.
 	OnDone func()
@@ -130,18 +167,69 @@ type Model struct {
 	resources  []*Resource
 	flows      []*Flow
 	lastUpdate sim.Time
-	next       *sim.Event
+	next       *sim.Timer // reusable next-completion event
 	solves     uint64
+	epoch      uint64 // component-traversal epoch
+
+	// reference forces the original whole-model map-based solver on
+	// every re-solve (benchmarks and differential tests).
+	reference bool
+	// differential re-runs the reference solver after every incremental
+	// solve and panics if any rate or load disagrees by more than one
+	// ulp — the oracle guarding golden verification runs.
+	differential bool
+
+	// dirty seeds accumulated since the last solve: the incremental
+	// solver re-solves the union of the connected components reachable
+	// from them.
+	dirtyFlows []*Flow
+	dirtyRes   []*Resource
+
+	// Scratch buffers, reused across solves so the steady state
+	// allocates nothing. avail/wsum are indexed by Resource.id.
+	avail     []float64
+	wsum      []float64
+	fixed     []bool
+	compFlows []*Flow
+	compRes   []*Resource
+	resQ      []*Resource
+	done      []*Flow
+
+	// Free lists for the model-owned per-flow bookkeeping arrays,
+	// recycled when a flow is removed.
+	freeUses [][]Use
+	freePos  [][]int
 }
 
 // NewModel returns an empty fluid model driven by kernel k.
 func NewModel(k *sim.Kernel) *Model {
-	return &Model{k: k}
+	m := &Model{k: k, differential: differentialDefault}
+	m.next = k.NewTimer(func() {
+		m.advance()
+		m.resolve()
+	})
+	return m
 }
 
-// Solves reports how many times the allocation was recomputed (for
-// performance diagnostics).
+// Solves reports how many times an allocation was recomputed (full or
+// component-scoped; for performance diagnostics).
 func (m *Model) Solves() uint64 { return m.solves }
+
+// differentialDefault seeds the differential flag of newly created
+// models; set it with SetDifferential before building any world.
+var differentialDefault bool
+
+// SetDifferential toggles the differential oracle for models created
+// afterwards: every incremental solve is shadowed by the reference
+// solver and any disagreement beyond one ulp panics. Roughly doubles
+// solver cost; meant for golden-verification runs and tests. Not safe
+// to call concurrently with model creation.
+func SetDifferential(on bool) { differentialDefault = on }
+
+// UseReference forces the original whole-model map-based solver for
+// every subsequent re-solve of this model. Benchmarks and equivalence
+// tests only.
+func (m *Model) UseReference(on bool) { m.reference = on }
 
 // NewResource registers a resource with the given capacity in
 // units/second. Capacity must be positive.
@@ -149,13 +237,16 @@ func (m *Model) NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("fluid: resource %q capacity %v must be positive", name, capacity))
 	}
-	r := &Resource{name: name, capacity: capacity, model: m}
+	r := &Resource{name: name, capacity: capacity, model: m, id: len(m.resources)}
 	m.resources = append(m.resources, r)
+	m.avail = append(m.avail, 0)
+	m.wsum = append(m.wsum, 0)
 	return r
 }
 
 // SetCapacity changes a resource's capacity and re-solves the
-// allocation. Used for frequency scaling.
+// allocation of the component it belongs to. Used for frequency
+// scaling.
 func (m *Model) SetCapacity(r *Resource, capacity float64) {
 	if capacity <= 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("fluid: resource %q capacity %v must be positive", r.name, capacity))
@@ -165,6 +256,7 @@ func (m *Model) SetCapacity(r *Resource, capacity float64) {
 	}
 	m.advance()
 	r.capacity = capacity
+	m.dirtyRes = append(m.dirtyRes, r)
 	m.resolve()
 }
 
@@ -208,18 +300,43 @@ func (m *Model) Start(spec FlowSpec) *Flow {
 		total:     spec.Work,
 		cap:       spec.Cap,
 		priority:  pri,
-		uses:      spec.Uses,
 		onDone:    spec.OnDone,
 		started:   m.k.Now(),
 		index:     len(m.flows),
 	}
+	f.uses, f.usePos = m.newFlowArrays(spec.Uses)
+	for i, u := range f.uses {
+		r := u.Resource
+		f.usePos[i] = len(r.flows)
+		r.flows = append(r.flows, resUse{f, i})
+	}
 	m.flows = append(m.flows, f)
+	m.dirtyFlows = append(m.dirtyFlows, f)
 	m.resolve()
 	return f
 }
 
-// SetCap changes a flow's private rate bound and re-solves. A running
-// compute kernel's cap changes when its core's frequency changes.
+// newFlowArrays takes a pooled uses/usePos pair (or makes fresh ones)
+// and copies spec uses into it.
+func (m *Model) newFlowArrays(uses []Use) ([]Use, []int) {
+	var u []Use
+	var p []int
+	if n := len(m.freeUses); n > 0 {
+		u = m.freeUses[n-1]
+		m.freeUses = m.freeUses[:n-1]
+		p = m.freePos[len(m.freePos)-1]
+		m.freePos = m.freePos[:len(m.freePos)-1]
+	}
+	u = append(u[:0], uses...)
+	for len(p) < len(uses) {
+		p = append(p, 0)
+	}
+	return u, p[:len(uses)]
+}
+
+// SetCap changes a flow's private rate bound and re-solves its
+// component. A running compute kernel's cap changes when its core's
+// frequency changes.
 func (m *Model) SetCap(f *Flow, cap float64) {
 	if f.finished {
 		return
@@ -232,6 +349,7 @@ func (m *Model) SetCap(f *Flow, cap float64) {
 	}
 	m.advance()
 	f.cap = cap
+	m.dirtyFlows = append(m.dirtyFlows, f)
 	m.resolve()
 }
 
@@ -241,23 +359,50 @@ func (m *Model) Cancel(f *Flow) {
 		return
 	}
 	m.advance()
+	for _, u := range f.uses {
+		m.dirtyRes = append(m.dirtyRes, u.Resource)
+	}
 	m.remove(f)
 	f.finished = true
 	m.resolve()
 }
 
-// remove unlinks f from the flow list (swap-with-last, order not
-// significant for the solver; determinism comes from solve's stable
-// iteration of the remaining slice contents, which is itself
-// deterministic given a deterministic sequence of operations).
+// remove unlinks f from the flow list and from its resources'
+// adjacency lists, recycling its bookkeeping arrays.
+//
+// The global list uses swap-with-last, exactly like the original
+// solver: solve order (and therefore the last-ulp floating-point
+// behaviour the golden files record) depends on the relative order of
+// the surviving flows. A swap moves the last flow earlier, which can
+// permute the order *within* that flow's component — so the moved flow
+// is marked dirty and its component re-solved, keeping every cached
+// component bit-identical to what a full re-solve would compute.
 func (m *Model) remove(f *Flow) {
-	last := len(m.flows) - 1
-	m.flows[f.index] = m.flows[last]
-	m.flows[f.index].index = f.index
-	m.flows[last] = nil
-	m.flows = m.flows[:last]
+	for i, u := range f.uses {
+		r := u.Resource
+		pos := f.usePos[i]
+		last := len(r.flows) - 1
+		moved := r.flows[last]
+		r.flows[pos] = moved
+		moved.f.usePos[moved.idx] = pos
+		r.flows[last] = resUse{}
+		r.flows = r.flows[:last]
+	}
+	m.freeUses = append(m.freeUses, f.uses[:0])
+	m.freePos = append(m.freePos, f.usePos[:0])
+	f.uses, f.usePos = nil, nil
+
+	lastIdx := len(m.flows) - 1
+	g := m.flows[lastIdx]
+	m.flows[f.index] = g
+	g.index = f.index
+	m.flows[lastIdx] = nil
+	m.flows = m.flows[:lastIdx]
 	f.index = -1
 	f.rate = 0
+	if g != f {
+		m.dirtyFlows = append(m.dirtyFlows, g)
+	}
 }
 
 // advance accrues progress from lastUpdate to now at the current rates.
@@ -281,18 +426,22 @@ func (m *Model) advance() {
 // nanosecond is complete.
 const completeEps = 1e-10 // seconds
 
-// resolve recomputes rates, fires completions due now, and schedules the
-// next completion event.
+// resolve recomputes the rates of every dirty component, fires
+// completions due now, and schedules the next completion event.
 func (m *Model) resolve() {
 	// Completions may themselves add/remove flows from callbacks that run
 	// as separate events, so here we only: solve, complete-now, schedule.
 	for {
-		m.solve()
+		m.solveDirty()
 		done := m.collectDone()
 		if len(done) == 0 {
 			break
 		}
 		for _, f := range done {
+			// The freed bandwidth redistributes inside f's component(s).
+			for _, u := range f.uses {
+				m.dirtyRes = append(m.dirtyRes, u.Resource)
+			}
 			m.remove(f)
 			f.finished = true
 			if f.onDone != nil {
@@ -302,26 +451,31 @@ func (m *Model) resolve() {
 			}
 		}
 	}
+	if m.differential && !m.reference {
+		// Check at quiescence, not after each scoped solve: mid-loop, a
+		// done-but-uncollected flow in an untouched component transiently
+		// keeps its old rate (the reference zeroes it a loop iteration
+		// early), and both states converge once the flow is removed.
+		m.checkOracle()
+	}
 	m.schedule()
 }
 
-// collectDone returns flows whose remaining work is (numerically) zero.
+// collectDone returns flows whose remaining work is (numerically) zero,
+// in a scratch slice reused across calls.
 func (m *Model) collectDone() []*Flow {
-	var done []*Flow
+	m.done = m.done[:0]
 	for _, f := range m.flows {
 		if f.remaining <= 0 || (f.rate > 0 && f.remaining/f.rate < completeEps) {
-			done = append(done, f)
+			m.done = append(m.done, f)
 		}
 	}
-	return done
+	return m.done
 }
 
 // schedule arms the next-completion event.
 func (m *Model) schedule() {
-	if m.next != nil {
-		m.k.Cancel(m.next)
-		m.next = nil
-	}
+	m.next.Stop()
 	best := math.Inf(1)
 	for _, f := range m.flows {
 		if f.rate > 0 {
@@ -336,63 +490,166 @@ func (m *Model) schedule() {
 	if math.IsInf(best, 1) || best > horizon {
 		return
 	}
-	d := sim.DurationOfSeconds(best)
-	m.next = m.k.After(d, func() {
-		m.next = nil
-		m.advance()
-		m.resolve()
-	})
+	m.next.ArmAfter(sim.DurationOfSeconds(best))
 }
 
-// solve runs weighted progressive filling. After solve, every flow has
-// its max-min fair rate and every resource has its load recomputed.
+// solveDirty re-solves the union of the connected components reachable
+// from the dirty seeds accumulated since the last solve. With no seeds
+// it is a no-op: a completion event, for example, changes no
+// constraint until the finished flow is removed.
+func (m *Model) solveDirty() {
+	if m.reference {
+		m.dirtyFlows = m.dirtyFlows[:0]
+		m.dirtyRes = m.dirtyRes[:0]
+		m.solveReferenceInPlace()
+		return
+	}
+	if len(m.dirtyFlows) == 0 && len(m.dirtyRes) == 0 {
+		return
+	}
+	m.collectComponent()
+	m.solveScoped()
+}
+
+// collectComponent walks the resource/flow bipartite graph from the
+// dirty seeds and fills compFlows/compRes with the touched component(s)
+// in canonical order: flows in global flow-list order, resources in
+// creation order — the orders the whole-model solver iterates in, so
+// the scoped solve below replays its exact arithmetic.
+//
+// Flows with no remaining work are members (their rate must drop to
+// zero like a full solve would) but do not propagate connectivity:
+// they contribute nothing to any resource constraint.
+func (m *Model) collectComponent() {
+	m.epoch++
+	epoch := m.epoch
+	q := m.resQ[:0]
+	nFlows, nRes := 0, 0
+
+	for _, r := range m.dirtyRes {
+		if r.mark != epoch {
+			r.mark = epoch
+			nRes++
+			q = append(q, r)
+		}
+	}
+	for _, f := range m.dirtyFlows {
+		if f.index < 0 || f.mark == epoch {
+			continue // removed after being marked dirty, or seen
+		}
+		f.mark = epoch
+		nFlows++
+		if f.remaining > 0 {
+			for _, u := range f.uses {
+				if r := u.Resource; r.mark != epoch {
+					r.mark = epoch
+					nRes++
+					q = append(q, r)
+				}
+			}
+		}
+	}
+	m.dirtyFlows = m.dirtyFlows[:0]
+	m.dirtyRes = m.dirtyRes[:0]
+
+	for len(q) > 0 {
+		r := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, ru := range r.flows {
+			f := ru.f
+			if f.mark == epoch {
+				continue
+			}
+			f.mark = epoch
+			nFlows++
+			if f.remaining > 0 {
+				for _, u := range f.uses {
+					if rr := u.Resource; rr.mark != epoch {
+						rr.mark = epoch
+						nRes++
+						q = append(q, rr)
+					}
+				}
+			}
+		}
+	}
+	m.resQ = q[:0]
+
+	// Canonical ordering comes from scanning the global slices for the
+	// marks rather than sorting what the traversal found: the scans are
+	// linear (with an early exit once everything marked has been seen)
+	// and advance() already walks the full flow list on every mutation,
+	// so they add no new asymptotic cost — and the whole-component case,
+	// which a sort makes the most expensive, becomes the cheapest.
+	m.compFlows = m.compFlows[:0]
+	for _, f := range m.flows {
+		if f.mark == epoch {
+			m.compFlows = append(m.compFlows, f)
+			if len(m.compFlows) == nFlows {
+				break
+			}
+		}
+	}
+	m.compRes = m.compRes[:0]
+	for _, r := range m.resources {
+		if r.mark == epoch {
+			m.compRes = append(m.compRes, r)
+			if len(m.compRes) == nRes {
+				break
+			}
+		}
+	}
+}
+
+// solveScoped runs weighted progressive filling over the collected
+// component. After it, every component flow has its max-min fair rate
+// and every component resource has its load recomputed; the rest of
+// the model is untouched.
 //
 // Priorities are handled by normalisation: for each flow define the
 // normalised rate ρ_f = rate_f / priority_f. Every resource constraint
 // becomes Σ (w·priority)·ρ ≤ C and every cap becomes ρ ≤ cap/priority,
 // so plain max-min progressive filling over ρ yields the weighted,
 // prioritised allocation.
-func (m *Model) solve() {
+func (m *Model) solveScoped() {
 	m.solves++
-	n := len(m.flows)
-	for _, r := range m.resources {
+	for _, r := range m.compRes {
 		r.load = 0
+		m.avail[r.id] = r.capacity
+		m.wsum[r.id] = 0
 	}
-	if n == 0 {
+	nf := len(m.compFlows)
+	if nf == 0 {
 		return
 	}
-	avail := make(map[*Resource]float64, len(m.resources))
-	wsum := make(map[*Resource]float64, len(m.resources))
-	for _, r := range m.resources {
-		avail[r] = r.capacity
+	if cap(m.fixed) < nf {
+		m.fixed = make([]bool, nf)
 	}
-	fixed := make([]bool, n)
-	for i, f := range m.flows {
+	fixed := m.fixed[:nf]
+	remaining := 0
+	for i, f := range m.compFlows {
 		f.rate = 0
 		if f.remaining <= 0 {
 			// Already-done flows (awaiting collection) consume nothing.
 			fixed[i] = true
 			continue
 		}
+		fixed[i] = false
 		for _, u := range f.uses {
-			wsum[u.Resource] += u.Weight * f.priority
+			m.wsum[u.Resource.id] += u.Weight * f.priority
 		}
-	}
-	remaining := 0
-	for i := range fixed {
-		if !fixed[i] {
-			remaining++
-		}
+		remaining++
 	}
 	for remaining > 0 {
 		// Candidate fair normalised rate: the tightest bottleneck.
 		bottleneck := (*Resource)(nil)
 		fair := math.Inf(1)
-		for _, r := range m.resources {
-			if wsum[r] <= 0 {
+		for _, r := range m.compRes {
+			w := m.wsum[r.id]
+			if w <= 0 {
 				continue
 			}
-			c := avail[r] / wsum[r]
+			c := m.avail[r.id] / w
 			if c < fair {
 				fair = c
 				bottleneck = r
@@ -400,7 +657,7 @@ func (m *Model) solve() {
 		}
 		// Candidate: the smallest normalised cap among unfixed flows.
 		capMin := math.Inf(1)
-		for i, f := range m.flows {
+		for i, f := range m.compFlows {
 			if !fixed[i] && f.cap > 0 {
 				if c := f.cap / f.priority; c < capMin {
 					capMin = c
@@ -410,17 +667,17 @@ func (m *Model) solve() {
 		switch {
 		case capMin < fair:
 			// Fix every unfixed flow whose normalised cap is the minimum.
-			for i, f := range m.flows {
+			for i, f := range m.compFlows {
 				if fixed[i] || f.cap <= 0 || f.cap/f.priority > capMin {
 					continue
 				}
-				m.fix(f, capMin, avail, wsum)
+				m.fix(f, capMin)
 				fixed[i] = true
 				remaining--
 			}
 		case bottleneck != nil:
 			// Fix every unfixed flow using the bottleneck at the fair rate.
-			for i, f := range m.flows {
+			for i, f := range m.compFlows {
 				if fixed[i] {
 					continue
 				}
@@ -434,7 +691,7 @@ func (m *Model) solve() {
 				if !uses {
 					continue
 				}
-				m.fix(f, fair, avail, wsum)
+				m.fix(f, fair)
 				fixed[i] = true
 				remaining--
 			}
@@ -443,7 +700,7 @@ func (m *Model) solve() {
 			// resource already drained to zero availability. Their fair
 			// share is zero. (Flows with neither resources nor caps were
 			// rejected at Start.)
-			for i, f := range m.flows {
+			for i, f := range m.compFlows {
 				if !fixed[i] {
 					f.rate = 0
 					fixed[i] = true
@@ -452,7 +709,7 @@ func (m *Model) solve() {
 			}
 		}
 	}
-	for _, f := range m.flows {
+	for _, f := range m.compFlows {
 		for _, u := range f.uses {
 			u.Resource.load += u.Weight * f.rate
 		}
@@ -461,21 +718,32 @@ func (m *Model) solve() {
 
 // fix assigns the normalised rate to f (scaled by its priority) and
 // withdraws its consumption from the progressive-filling bookkeeping.
-func (m *Model) fix(f *Flow, normRate float64, avail, wsum map[*Resource]float64) {
+func (m *Model) fix(f *Flow, normRate float64) {
 	f.rate = normRate * f.priority
 	if f.cap > 0 && f.rate > f.cap {
 		f.rate = f.cap
 	}
 	for _, u := range f.uses {
-		avail[u.Resource] -= u.Weight * f.rate
-		if avail[u.Resource] < 0 {
-			avail[u.Resource] = 0
+		id := u.Resource.id
+		m.avail[id] -= u.Weight * f.rate
+		if m.avail[id] < 0 {
+			m.avail[id] = 0
 		}
-		wsum[u.Resource] -= u.Weight * f.priority
-		if wsum[u.Resource] < 1e-12 {
-			wsum[u.Resource] = 0
+		m.wsum[id] -= u.Weight * f.priority
+		if m.wsum[id] < 1e-12 {
+			m.wsum[id] = 0
 		}
 	}
+}
+
+// solveAll marks every flow and resource dirty and re-solves from
+// scratch. Benchmarks and equivalence tests; the simulation path never
+// needs it.
+func (m *Model) solveAll() {
+	m.dirtyFlows = append(m.dirtyFlows[:0], m.flows...)
+	m.dirtyRes = append(m.dirtyRes[:0], m.resources...)
+	m.collectComponent()
+	m.solveScoped()
 }
 
 // FlowCount returns the number of active flows (diagnostics).

@@ -1,0 +1,246 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Property-based tests for the incremental solver: random topologies
+// and flow populations checked against the defining properties of
+// weighted max-min fairness, plus differential equality against the
+// reference solver. Seeds are fixed, so failures replay exactly.
+
+// randomWorld builds nRes resources and nFlows flows with random
+// subsets, weights, priorities and caps on a fresh model.
+func randomWorld(rng *rand.Rand, m *Model, nRes, nFlows int) ([]*Resource, []*Flow) {
+	res := make([]*Resource, nRes)
+	for i := range res {
+		res[i] = m.NewResource("r", 1+rng.Float64()*99)
+	}
+	flows := make([]*Flow, 0, nFlows)
+	for i := 0; i < nFlows; i++ {
+		flows = append(flows, startRandomFlow(rng, m, res))
+	}
+	return res, flows
+}
+
+// startRandomFlow starts one flow over a random subset of res.
+func startRandomFlow(rng *rand.Rand, m *Model, res []*Resource) *Flow {
+	spec := FlowSpec{
+		Name:     "f",
+		Work:     1e3 + rng.Float64()*1e6,
+		Priority: 0.5 + rng.Float64()*3,
+	}
+	n := 1 + rng.Intn(4)
+	for _, ri := range rng.Perm(len(res))[:min(n, len(res))] {
+		spec.Uses = append(spec.Uses, Use{res[ri], 0.25 + rng.Float64()*3.75})
+	}
+	if rng.Intn(3) == 0 {
+		spec.Cap = 1 + rng.Float64()*50
+	}
+	return m.Start(spec)
+}
+
+// mutate applies one random mutation to the world and reports whether
+// it did anything.
+func mutate(rng *rand.Rand, k *sim.Kernel, m *Model, res []*Resource, flows *[]*Flow) {
+	switch rng.Intn(5) {
+	case 0:
+		*flows = append(*flows, startRandomFlow(rng, m, res))
+	case 1:
+		if len(*flows) > 0 {
+			m.Cancel((*flows)[rng.Intn(len(*flows))])
+		}
+	case 2:
+		if len(*flows) > 0 {
+			f := (*flows)[rng.Intn(len(*flows))]
+			if !f.finished && len(f.uses) > 0 {
+				m.SetCap(f, 1+rng.Float64()*50)
+			}
+		}
+	case 3:
+		m.SetCapacity(res[rng.Intn(len(res))], 1+rng.Float64()*99)
+	case 4:
+		k.RunUntil(k.Now().Add(sim.Duration(rng.Intn(int(5 * sim.Second)))))
+	}
+}
+
+// checkMaxMin asserts the two defining invariants of the allocation:
+// feasibility (no resource over capacity) and max-min optimality
+// (every flow not running at its private cap is bottlenecked on a
+// saturated resource — nobody's rate can grow without shrinking a
+// competitor's).
+func checkMaxMin(t *testing.T, m *Model) {
+	t.Helper()
+	for _, r := range m.resources {
+		if r.load > r.capacity*(1+1e-6) {
+			t.Fatalf("resource %q over capacity: load %v > %v", r.name, r.load, r.capacity)
+		}
+	}
+	for _, f := range m.flows {
+		if f.remaining <= 0 {
+			continue // done, awaiting collection
+		}
+		if f.rate < 0 || math.IsNaN(f.rate) {
+			t.Fatalf("flow %q has invalid rate %v", f.name, f.rate)
+		}
+		if f.cap > 0 && f.rate > f.cap*(1+1e-6) {
+			t.Fatalf("flow %q rate %v above its cap %v", f.name, f.rate, f.cap)
+		}
+		if f.cap > 0 && f.rate >= f.cap*(1-1e-6) {
+			continue // cap-limited
+		}
+		saturated := false
+		for _, u := range f.uses {
+			if r := u.Resource; r.load >= r.capacity*(1-1e-6) {
+				saturated = true
+				break
+			}
+		}
+		if !saturated {
+			t.Fatalf("flow %q (rate %v, cap %v) is neither cap-limited nor bottlenecked on a saturated resource",
+				f.name, f.rate, f.cap)
+		}
+	}
+}
+
+// checkDifferential asserts every rate and load matches a fresh
+// reference solve within one ulp.
+func checkDifferential(t *testing.T, m *Model) {
+	t.Helper()
+	rates, loads := m.referenceRates()
+	for i, f := range m.flows {
+		if !ulpEq(f.rate, rates[i]) {
+			t.Fatalf("flow %q: incremental rate %x, reference %x", f.name, f.rate, rates[i])
+		}
+	}
+	for i, r := range m.resources {
+		if !ulpEq(r.load, loads[i]) {
+			t.Fatalf("resource %q: incremental load %x, reference %x", r.name, r.load, loads[i])
+		}
+	}
+}
+
+// TestPropertyMaxMinInvariants storms random worlds with mutations and
+// checks feasibility + bottleneck optimality after every step.
+func TestPropertyMaxMinInvariants(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		m := NewModel(k)
+		m.differential = false
+		res, flows := randomWorld(rng, m, 1+rng.Intn(12), 1+rng.Intn(25))
+		checkMaxMin(t, m)
+		for step := 0; step < 30; step++ {
+			mutate(rng, k, m, res, &flows)
+			checkMaxMin(t, m)
+		}
+	}
+}
+
+// TestPropertyDifferential storms random worlds and checks the
+// incremental allocation against the reference solver — both through
+// the oracle armed on every resolve and explicitly after every step.
+func TestPropertyDifferential(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		m := NewModel(k)
+		m.differential = true // oracle panics mid-resolve on divergence
+		res, flows := randomWorld(rng, m, 1+rng.Intn(12), 1+rng.Intn(25))
+		for step := 0; step < 30; step++ {
+			mutate(rng, k, m, res, &flows)
+			checkDifferential(t, m)
+		}
+		// Drain so pending completions resolve under the oracle too.
+		k.RunUntil(k.Now().Add(sim.Duration(30 * sim.Second)))
+		checkDifferential(t, m)
+	}
+}
+
+// TestPropertySymmetricFlows checks the fairness axiom directly: two
+// flows with identical uses, priority and cap must get bitwise-equal
+// rates (they are fixed in the same progressive-filling round from the
+// same threshold).
+func TestPropertySymmetricFlows(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		m := NewModel(k)
+		m.differential = false
+		res, _ := randomWorld(rng, m, 1+rng.Intn(8), rng.Intn(15))
+		spec := FlowSpec{Name: "twin", Work: 1e6, Priority: 0.5 + rng.Float64()*3}
+		for _, ri := range rng.Perm(len(res))[:1+rng.Intn(min(3, len(res)))] {
+			spec.Uses = append(spec.Uses, Use{res[ri], 0.25 + rng.Float64()*3.75})
+		}
+		if rng.Intn(2) == 0 {
+			spec.Cap = 1 + rng.Float64()*50
+		}
+		a := m.Start(spec)
+		b := m.Start(spec)
+		if a.rate != b.rate {
+			t.Fatalf("seed %d: symmetric flows diverge: %x vs %x", seed, a.rate, b.rate)
+		}
+		// Still symmetric after unrelated churn in the same component.
+		m.Start(spec)
+		if a.rate != b.rate {
+			t.Fatalf("seed %d: symmetry broken by churn: %x vs %x", seed, a.rate, b.rate)
+		}
+	}
+}
+
+// TestDifferentialTransientCompletion replays the scenario that once
+// tripped the oracle mid-resolve: a flow completes in one component
+// while a mutation re-solves a different component at the same
+// instant. The incremental solver leaves the completed flow's
+// component untouched until collection; the final states must agree.
+func TestDifferentialTransientCompletion(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewModel(k)
+	m.differential = true
+	busA := m.NewResource("busA", 10)
+	busB := m.NewResource("busB", 10)
+	short := m.Start(FlowSpec{Name: "short", Work: 5, Uses: []Use{{busA, 1}}})
+	m.Start(FlowSpec{Name: "longA", Work: 1e6, Uses: []Use{{busA, 1}}})
+	other := m.Start(FlowSpec{Name: "longB", Work: 1e6, Uses: []Use{{busB, 1}}})
+
+	// Run to the exact completion instant of `short`, then immediately
+	// mutate busB's component: the resolve triggered by SetCap sees
+	// `short` done-but-uncollected in busA's component.
+	k.RunUntil(k.Now().Add(sim.Duration(1 * sim.Second)))
+	if !short.finished {
+		t.Fatal("short flow should have completed")
+	}
+	m.SetCap(other, 3)
+	checkDifferential(t, m)
+
+	// longA must now own all of busA (short's share redistributed).
+	if got := busA.load; !ulpEq(got, 10) {
+		t.Fatalf("busA load = %v, want saturated at 10", got)
+	}
+}
+
+// TestSwapRemoveExactness pins the subtle half of the equivalence
+// argument: cancelling a flow swap-moves the last flow earlier in the
+// global order, which permutes progressive filling's fix order inside
+// that flow's component — the remover must re-solve the moved flow's
+// component too, or rates drift by ulps. A dedicated test because only
+// unlucky arithmetic exposes it.
+func TestSwapRemoveExactness(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		m := NewModel(k)
+		m.differential = true
+		_, flows := randomWorld(rng, m, 2+rng.Intn(6), 8+rng.Intn(12))
+		// Cancel from the front, so every removal moves a later flow
+		// (usually from another component) into the vacated slot.
+		for i := 0; i < len(flows)/2; i++ {
+			m.Cancel(flows[i])
+			checkDifferential(t, m)
+		}
+	}
+}

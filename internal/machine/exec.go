@@ -151,7 +151,7 @@ func (n *Node) ExecCompute(p *sim.Proc, core int, spec ComputeSpec) sim.Duration
 		n.addStream(memNUMA)
 		defer n.removeStream(memNUMA)
 		flow = n.cluster.Fluid.StartFlow(name, spec.Bytes, capOf(),
-			n.MemPath(coreNUMA, memNUMA), done.Broadcast)
+			n.memPath(coreNUMA, memNUMA), done.Broadcast)
 		n.coreFlow[core] = &runningKernel{flow: flow, class: spec.Class, capOf: capOf}
 	}
 	rhoStart := 0.0
@@ -214,6 +214,6 @@ func (n *Node) BackgroundStream(name string, from, to int, rate float64) (cancel
 		return func() {}
 	}
 	const forever = 1e18 // effectively unbounded work
-	flow := n.cluster.Fluid.StartFlow(name, forever, rate, n.MemPath(from, to), nil)
+	flow := n.cluster.Fluid.StartFlow(name, forever, rate, n.memPath(from, to), nil)
 	return func() { n.cluster.Fluid.Cancel(flow) }
 }

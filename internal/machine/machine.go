@@ -87,6 +87,11 @@ type Node struct {
 	// boundary — the fail-stop granularity of the crash model.
 	down  bool
 	upSig *sim.Signal
+
+	// pathBuf is the scratch behind memPath: fluid.Start copies its
+	// Uses, so the per-slice execution paths build the memory path in
+	// place instead of allocating one.
+	pathBuf [2]fluid.Use
 }
 
 // runningKernel is the bookkeeping for an in-flight compute flow.
@@ -218,6 +223,18 @@ func (n *Node) DMAPriority(numa int) float64 {
 // core (or the NIC) on NUMA `from` accesses memory on NUMA `to`.
 func (n *Node) MemPath(from, to int) []fluid.Use {
 	uses := []fluid.Use{{Resource: n.NUMA(to).Ctrl, Weight: 1}}
+	if from != to {
+		uses = append(uses, fluid.Use{Resource: n.Link(from, to), Weight: 1})
+	}
+	return uses
+}
+
+// memPath is MemPath into the node's scratch buffer — only valid until
+// the next memPath call, so it must be consumed immediately by
+// fluid.Start (which copies its Uses). The exported MemPath keeps
+// allocating because callers may retain its result.
+func (n *Node) memPath(from, to int) []fluid.Use {
+	uses := append(n.pathBuf[:0], fluid.Use{Resource: n.NUMA(to).Ctrl, Weight: 1})
 	if from != to {
 		uses = append(uses, fluid.Use{Resource: n.Link(from, to), Weight: 1})
 	}

@@ -28,6 +28,13 @@ type Network struct {
 	// nil-guarded so the fault-free path is byte-identical to before the
 	// fault subsystem existed.
 	inj *fault.Injector
+
+	// useBuf is scratch for assembling per-transfer fluid paths:
+	// fluid.Start copies its Uses, so the transfer hot paths build the
+	// path in place (the sim kernel never preempts between the build and
+	// the Start that consumes it). The exported DMAUses keeps allocating
+	// because callers may retain its result.
+	useBuf []fluid.Use
 }
 
 // New builds the interconnect for a cluster.
@@ -190,9 +197,13 @@ func ioScale(n *machine.Node) float64 {
 // PCIe, the directed wire, destination PCIe and destination controller
 // (+ link).
 func (nw *Network) DMAUses(src *machine.Node, srcNUMA int, dst *machine.Node, dstNUMA int) []fluid.Use {
-	uses := []fluid.Use{
-		{Resource: src.NUMA(srcNUMA).Ctrl, Weight: 1},
-	}
+	return nw.dmaUses(make([]fluid.Use, 0, 7), src, srcNUMA, dst, dstNUMA)
+}
+
+// dmaUses is DMAUses appending into a caller-supplied buffer (the
+// transfer paths pass the network's scratch).
+func (nw *Network) dmaUses(buf []fluid.Use, src *machine.Node, srcNUMA int, dst *machine.Node, dstNUMA int) []fluid.Use {
+	uses := append(buf, fluid.Use{Resource: src.NUMA(srcNUMA).Ctrl, Weight: 1})
 	if srcNUMA != src.Spec.NIC.NUMA {
 		uses = append(uses, fluid.Use{Resource: src.Link(srcNUMA, src.Spec.NIC.NUMA), Weight: 1})
 	}
@@ -243,12 +254,13 @@ func (nw *Network) TransferDMA(p *sim.Proc, src *machine.Node, srcBuf *machine.B
 	pri := (src.DMAPriority(srcBuf.NUMA) + dst.DMAPriority(dstBuf.NUMA)) / 2
 	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
 	done := sim.NewSignal(nw.cluster.K)
+	nw.useBuf = nw.dmaUses(nw.useBuf[:0], src, srcBuf.NUMA, dst, dstBuf.NUMA)
 	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
 		Name:     fmt.Sprintf("dma.n%d->n%d", src.ID, dst.ID),
 		Work:     float64(bytes),
 		Cap:      cap,
 		Priority: pri,
-		Uses:     nw.DMAUses(src, srcBuf.NUMA, dst, dstBuf.NUMA),
+		Uses:     nw.useBuf,
 		OnDone:   done.Broadcast,
 	})
 	return nw.waitFlow(p, flow, done, src.ID, dst.ID)
@@ -264,22 +276,21 @@ func (nw *Network) Memcpy(p *sim.Proc, n *machine.Node, core int, srcNUMA, dstNU
 	if bytes <= 0 {
 		return
 	}
-	var uses []fluid.Use
 	if srcNUMA == dstNUMA {
-		uses = []fluid.Use{{Resource: n.NUMA(srcNUMA).Ctrl, Weight: 2}}
+		nw.useBuf = append(nw.useBuf[:0], fluid.Use{Resource: n.NUMA(srcNUMA).Ctrl, Weight: 2})
 	} else {
-		uses = []fluid.Use{
-			{Resource: n.NUMA(srcNUMA).Ctrl, Weight: 1},
-			{Resource: n.NUMA(dstNUMA).Ctrl, Weight: 1},
-			{Resource: n.Link(srcNUMA, dstNUMA), Weight: 1},
-		}
+		nw.useBuf = append(nw.useBuf[:0],
+			fluid.Use{Resource: n.NUMA(srcNUMA).Ctrl, Weight: 1},
+			fluid.Use{Resource: n.NUMA(dstNUMA).Ctrl, Weight: 1},
+			fluid.Use{Resource: n.Link(srcNUMA, dstNUMA), Weight: 1},
+		)
 	}
 	done := sim.NewSignal(nw.cluster.K)
 	nw.cluster.Fluid.Start(fluid.FlowSpec{
 		Name:   fmt.Sprintf("memcpy.n%d", n.ID),
 		Work:   float64(bytes),
 		Cap:    2 * n.Spec.Mem.StreamPerCoreGBs * 1e9,
-		Uses:   uses,
+		Uses:   nw.useBuf,
 		OnDone: done.Broadcast,
 	})
 	done.Wait(p)
@@ -300,20 +311,20 @@ func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int6
 	nw.gateNIC(p, dst.ID)
 	pri := (src.DMAPriority(src.Spec.NIC.NUMA) + dst.DMAPriority(dst.Spec.NIC.NUMA)) / 2
 	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
-	uses := []fluid.Use{
-		{Resource: src.NUMA(src.Spec.NIC.NUMA).Ctrl, Weight: 1},
-		{Resource: src.PCIeTx, Weight: 1},
-		{Resource: nw.Wire(src.ID, dst.ID), Weight: 1},
-		{Resource: dst.PCIeRx, Weight: 1},
-		{Resource: dst.NUMA(dst.Spec.NIC.NUMA).Ctrl, Weight: 1},
-	}
+	nw.useBuf = append(nw.useBuf[:0],
+		fluid.Use{Resource: src.NUMA(src.Spec.NIC.NUMA).Ctrl, Weight: 1},
+		fluid.Use{Resource: src.PCIeTx, Weight: 1},
+		fluid.Use{Resource: nw.Wire(src.ID, dst.ID), Weight: 1},
+		fluid.Use{Resource: dst.PCIeRx, Weight: 1},
+		fluid.Use{Resource: dst.NUMA(dst.Spec.NIC.NUMA).Ctrl, Weight: 1},
+	)
 	done := sim.NewSignal(nw.cluster.K)
 	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
 		Name:     fmt.Sprintf("eager.n%d->n%d", src.ID, dst.ID),
 		Work:     float64(bytes),
 		Cap:      cap,
 		Priority: pri,
-		Uses:     uses,
+		Uses:     nw.useBuf,
 		OnDone:   done.Broadcast,
 	})
 	return nw.waitFlow(p, flow, done, src.ID, dst.ID)

@@ -59,6 +59,55 @@ func TestCampaignDeterministic(t *testing.T) {
 	}
 }
 
+// TestOptimizedSolverCampaigns is the determinism lock on the
+// incremental fluid solver at campaign scale: the two most
+// solver-hostile campaigns — fig4 (the full interference sweep) and
+// faults-crash-cg (node crashes cancel in-flight flows mid-solve) —
+// run twice each (a same-seed re-run must be a fixed point, the
+// equivalent of -count=2) at both -j 1 and -j 8, and every rendered
+// byte must be identical across all four runs.
+func TestOptimizedSolverCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign determinism sweep; skipped with -short")
+	}
+	var exps []core.Experiment
+	for _, id := range []string{"fig4", "faults-crash-cg"} {
+		e, ok := core.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	type runKey struct {
+		workers int
+		iter    int
+	}
+	rendered := map[runKey][]string{}
+	for _, workers := range []int{1, 8} {
+		for iter := 0; iter < 2; iter++ {
+			res := Collect(Run(testEnv(t), exps, Options{Workers: workers}))
+			if len(res) != len(exps) {
+				t.Fatalf("j%d iter %d: got %d results, want %d", workers, iter, len(res), len(exps))
+			}
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatalf("j%d iter %d: %s failed: %v", workers, iter, exps[i].ID, r.Err)
+				}
+				rendered[runKey{workers, iter}] = append(rendered[runKey{workers, iter}], r.Rendered)
+			}
+		}
+	}
+	base := rendered[runKey{1, 0}]
+	for key, outs := range rendered {
+		for i, out := range outs {
+			if out != base[i] {
+				t.Errorf("%s differs between j1 iter0 and j%d iter%d:\n%s", exps[i].ID, key.workers, key.iter,
+					trace.UnifiedDiff("j1-iter0", "other", base[i], out))
+			}
+		}
+	}
+}
+
 // TestRunnerIsolatesEnv checks that an experiment mutating its spec
 // cannot affect the caller's environment or a sibling experiment.
 func TestRunnerIsolatesEnv(t *testing.T) {

@@ -10,8 +10,40 @@ func BenchmarkEventThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k.After(Duration(i%1000), func() {})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
+}
+
+// BenchmarkEventChurn measures the steady-state schedule→fire cycle,
+// the pattern the fluid model's completion timer and the MPI layer's
+// timeouts generate. With event pooling this is allocation-free.
+func BenchmarkEventChurn(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(1, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkEventCancelPaperScale measures schedule+cancel against a
+// paper-scale backlog of pending events (~256: every rank's watchdog
+// and retransmission timer in a 16-node × 16-rank campaign world).
+func BenchmarkEventCancelPaperScale(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		k.After(Duration(1e15+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := k.After(Duration(1e9+i%1000), fn)
+		k.Cancel(r)
+	}
 }
 
 func BenchmarkProcessSwitch(b *testing.B) {
@@ -21,6 +53,7 @@ func BenchmarkProcessSwitch(b *testing.B) {
 			p.Sleep(1)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }
@@ -39,6 +72,7 @@ func BenchmarkSignalWake(b *testing.B) {
 			p.Sleep(1)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }

@@ -6,20 +6,34 @@ import (
 	"math/rand"
 )
 
-// Event is a scheduled callback. Events are ordered by time, then by
-// scheduling order, which makes simulations deterministic.
-type Event struct {
-	at        Time
-	seq       uint64
-	index     int // heap index, -1 when not queued
-	fn        func()
-	cancelled bool
+// event is a scheduled callback. Events are ordered by time, then by
+// scheduling order, which makes simulations deterministic. Event storage
+// is pooled inside the kernel: once an event has run (or been
+// cancelled) its struct is recycled for the next At/After call, so the
+// steady-state event churn of a simulation allocates nothing.
+type event struct {
+	at    Time
+	seq   uint64
+	gen   uint64 // bumped on every recycle; EventRef handles go stale
+	index int    // heap index, -1 when not queued
+	fn    func()
 }
 
-// At returns the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// EventRef is a handle to a scheduled event, returned by At and After
+// and consumed by Cancel. It is a value (no allocation) and is
+// generation-checked: cancelling an event that has already run, was
+// already cancelled, or whose storage has since been recycled for a
+// newer event is a precise no-op. The zero EventRef is valid and refers
+// to nothing.
+type EventRef struct {
+	e   *event
+	gen uint64
+}
 
-type eventHeap []*Event
+// Pending reports whether the referenced event is still queued.
+func (r EventRef) Pending() bool { return r.e != nil && r.e.gen == r.gen }
+
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -34,7 +48,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
@@ -57,6 +71,7 @@ type Kernel struct {
 	rng    *rand.Rand
 	procs  int // live (not yet finished) processes
 	nsteps uint64
+	free   []*event // recycled event storage
 }
 
 // NewKernel returns a simulation kernel whose random source is seeded
@@ -74,20 +89,43 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Steps reports how many events have been executed so far.
 func (k *Kernel) Steps() uint64 { return k.nsteps }
 
+// alloc takes an event from the free list, or makes a new one.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{index: -1}
+}
+
+// release recycles an event that has run or been cancelled. The
+// generation bump invalidates every outstanding EventRef to it.
+func (k *Kernel) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.index = -1
+	k.free = append(k.free, e)
+}
+
 // At schedules fn to run at instant t. Scheduling in the past panics:
 // it would silently reorder causality.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) EventRef {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	e := k.alloc()
+	e.at = t
+	e.seq = k.seq
+	e.fn = fn
 	k.seq++
 	heap.Push(&k.events, e)
-	return e
+	return EventRef{e, e.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics.
-func (k *Kernel) After(d Duration, fn func()) *Event {
+func (k *Kernel) After(d Duration, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -95,31 +133,32 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an event
-// that already ran (or was already cancelled) is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.cancelled {
+// that already ran, was already cancelled, or whose storage was
+// recycled is a no-op (the handle's generation no longer matches).
+func (k *Kernel) Cancel(r EventRef) {
+	if r.e == nil || r.e.gen != r.gen {
 		return
 	}
-	e.cancelled = true
-	if e.index >= 0 {
-		heap.Remove(&k.events, e.index)
-	}
+	heap.Remove(&k.events, r.e.index)
+	k.release(r.e)
 }
 
 // Step runs the earliest pending event, advancing the clock to it.
 // It reports whether an event was run.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*Event)
-		if e.cancelled {
-			continue
-		}
-		k.now = e.at
-		k.nsteps++
-		e.fn()
-		return true
+	if len(k.events) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	k.nsteps++
+	fn := e.fn
+	// Recycle before running: fn may itself schedule, and reusing the
+	// hot struct keeps the event working set at the queue's high-water
+	// mark.
+	k.release(e)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -152,3 +191,43 @@ func (k *Kernel) Idle() bool { return len(k.events) == 0 }
 // LiveProcs returns the number of spawned processes that have not
 // finished. Useful in tests to detect leaked/deadlocked processes.
 func (k *Kernel) LiveProcs() int { return k.procs }
+
+// Timer is a reusable one-shot scheduled callback: the callback is
+// bound once at creation and the timer is re-armed with Arm/ArmAfter.
+// Re-arming implicitly stops a pending firing, and stopping a timer
+// that already fired is a no-op, so the common cancel-and-reschedule
+// pattern (e.g. a solver's next-completion event) costs no allocation
+// and needs no bookkeeping at the call site.
+type Timer struct {
+	k   *Kernel
+	fn  func()
+	ref EventRef
+}
+
+// NewTimer returns an unarmed timer on kernel k that runs fn when it
+// fires.
+func (k *Kernel) NewTimer(fn func()) *Timer {
+	return &Timer{k: k, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire at instant t.
+func (t *Timer) Arm(at Time) {
+	t.k.Cancel(t.ref)
+	t.ref = t.k.At(at, t.fn)
+}
+
+// ArmAfter (re)schedules the timer to fire d from now.
+func (t *Timer) ArmAfter(d Duration) {
+	t.k.Cancel(t.ref)
+	t.ref = t.k.After(d, t.fn)
+}
+
+// Stop cancels a pending firing. Stopping an unarmed or already-fired
+// timer is a no-op.
+func (t *Timer) Stop() {
+	t.k.Cancel(t.ref)
+	t.ref = EventRef{}
+}
+
+// Pending reports whether the timer is armed and has not fired yet.
+func (t *Timer) Pending() bool { return t.ref.Pending() }

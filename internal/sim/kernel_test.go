@@ -50,7 +50,7 @@ func TestKernelCancel(t *testing.T) {
 func TestKernelCancelDuringRun(t *testing.T) {
 	k := NewKernel(1)
 	ran := false
-	var e *Event
+	var e EventRef
 	e = k.At(20, func() { ran = true })
 	k.At(10, func() { k.Cancel(e) })
 	k.Run()

@@ -19,6 +19,10 @@ type Proc struct {
 	finished bool
 	panicVal any
 	blocked  bool // waiting on a Signal (not a timer)
+	// runFn is the p.run method value, captured once at Spawn so the
+	// hot wake paths (Sleep, Signal) don't allocate a fresh bound-method
+	// closure per block.
+	runFn func()
 }
 
 // Spawn creates a process running fn. The process starts at the current
@@ -30,6 +34,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		resumeCh: make(chan struct{}),
 		yieldCh:  make(chan struct{}),
 	}
+	p.runFn = p.run
 	k.procs++
 	go func() {
 		defer func() {
@@ -42,7 +47,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		<-p.resumeCh
 		fn(p)
 	}()
-	k.At(k.now, p.run)
+	k.At(k.now, p.runFn)
 	return p
 }
 
@@ -86,7 +91,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.After(d, p.run)
+	p.k.After(d, p.runFn)
 	p.yield()
 }
 
@@ -118,7 +123,7 @@ func (s *Signal) Signal() {
 	p := s.waiters[0]
 	s.waiters = s.waiters[1:]
 	p.blocked = false
-	s.k.At(s.k.now, p.run)
+	s.k.At(s.k.now, p.runFn)
 }
 
 // WaitTimeout suspends p until the signal fires or d elapses, whichever
@@ -143,7 +148,7 @@ func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
 				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
 				timedOut = true
 				p.blocked = false
-				s.k.At(s.k.now, p.run)
+				s.k.At(s.k.now, p.runFn)
 				return
 			}
 		}

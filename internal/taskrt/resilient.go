@@ -117,7 +117,7 @@ type resilientRun struct {
 	finished int
 	done     bool
 	endTime  sim.Time
-	watchdog *sim.Event
+	watchdog sim.EventRef
 }
 
 // Run executes the application over the given per-rank runtimes (all
