@@ -22,18 +22,21 @@ test-race:
 	$(GO) test -race ./...
 
 # Re-run every experiment and diff against the golden files in results/
-# (non-zero exit + unified diff on drift).
+# (non-zero exit + unified diff on drift). Populates the point cache at
+# results/.cache, so a repeat verify replays unchanged points in well
+# under a second.
 verify:
 	$(GO) run ./cmd/interference -all -verify -q
 
-# Performance trajectory: solver/kernel microbenchmarks (with their
-# reference-solver baselines), the per-figure paper benchmarks, and a
-# timed full-campaign run, all folded into BENCH_sim.json by
-# cmd/benchreport. Compare trajectories with
+# Performance trajectory: solver/kernel/stats microbenchmarks (with
+# their reference baselines), the per-figure paper benchmarks, and the
+# full-campaign matrix — cold cache-disabled walls at -j 1/4/8 plus a
+# cold and a warm pass over a fresh point cache — all folded into
+# BENCH_sim.json by cmd/benchreport. Compare trajectories with
 #   go run ./cmd/benchreport -totext <old.json> > old.txt   (+ new)
 #   benchstat old.txt new.txt
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=200ms -run='^$$' ./internal/fluid ./internal/sim > bench_output.txt
+	$(GO) test -bench=. -benchmem -benchtime=200ms -run='^$$' ./internal/fluid ./internal/sim ./internal/stats ./internal/bench > bench_output.txt
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . >> bench_output.txt
 	$(GO) run ./cmd/benchreport -in bench_output.txt -out BENCH_sim.json
 

@@ -9,8 +9,10 @@
 //	benchreport -totext BENCH_sim.json      # re-emit Go benchmark text for benchstat
 //
 // The JSON records ns/op, B/op and allocs/op for every benchmark, the
-// optimized-vs-reference solver ratios the acceptance bar tracks, and
-// the wall time of a full golden campaign run in-process. -totext
+// optimized-vs-reference solver ratios the acceptance bar tracks, and a
+// full golden campaign matrix run in-process: cold cache-disabled walls
+// at each -jobs worker count, plus a cold and a warm pass over a fresh
+// content-addressed point cache (hit rate and points/sec). -totext
 // converts a (current or historical) BENCH_sim.json back into the Go
 // benchmark text format, so CI can diff trajectories with benchstat.
 package main
@@ -25,8 +27,10 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/runner"
 )
@@ -39,16 +43,43 @@ type Benchmark struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Campaign is the timed full-golden-campaign run.
+// Campaign is the timed full-golden-campaign matrix: cold cache-disabled
+// walls across worker counts, plus a cold+warm pass over a fresh point
+// cache.
 type Campaign struct {
-	Cluster     string  `json:"cluster"`
-	Experiments int     `json:"experiments"`
-	Runs        int     `json:"runs"`
-	Workers     int     `json:"workers"`
-	WallSeconds float64 `json:"wall_seconds"`
+	Cluster     string `json:"cluster"`
+	Experiments int    `json:"experiments"`
+	Runs        int    `json:"runs"`
+	// WallSecondsByJobs is the cold, cache-disabled campaign wall keyed
+	// by worker count ("1", "4", "8"): the parallel-scaling trajectory.
+	WallSecondsByJobs map[string]float64 `json:"wall_seconds_by_jobs,omitempty"`
+	// Cache is the content-addressed point-cache measurement.
+	Cache *CacheRun `json:"cache,omitempty"`
+	// Workers/WallSeconds are the schema-1 fields, kept so -totext can
+	// re-emit historical reports for benchstat.
+	Workers     int     `json:"workers,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
 }
 
-// Report is the BENCH_sim.json schema.
+// CacheRun times the same campaign against a fresh persistent point
+// cache: once cold (populating it, deduplicating shared cells through
+// the campaign memo) and once warm (replaying it).
+type CacheRun struct {
+	Workers int `json:"workers"`
+	// Points is how many sweep points the campaign requests.
+	Points int64 `json:"points"`
+	// Cold run: hit rate counts memo dedup only (the cache starts empty).
+	ColdWallSeconds  float64 `json:"cold_wall_seconds"`
+	ColdHitRate      float64 `json:"cold_hit_rate"`
+	ColdPointsPerSec float64 `json:"cold_points_per_sec"`
+	// Warm run: every point replays from disk or memo.
+	WarmWallSeconds  float64 `json:"warm_wall_seconds"`
+	WarmHitRate      float64 `json:"warm_hit_rate"`
+	WarmPointsPerSec float64 `json:"warm_points_per_sec"`
+}
+
+// Report is the BENCH_sim.json schema. Schema 2 replaced the single
+// campaign wall with the per-worker-count matrix and the cache run.
 type Report struct {
 	Schema     int                  `json:"schema"`
 	GoVersion  string               `json:"go_version"`
@@ -70,7 +101,8 @@ func main() {
 		out      = flag.String("out", "BENCH_sim.json", "report destination")
 		campaign = flag.Bool("campaign", true, "also run and time the full golden campaign in-process")
 		cluster  = flag.String("cluster", "henri", "campaign cluster preset")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "campaign worker count")
+		jobsList = flag.String("jobs", "1,4,8", "comma-separated worker counts for the cold cache-disabled walls")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the cache cold/warm runs")
 		toText   = flag.String("totext", "", "convert this BENCH_sim.json to Go benchmark text on stdout and exit")
 	)
 	flag.Parse()
@@ -89,13 +121,18 @@ func main() {
 		os.Exit(1)
 	}
 	rep := Report{
-		Schema:     1,
+		Schema:     2,
 		GoVersion:  runtime.Version(),
 		Benchmarks: benches,
 		Derived:    derive(benches),
 	}
 	if *campaign {
-		c, err := timeCampaign(*cluster, *jobs)
+		counts, err := parseJobs(*jobsList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		c, err := timeCampaign(*cluster, counts, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
@@ -119,10 +156,47 @@ func main() {
 			fmt.Printf("  %s = %.2f\n", k, v)
 		}
 	}
-	if rep.Campaign != nil {
-		fmt.Printf("  campaign: %d experiments on %s in %.2fs (j=%d)\n",
-			rep.Campaign.Experiments, rep.Campaign.Cluster, rep.Campaign.WallSeconds, rep.Campaign.Workers)
+	if c := rep.Campaign; c != nil {
+		keys := make([]string, 0, len(c.WallSecondsByJobs))
+		for k := range c.WallSecondsByJobs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, _ := strconv.Atoi(keys[i])
+			b, _ := strconv.Atoi(keys[j])
+			return a < b
+		})
+		for _, k := range keys {
+			fmt.Printf("  campaign: %d experiments on %s in %.2fs (j=%s, no cache)\n",
+				c.Experiments, c.Cluster, c.WallSecondsByJobs[k], k)
+		}
+		if cr := c.Cache; cr != nil {
+			fmt.Printf("  cache: cold %.2fs (%.0f pts/s, %.0f%% served), warm %.2fs (%.0f pts/s, %.0f%% served), %d points, j=%d\n",
+				cr.ColdWallSeconds, cr.ColdPointsPerSec, 100*cr.ColdHitRate,
+				cr.WarmWallSeconds, cr.WarmPointsPerSec, 100*cr.WarmHitRate,
+				cr.Points, cr.Workers)
+		}
 	}
+}
+
+// parseJobs parses the -jobs list ("1,4,8") into worker counts.
+func parseJobs(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-jobs: bad worker count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-jobs: empty list")
+	}
+	return counts, nil
 }
 
 // parseBench extracts every benchmark result line from a `go test
@@ -185,27 +259,76 @@ func derive(b map[string]Benchmark) map[string]float64 {
 }
 
 // timeCampaign runs the full experiment registry in-process (the same
-// configuration the goldens are recorded under: seed 1, 3 runs) and
-// reports its wall time.
-func timeCampaign(cluster string, jobs int) (*Campaign, error) {
+// configuration the goldens are recorded under: seed 1, 3 runs): once
+// per worker count with the cache disabled, then cold+warm against a
+// fresh point cache in a temp directory.
+func timeCampaign(cluster string, jobsCounts []int, cacheJobs int) (*Campaign, error) {
 	env, err := core.Env(cluster, 1, 3)
 	if err != nil {
 		return nil, err
 	}
 	todo := core.Experiments()
+	c := &Campaign{
+		Cluster:           cluster,
+		Experiments:       len(todo),
+		Runs:              3,
+		WallSecondsByJobs: map[string]float64{},
+	}
+	for _, j := range jobsCounts {
+		wall, err := runCampaign(env, todo, runner.Options{Workers: j})
+		if err != nil {
+			return nil, err
+		}
+		c.WallSecondsByJobs[strconv.Itoa(j)] = wall
+	}
+
+	dir, err := os.MkdirTemp("", "benchreport-cache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := runner.OpenPointCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cold, warm runner.CacheStats
+	coldWall, err := runCampaign(env, todo, runner.Options{Workers: cacheJobs, Cache: cache, CacheStats: &cold})
+	if err != nil {
+		return nil, err
+	}
+	warmWall, err := runCampaign(env, todo, runner.Options{Workers: cacheJobs, Cache: cache, CacheStats: &warm})
+	if err != nil {
+		return nil, err
+	}
+	c.Cache = &CacheRun{
+		Workers:          cacheJobs,
+		Points:           warm.Points(),
+		ColdWallSeconds:  coldWall,
+		ColdHitRate:      cold.HitRate(),
+		ColdPointsPerSec: perSec(cold.Points(), coldWall),
+		WarmWallSeconds:  warmWall,
+		WarmHitRate:      warm.HitRate(),
+		WarmPointsPerSec: perSec(warm.Points(), warmWall),
+	}
+	return c, nil
+}
+
+// runCampaign executes the registry once and returns the wall seconds.
+func runCampaign(env bench.Env, todo []core.Experiment, opts runner.Options) (float64, error) {
 	start := time.Now()
-	for res := range runner.Run(env, todo, runner.Options{Workers: jobs}) {
+	for res := range runner.Run(env, todo, opts) {
 		if res.Err != nil {
-			return nil, fmt.Errorf("campaign: %s: %w", res.Exp.ID, res.Err)
+			return 0, fmt.Errorf("campaign: %s: %w", res.Exp.ID, res.Err)
 		}
 	}
-	return &Campaign{
-		Cluster:     cluster,
-		Experiments: len(todo),
-		Runs:        3,
-		Workers:     jobs,
-		WallSeconds: time.Since(start).Seconds(),
-	}, nil
+	return time.Since(start).Seconds(), nil
+}
+
+func perSec(points int64, wall float64) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(points) / wall
 }
 
 // emitText converts a BENCH_sim.json back into Go benchmark text
@@ -230,11 +353,28 @@ func emitText(path string) error {
 		fmt.Printf("%s %d %.4g ns/op %.4g B/op %.4g allocs/op\n",
 			name, b.Iters, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 	}
-	if rep.Campaign != nil {
-		// Encode campaign wall time as a synthetic benchmark so it rides
+	if c := rep.Campaign; c != nil {
+		// Encode campaign wall times as synthetic benchmarks so they ride
 		// along in the benchstat comparison.
-		fmt.Printf("BenchmarkCampaign%s 1 %.6g ns/op\n",
-			rep.Campaign.Cluster, rep.Campaign.WallSeconds*1e9)
+		if c.WallSeconds > 0 { // schema-1 reports
+			fmt.Printf("BenchmarkCampaign%s 1 %.6g ns/op\n", c.Cluster, c.WallSeconds*1e9)
+		}
+		jkeys := make([]string, 0, len(c.WallSecondsByJobs))
+		for k := range c.WallSecondsByJobs {
+			jkeys = append(jkeys, k)
+		}
+		sort.Slice(jkeys, func(i, j int) bool {
+			a, _ := strconv.Atoi(jkeys[i])
+			b, _ := strconv.Atoi(jkeys[j])
+			return a < b
+		})
+		for _, k := range jkeys {
+			fmt.Printf("BenchmarkCampaign%sJ%s 1 %.6g ns/op\n", c.Cluster, k, c.WallSecondsByJobs[k]*1e9)
+		}
+		if cr := c.Cache; cr != nil {
+			fmt.Printf("BenchmarkCampaign%sColdCache 1 %.6g ns/op\n", c.Cluster, cr.ColdWallSeconds*1e9)
+			fmt.Printf("BenchmarkCampaign%sWarmCache 1 %.6g ns/op\n", c.Cluster, cr.WarmWallSeconds*1e9)
+		}
 	}
 	return nil
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestInvalidJobsRejected(t *testing.T) {
-	for _, j := range []string{"0", "-3"} {
+	for _, j := range []string{"-1", "-3"} {
 		code, _, stderr := runCLI("-exp", "sec5.2", "-j", j)
 		if code != 2 {
 			t.Fatalf("-j %s: exit %d, want 2", j, code)
@@ -14,6 +14,15 @@ func TestInvalidJobsRejected(t *testing.T) {
 		if !strings.Contains(stderr, "-j") || !strings.Contains(stderr, "worker") {
 			t.Fatalf("-j %s: unhelpful error %q", j, stderr)
 		}
+	}
+}
+
+func TestJobsZeroMeansGOMAXPROCS(t *testing.T) {
+	// -j 0 (and the unset default) resolves to GOMAXPROCS instead of
+	// being rejected.
+	code, _, stderr := runCLI("-exp", "sec5.2", "-j", "0", "-q", "-no-cache")
+	if code != 0 {
+		t.Fatalf("-j 0: exit %d, stderr %q", code, stderr)
 	}
 }
 

@@ -1,10 +1,17 @@
 // Command interference runs the paper's experiments on the simulated
 // clusters and prints the tables/series behind every figure.
 //
-// Experiments are fanned out over a bounded worker pool (each owns an
-// isolated simulated clock, so concurrency never changes the numbers)
-// and results are streamed in registry order: output is byte-identical
-// at every -j value.
+// The unit of scheduling is the sweep *point*: every experiment
+// compiles its parameter grids (core counts, message sizes, placements,
+// ...) into independent points that all -j workers execute from one
+// shared pool, merging results back in index order — so output is
+// byte-identical at every -j value, and a campaign dominated by one
+// big sweep still uses every worker. Computed points are persisted in
+// a content-addressed cache (-cache, default results/.cache) keyed by
+// solver version, cluster spec, seed/runs/faults and the point's
+// parameters; repeated campaigns replay unchanged points and report
+// the hit rate. -no-cache disables the persistent layer (points are
+// still deduplicated in memory within the campaign).
 //
 // Usage:
 //
@@ -14,6 +21,7 @@
 //	interference -cluster henri -exp fig7 -runs 5 -seed 42
 //	interference -all -j 8 -verify      # diff against results/ goldens
 //	interference -all -update           # regenerate results/ goldens
+//	interference -all -no-cache         # force recomputation of all points
 package main
 
 import (
@@ -54,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outDir   = fs.String("o", "", "write one file per experiment into this directory instead of stdout")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		runs     = fs.Int("runs", 3, "repetitions per configuration (decile bands)")
-		jobs     = fs.Int("j", runtime.GOMAXPROCS(0), "experiments run concurrently (must be >= 1)")
+		jobs     = fs.Int("j", 0, "concurrent workers executing sweep points and experiments; 0 = GOMAXPROCS")
 		verify   = fs.Bool("verify", false, "re-run experiments and diff against the golden files (exit 1 on drift)")
 		update   = fs.Bool("update", false, "regenerate the golden files from this run")
 		quiet    = fs.Bool("q", false, "suppress progress messages and the summary table")
@@ -65,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume   = fs.Bool("resume", false, "replay results already in -journal and run only the missing experiments")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (whole process: with -j>1 all workers share one profile)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit (whole process: with -j>1 all workers share one profile)")
+		cacheDir = fs.String("cache", "results/.cache", "directory of the persistent point cache")
+		noCache  = fs.Bool("no-cache", false, "disable the persistent point cache (in-memory dedup stays on)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,11 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, e := range core.Experiments() {
 			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
+			if e.Sweep != "" {
+				fmt.Fprintf(stdout, "%-16s   %s\n", "", e.Sweep)
+			}
 		}
 		return 0
 	}
+	if *jobs == 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
 	if *jobs < 1 {
-		fmt.Fprintf(stderr, "interference: -j %d is invalid: need at least one worker\n", *jobs)
+		fmt.Fprintf(stderr, "interference: -j %d is invalid: need at least one worker (or 0 for GOMAXPROCS)\n", *jobs)
 		return 2
 	}
 	if *retry < 0 {
@@ -214,7 +230,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	failed := 0
 	var done []runner.Result
-	opts := runner.Options{Workers: *jobs, Format: *format, Deadline: *timeout, Retries: *retry}
+	stats := &runner.CacheStats{}
+	opts := runner.Options{
+		Workers: *jobs, Format: *format, Deadline: *timeout, Retries: *retry,
+		CacheStats: stats,
+	}
+	if !*noCache {
+		cache, err := runner.OpenPointCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		opts.Cache = cache
+	}
 	var results <-chan runner.Result
 	if *journal != "" {
 		j, err := runner.OpenJournal(*journal)
@@ -287,6 +315,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := core.WriteTables(stderr, "ascii", []*trace.Table{runner.Summary(done)}); err != nil {
 			fmt.Fprintln(stderr, "interference:", err)
 		}
+	}
+	if !*quiet && stats.Points() > 0 {
+		line := fmt.Sprintf("point cache: %d points, %d disk hits, %d memo hits, %d computed (%.0f%% served without executing)",
+			stats.Points(), stats.Hits, stats.MemoHits, stats.Misses, stats.HitRate()*100)
+		if stats.Mismatches > 0 || stats.Errors > 0 {
+			line += fmt.Sprintf("; %d key mismatches, %d I/O errors", stats.Mismatches, stats.Errors)
+		}
+		if opts.Cache != nil {
+			line += " [" + opts.Cache.Dir() + "]"
+		} else {
+			line += " [persistent cache disabled]"
+		}
+		fmt.Fprintln(stderr, line)
 	}
 	if failed > 0 {
 		// Recap after the summary table, so a long campaign's failures

@@ -7,10 +7,14 @@ import (
 	"testing"
 )
 
-// runCLI drives run() and returns exit code, stdout, stderr.
+// runCLI drives run() and returns exit code, stdout, stderr. The
+// persistent point cache is disabled so tests never create the default
+// results/.cache directory relative to the test working directory;
+// cache-specific tests call run() themselves with -cache pointing at a
+// temp dir.
 func runCLI(args ...string) (int, string, string) {
 	var stdout, stderr strings.Builder
-	code := run(args, &stdout, &stderr)
+	code := run(append([]string{"-no-cache"}, args...), &stdout, &stderr)
 	return code, stdout.String(), stderr.String()
 }
 
@@ -126,6 +130,51 @@ func TestStdoutDeterministicAcrossJobs(t *testing.T) {
 	}
 	if out1 == "" || out1 != out4 {
 		t.Fatalf("stdout differs between -j 1 and -j 4:\n%q\n%q", out1, out4)
+	}
+}
+
+// TestCacheWarmRunIdenticalAndRecapped: running the same experiment
+// twice against a temp cache dir yields byte-identical stdout, a cache
+// recap on stderr, and a fully served second run.
+func TestCacheWarmRunIdenticalAndRecapped(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-exp", "fig3", "-runs", "1", "-cache", cacheDir}
+	runCached := func() (int, string, string) {
+		var stdout, stderr strings.Builder
+		code := run(args, &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+	code, cold, coldErr := runCached()
+	if code != 0 {
+		t.Fatalf("cold run exit %d: %s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "point cache:") || !strings.Contains(coldErr, cacheDir) {
+		t.Fatalf("no cache recap on stderr:\n%s", coldErr)
+	}
+	code, warm, warmErr := runCached()
+	if code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, warmErr)
+	}
+	if warm != cold {
+		t.Fatalf("warm stdout differs from cold:\n%q\n%q", cold, warm)
+	}
+	if !strings.Contains(warmErr, "0 computed (100% served without executing)") {
+		t.Fatalf("warm recap does not show a fully served run:\n%s", warmErr)
+	}
+}
+
+// TestNoCacheSuppressesRecap: -no-cache must not print a persistent
+// cache directory (runCLI prepends -no-cache).
+func TestNoCacheSuppressesRecap(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "fig3", "-runs", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if strings.Contains(stderr, "results/.cache") {
+		t.Fatalf("-no-cache run mentions the cache dir:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "persistent cache disabled") {
+		t.Fatalf("recap does not note the disabled cache:\n%s", stderr)
 	}
 }
 

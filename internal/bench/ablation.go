@@ -6,6 +6,8 @@ package bench
 // ingredient carries.
 
 import (
+	"fmt"
+
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -59,27 +61,47 @@ func ablationCases() []ablationCase {
 // cores, data near NIC, comm thread far) under each ablated model and
 // reports the headline metrics.
 func Ablation(env Env) *trace.Table {
+	type ablationCell struct {
+		LatFactor, BwDrop, StreamGBps float64
+	}
+	cases := ablationCases()
+	pts := make([]Point, 0, len(cases))
+	for _, c := range cases {
+		c := c
+		pts = append(pts, Point{
+			// The case name determines the spec mutation; everything else is
+			// the campaign spec (hashed into the cache base key).
+			Key: fmt.Sprintf("ablation/%s", c.Name),
+			Fn: func(env Env) any {
+				spec := env.Spec.Clone()
+				c.Mutate(spec)
+				caseEnv := env
+				caseEnv.Spec = spec
+				caseEnv.Runs = 1
+				pts := Fig4Contention(caseEnv, ContentionConfig{
+					Data: Near, CommThread: Far, CoreCounts: []int{spec.Cores() - 1},
+				})
+				pt := pts[0]
+				latFactor := 0.0
+				if m := pt.Latency.CommAlone.Median; m > 0 {
+					latFactor = pt.Latency.CommTogether.Median / m
+				}
+				bwDrop := 0.0
+				if a := pt.Bandwidth.BandwidthAlone(); a > 0 {
+					bwDrop = 100 * (1 - pt.Bandwidth.BandwidthTogether()/a)
+				}
+				return ablationCell{
+					LatFactor:  latFactor,
+					BwDrop:     bwDrop,
+					StreamGBps: pt.Bandwidth.ComputeTogether.Median / 1e9,
+				}
+			},
+		})
+	}
 	t := trace.NewTable("Ablation — Fig 4 full-load point with one model mechanism disabled at a time",
 		"variant", "latency_factor", "bandwidth_drop_%", "stream_GBps_per_core", "note")
-	for _, c := range ablationCases() {
-		spec := env.Spec.Clone()
-		c.Mutate(spec)
-		caseEnv := env
-		caseEnv.Spec = spec
-		caseEnv.Runs = 1
-		pts := Fig4Contention(caseEnv, ContentionConfig{
-			Data: Near, CommThread: Far, CoreCounts: []int{spec.Cores() - 1},
-		})
-		pt := pts[0]
-		latFactor := 0.0
-		if m := pt.Latency.CommAlone.Median; m > 0 {
-			latFactor = pt.Latency.CommTogether.Median / m
-		}
-		bwDrop := 0.0
-		if a := pt.Bandwidth.BandwidthAlone(); a > 0 {
-			bwDrop = 100 * (1 - pt.Bandwidth.BandwidthTogether()/a)
-		}
-		t.Add(c.Name, latFactor, bwDrop, pt.Bandwidth.ComputeTogether.Median/1e9, c.Doc)
+	for i, cell := range RunPointsAs[ablationCell](env, pts) {
+		t.Add(cases[i].Name, cell.LatFactor, cell.BwDrop, cell.StreamGBps, cases[i].Doc)
 	}
 	return t
 }

@@ -42,6 +42,11 @@ type Env struct {
 	// reproducibility. Nil runs healthy worlds with an unchanged event
 	// sequence.
 	Faults *fault.Schedule
+	// Sched, when non-nil, executes compiled sweep points (see sweep.go)
+	// on a campaign-wide pool, possibly replaying them from a persistent
+	// cache. Nil runs sweep points inline, serially, with identical
+	// output.
+	Sched PointRunner
 }
 
 // Isolated returns a copy of the environment that shares no mutable
@@ -207,7 +212,18 @@ func applyComm(w *mpi.World, cc CommConfig) *mpi.PingPong {
 // Interference runs the full §2.1 protocol for one configuration.
 func Interference(env Env, comm CommConfig, comp ComputeConfig) InterferenceResult {
 	res := InterferenceResult{Size: comm.Size}
-	var bwAlone, bwTogether, secsAlone, secsTogether, latAlone, latTogether []float64
+	// Preallocate the accumulators to their exact final sizes: one
+	// compute sample per (run, node-0 core) and one latency sample per
+	// (run, ping-pong iteration). These appends are the hottest
+	// measurement path of every sweep point.
+	compCap := env.runs() * comp.Cores
+	latCap := env.runs() * comm.Iters
+	bwAlone := make([]float64, 0, compCap)
+	bwTogether := make([]float64, 0, compCap)
+	secsAlone := make([]float64, 0, compCap)
+	secsTogether := make([]float64, 0, compCap)
+	latAlone := make([]float64, 0, latCap)
+	latTogether := make([]float64, 0, latCap)
 
 	for run := 0; run < env.runs(); run++ {
 		seed := env.Seed + int64(run)
@@ -283,12 +299,12 @@ func Interference(env Env, comm CommConfig, comp ComputeConfig) InterferenceResu
 		}
 	}
 
-	res.ComputeAlone = stats.Summarize(bwAlone)
-	res.ComputeTogether = stats.Summarize(bwTogether)
-	res.ComputeSecsAlone = stats.Summarize(secsAlone)
-	res.ComputeSecsTogether = stats.Summarize(secsTogether)
-	res.CommAlone = stats.Summarize(latAlone)
-	res.CommTogether = stats.Summarize(latTogether)
+	res.ComputeAlone = stats.SummarizeInPlace(bwAlone)
+	res.ComputeTogether = stats.SummarizeInPlace(bwTogether)
+	res.ComputeSecsAlone = stats.SummarizeInPlace(secsAlone)
+	res.ComputeSecsTogether = stats.SummarizeInPlace(secsTogether)
+	res.CommAlone = stats.SummarizeInPlace(latAlone)
+	res.CommTogether = stats.SummarizeInPlace(latTogether)
 	return res
 }
 

@@ -21,16 +21,33 @@ func ExtCollectives(env Env) *trace.Table {
 	t := trace.NewTable("EXT — collectives under memory contention (built on the studied point-to-point layer)",
 		"op", "nodes", "size_B", "quiet_us", "contended_us", "slowdown")
 	const size = 1 << 20
+	type collCell struct {
+		Op            string
+		Nodes         int
+		Quiet, Loaded sim.Duration
+	}
+	var pts []Point
 	for _, op := range []string{"bcast", "allreduce"} {
 		for _, nodes := range []int{2, 4, 8} {
-			quiet := runCollective(env, op, nodes, size, 0)
-			loaded := runCollective(env, op, nodes, size, env.Spec.Cores()-1)
-			slow := 0.0
-			if quiet > 0 {
-				slow = loaded.Seconds() / quiet.Seconds()
-			}
-			t.Add(op, nodes, size, quiet.Micros(), loaded.Micros(), slow)
+			op, nodes := op, nodes
+			pts = append(pts, Point{
+				Key: fmt.Sprintf("collectives/op=%s/nodes=%d/size=%d", op, nodes, size),
+				Fn: func(env Env) any {
+					return collCell{
+						Op: op, Nodes: nodes,
+						Quiet:  runCollective(env, op, nodes, size, 0),
+						Loaded: runCollective(env, op, nodes, size, env.Spec.Cores()-1),
+					}
+				},
+			})
 		}
+	}
+	for _, cell := range RunPointsAs[collCell](env, pts) {
+		slow := 0.0
+		if cell.Quiet > 0 {
+			slow = cell.Loaded.Seconds() / cell.Quiet.Seconds()
+		}
+		t.Add(cell.Op, cell.Nodes, size, cell.Quiet.Micros(), cell.Loaded.Micros(), slow)
 	}
 	return t
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/freq"
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -26,28 +28,46 @@ func ExtEnergy(env Env) *trace.Table {
 		{"latency-bound (4B x 2000)", 4, 2000},
 		{"bandwidth-bound (16MB x 40)", 16 << 20, 40},
 	}
+	type energyCell struct {
+		Phase   string
+		GHz     float64
+		Elapsed sim.Duration
+		Joules  float64
+	}
+	var pts []Point
 	for _, ph := range phases {
 		for _, ghz := range []float64{env.Spec.Freq.CoreMin, env.Spec.Freq.CoreBase} {
-			c, w := newWorld(env, env.Seed)
-			for i := 0; i < 2; i++ {
-				r := w.Rank(i)
-				r.SetCommCore(env.Spec.LastCoreOfNUMA(env.Spec.NIC.NUMA))
-				r.Node.Freq.SetUserspace(ghz)
-				r.Node.Freq.EnableEnergy(freq.DefaultEnergyParams())
-			}
-			pp := &mpi.PingPong{Size: ph.size, Iters: ph.iters, Warmup: 0}
-			var elapsed sim.Duration
-			c.K.Spawn("init", func(p *sim.Proc) {
-				start := p.Now()
-				pp.Initiate(p, w.Rank(0), 1)
-				elapsed = p.Now().Sub(start)
+			ph, ghz := ph, ghz
+			pts = append(pts, Point{
+				Key: fmt.Sprintf("energy/size=%d/iters=%d/ghz=%g", ph.size, ph.iters, ghz),
+				Fn: func(env Env) any {
+					c, w := newWorld(env, env.Seed)
+					for i := 0; i < 2; i++ {
+						r := w.Rank(i)
+						r.SetCommCore(env.Spec.LastCoreOfNUMA(env.Spec.NIC.NUMA))
+						r.Node.Freq.SetUserspace(ghz)
+						r.Node.Freq.EnableEnergy(freq.DefaultEnergyParams())
+					}
+					pp := &mpi.PingPong{Size: ph.size, Iters: ph.iters, Warmup: 0}
+					var elapsed sim.Duration
+					c.K.Spawn("init", func(p *sim.Proc) {
+						start := p.Now()
+						pp.Initiate(p, w.Rank(0), 1)
+						elapsed = p.Now().Sub(start)
+					})
+					c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+					c.K.Run()
+					return energyCell{
+						Phase: ph.name, GHz: ghz, Elapsed: elapsed,
+						Joules: w.Rank(0).Node.Freq.EnergyJoules(),
+					}
+				},
 			})
-			c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
-			c.K.Run()
-			joules := w.Rank(0).Node.Freq.EnergyJoules()
-			t.Add(ph.name, ghz, elapsed.Seconds()*1e3, joules,
-				joules*elapsed.Seconds()*1e3)
 		}
+	}
+	for _, cell := range RunPointsAs[energyCell](env, pts) {
+		t.Add(cell.Phase, cell.GHz, cell.Elapsed.Seconds()*1e3, cell.Joules,
+			cell.Joules*cell.Elapsed.Seconds()*1e3)
 	}
 	return t
 }

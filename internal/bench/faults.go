@@ -57,7 +57,7 @@ func faultTotals(c *machine.Cluster) FaultTotals {
 // the environment's schedule and returns the per-iteration latencies in
 // seconds plus the aggregated recovery counters.
 func runFaultPingPong(env Env, cc CommConfig) ([]float64, FaultTotals) {
-	var lats []float64
+	lats := make([]float64, 0, env.runs()*cc.Iters)
 	var tot FaultTotals
 	for run := 0; run < env.runs(); run++ {
 		c, w := newWorld(env, env.Seed+int64(run))
@@ -99,25 +99,54 @@ func faultScenarios(env Env) []struct {
 // under increasing fault intensity, alongside the recovery work done:
 // retransmissions, expired timeouts, and the transmissions the injector
 // dropped or corrupted.
+// faultsPPCell is the cached payload of one FaultsPingPong scenario.
+type faultsPPCell struct {
+	Scenario  string
+	LatMedian float64
+	BwBps     float64
+	Retries   float64
+	Timeouts  float64
+	Lost      float64
+	Corrupted float64
+}
+
 func FaultsPingPong(env Env) *trace.Table {
+	var pts []Point
+	for _, sc := range faultScenarios(env) {
+		sc := sc
+		pts = append(pts, Point{
+			// Sound under a custom -faults schedule too: the campaign-level
+			// cache key hashes the schedule, and a custom schedule replaces
+			// the whole scenario sweep.
+			Key: fmt.Sprintf("faults/pingpong/%s", sc.name),
+			Fn: func(env Env) any {
+				fenv := env
+				fenv.Faults = sc.sched
+				lat, latTot := runFaultPingPong(fenv, LatencyConfig())
+				bw, bwTot := runFaultPingPong(fenv, BandwidthConfig())
+				latMed := stats.SummarizeInPlace(lat).Median
+				bwMed := stats.SummarizeInPlace(bw).Median
+				var bwBps float64
+				if bwMed > 0 {
+					bwBps = float64(BandwidthConfig().Size) / bwMed
+				}
+				return faultsPPCell{
+					Scenario:  sc.name,
+					LatMedian: latMed,
+					BwBps:     bwBps,
+					Retries:   latTot.SendRetries + bwTot.SendRetries,
+					Timeouts:  latTot.SendTimeouts + bwTot.SendTimeouts,
+					Lost:      latTot.MsgsLost + bwTot.MsgsLost,
+					Corrupted: latTot.MsgsCorrupted + bwTot.MsgsCorrupted,
+				}
+			},
+		})
+	}
 	t := trace.NewTable("FAULTS — ping-pong under fault injection (loss + corruption + degraded wires)",
 		"scenario", "latency_us", "bandwidth_MBps", "send_retries", "send_timeouts", "msgs_lost", "msgs_corrupted")
-	for _, sc := range faultScenarios(env) {
-		fenv := env
-		fenv.Faults = sc.sched
-		lat, latTot := runFaultPingPong(fenv, LatencyConfig())
-		bw, bwTot := runFaultPingPong(fenv, BandwidthConfig())
-		latMed := stats.Summarize(lat).Median
-		bwMed := stats.Summarize(bw).Median
-		var bwBps float64
-		if bwMed > 0 {
-			bwBps = float64(BandwidthConfig().Size) / bwMed
-		}
-		t.Add(sc.name, latMed*1e6, bwBps/1e6,
-			latTot.SendRetries+bwTot.SendRetries,
-			latTot.SendTimeouts+bwTot.SendTimeouts,
-			latTot.MsgsLost+bwTot.MsgsLost,
-			latTot.MsgsCorrupted+bwTot.MsgsCorrupted)
+	for _, cell := range RunPointsAs[faultsPPCell](env, pts) {
+		t.Add(cell.Scenario, cell.LatMedian*1e6, cell.BwBps/1e6,
+			cell.Retries, cell.Timeouts, cell.Lost, cell.Corrupted)
 	}
 	return t
 }
@@ -149,24 +178,38 @@ func FaultsOverlap(env Env) *trace.Table {
 		scenarios = []sc{{"custom", env.Faults}}
 	}
 	const size = 16 << 20
+	type overlapCell struct {
+		Scenario string
+		Res      mpi.OverlapResult
+	}
+	pts := make([]Point, 0, len(scenarios))
 	for _, s := range scenarios {
-		fenv := env
-		fenv.Faults = s.sched
-		c, w := newWorld(fenv, fenv.Seed)
-		transferSecs := float64(size) / (env.Spec.NIC.WireGBs * 1e9)
-		flops := transferSecs * 2.5e9 * env.Spec.FlopsPerCycle[topology.Scalar]
-		ov := &mpi.Overlap{
-			Size:        size,
-			Compute:     machine.ComputeSpec{Flops: flops, Class: topology.Scalar},
-			ComputeCore: 1,
-			Iters:       4,
-		}
-		var res mpi.OverlapResult
-		c.K.Spawn("overlap", func(p *sim.Proc) { res = ov.Run(p, w.Rank(0), 1) })
-		c.K.Spawn("peer", func(p *sim.Proc) { ov.RunPeer(p, w.Rank(1), 0) })
-		c.K.Run()
-		t.Add(s.name, res.CommAlone.Micros(), res.ComputeAlone.Micros(),
-			res.Together.Micros(), res.Ratio)
+		s := s
+		pts = append(pts, Point{
+			Key: fmt.Sprintf("faults/overlap/%s", s.name),
+			Fn: func(env Env) any {
+				fenv := env
+				fenv.Faults = s.sched
+				c, w := newWorld(fenv, fenv.Seed)
+				transferSecs := float64(size) / (env.Spec.NIC.WireGBs * 1e9)
+				flops := transferSecs * 2.5e9 * env.Spec.FlopsPerCycle[topology.Scalar]
+				ov := &mpi.Overlap{
+					Size:        size,
+					Compute:     machine.ComputeSpec{Flops: flops, Class: topology.Scalar},
+					ComputeCore: 1,
+					Iters:       4,
+				}
+				var res mpi.OverlapResult
+				c.K.Spawn("overlap", func(p *sim.Proc) { res = ov.Run(p, w.Rank(0), 1) })
+				c.K.Spawn("peer", func(p *sim.Proc) { ov.RunPeer(p, w.Rank(1), 0) })
+				c.K.Run()
+				return overlapCell{Scenario: s.name, Res: res}
+			},
+		})
+	}
+	for _, cell := range RunPointsAs[overlapCell](env, pts) {
+		t.Add(cell.Scenario, cell.Res.CommAlone.Micros(), cell.Res.ComputeAlone.Micros(),
+			cell.Res.Together.Micros(), cell.Res.Ratio)
 	}
 	return t
 }

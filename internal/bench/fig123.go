@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/freq"
 	"repro/internal/kernels"
 	"repro/internal/sim"
@@ -33,42 +35,48 @@ func Fig1Frequencies(env Env, sizes []int64) []FrequencyPoint {
 	if len(sizes) == 0 {
 		sizes = []int64{4, 64 << 20}
 	}
-	spec := env.Spec
-	coreFreqs := []float64{spec.Freq.CoreMin, spec.Freq.CoreBase}
-	uncoreFreqs := []float64{spec.Freq.UncoreMin, spec.Freq.UncoreMax}
-	var out []FrequencyPoint
+	coreFreqs := []float64{env.Spec.Freq.CoreMin, env.Spec.Freq.CoreBase}
+	uncoreFreqs := []float64{env.Spec.Freq.UncoreMin, env.Spec.Freq.UncoreMax}
+	var pts []Point
 	for _, cf := range coreFreqs {
 		for _, uf := range uncoreFreqs {
 			for _, size := range sizes {
-				var lats []float64
-				for run := 0; run < env.runs(); run++ {
-					c, w := newWorld(env, env.Seed+int64(run))
-					for i := 0; i < 2; i++ {
-						r := w.Rank(i)
-						r.SetCommCore(spec.LastCoreOfNUMA(spec.NIC.NUMA))
-						r.Node.Freq.SetUserspace(cf)
-						r.Node.Freq.SetUncoreFixed(uf)
-					}
-					pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: size,
-						Iters: pingIters(size), Warmup: 2})
-					pp.InitBuf = w.Rank(0).Node.Alloc(maxInt64(size, 1), spec.NIC.NUMA)
-					pp.RespBuf = w.Rank(1).Node.Alloc(maxInt64(size, 1), spec.NIC.NUMA)
-					var ls []sim.Duration
-					c.K.Spawn("init", func(p *sim.Proc) { ls = pp.Initiate(p, w.Rank(0), 1) })
-					c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
-					c.K.Run()
-					for _, l := range ls {
-						lats = append(lats, l.Seconds())
-					}
-				}
-				out = append(out, FrequencyPoint{
-					CoreGHz: cf, UncoreGHz: uf, Size: size,
-					Latency: stats.Summarize(lats),
+				cf, uf, size := cf, uf, size
+				pts = append(pts, Point{
+					Key: fmt.Sprintf("fig1/cf=%g/uf=%g/size=%d", cf, uf, size),
+					Fn: func(env Env) any {
+						spec := env.Spec
+						lats := make([]float64, 0, env.runs()*pingIters(size))
+						for run := 0; run < env.runs(); run++ {
+							c, w := newWorld(env, env.Seed+int64(run))
+							for i := 0; i < 2; i++ {
+								r := w.Rank(i)
+								r.SetCommCore(spec.LastCoreOfNUMA(spec.NIC.NUMA))
+								r.Node.Freq.SetUserspace(cf)
+								r.Node.Freq.SetUncoreFixed(uf)
+							}
+							pp := applyComm(w, CommConfig{CommCore: -1, BufNUMA: -1, Size: size,
+								Iters: pingIters(size), Warmup: 2})
+							pp.InitBuf = w.Rank(0).Node.Alloc(maxInt64(size, 1), spec.NIC.NUMA)
+							pp.RespBuf = w.Rank(1).Node.Alloc(maxInt64(size, 1), spec.NIC.NUMA)
+							var ls []sim.Duration
+							c.K.Spawn("init", func(p *sim.Proc) { ls = pp.Initiate(p, w.Rank(0), 1) })
+							c.K.Spawn("resp", func(p *sim.Proc) { pp.Respond(p, w.Rank(1), 0) })
+							c.K.Run()
+							for _, l := range ls {
+								lats = append(lats, l.Seconds())
+							}
+						}
+						return FrequencyPoint{
+							CoreGHz: cf, UncoreGHz: uf, Size: size,
+							Latency: stats.SummarizeInPlace(lats),
+						}
+					},
 				})
 			}
 		}
 	}
-	return out
+	return RunPointsAs[FrequencyPoint](env, pts)
 }
 
 // pingIters scales the iteration count down for huge messages.
@@ -207,31 +215,37 @@ func Fig3AVX(env Env, coreCounts []int) []Fig3Result {
 	if len(coreCounts) == 0 {
 		coreCounts = []int{4, 20}
 	}
-	var out []Fig3Result
+	var pts []Point
 	for _, nc := range coreCounts {
-		r := Interference(env, LatencyConfig(), ComputeConfig{
-			Slice: kernels.AVX512Default(), Cores: nc, MinIters: 2,
+		nc := nc
+		pts = append(pts, Point{
+			Key: fmt.Sprintf("fig3/avx512-default/cores=%d", nc),
+			Fn: func(env Env) any {
+				r := Interference(env, LatencyConfig(), ComputeConfig{
+					Slice: kernels.AVX512Default(), Cores: nc, MinIters: 2,
+				})
+				fr := Fig3Result{
+					Cores:            nc,
+					ComputeSecsAlone: r.ComputeSecsAlone,
+					ComputeSecsWith:  r.ComputeSecsTogether,
+					LatencyAlone:     r.CommAlone,
+					LatencyWith:      r.CommTogether,
+				}
+				// Probe the frequencies in the side-by-side state.
+				c, w := newWorld(env, env.Seed)
+				n := w.Rank(0).Node
+				for _, core := range computeCores(env.Spec, nc, w.Rank(0).CommCore) {
+					n.Freq.SetActive(core, topology.AVX512)
+				}
+				n.Freq.SetActive(w.Rank(0).CommCore, topology.Scalar)
+				fr.ComputeCoreGHz = n.Freq.CoreGHz(computeCores(env.Spec, nc, w.Rank(0).CommCore)[0])
+				fr.CommCoreGHz = n.Freq.CoreGHz(w.Rank(0).CommCore)
+				_ = c
+				return fr
+			},
 		})
-		fr := Fig3Result{
-			Cores:            nc,
-			ComputeSecsAlone: r.ComputeSecsAlone,
-			ComputeSecsWith:  r.ComputeSecsTogether,
-			LatencyAlone:     r.CommAlone,
-			LatencyWith:      r.CommTogether,
-		}
-		// Probe the frequencies in the side-by-side state.
-		c, w := newWorld(env, env.Seed)
-		n := w.Rank(0).Node
-		for _, core := range computeCores(env.Spec, nc, w.Rank(0).CommCore) {
-			n.Freq.SetActive(core, topology.AVX512)
-		}
-		n.Freq.SetActive(w.Rank(0).CommCore, topology.Scalar)
-		fr.ComputeCoreGHz = n.Freq.CoreGHz(computeCores(env.Spec, nc, w.Rank(0).CommCore)[0])
-		fr.CommCoreGHz = n.Freq.CoreGHz(w.Rank(0).CommCore)
-		_ = c
-		out = append(out, fr)
 	}
-	return out
+	return RunPointsAs[Fig3Result](env, pts)
 }
 
 // Fig3Table renders Figure 3 as a table.

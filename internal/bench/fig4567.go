@@ -49,6 +49,12 @@ type ContentionConfig struct {
 	// Kernel builds one compute slice given the data NUMA node; defaults
 	// to STREAM TRIAD of the default array size.
 	Kernel func(numa int) machine.ComputeSpec
+	// KernelTag names a non-nil Kernel for sweep-point cache addressing
+	// (two configs with the same tag must build identical kernels). A
+	// nil Kernel is tagged "triad-default" automatically; a non-nil
+	// Kernel with an empty tag disables the point layer for this sweep
+	// (it runs as a plain serial loop, never cached).
+	KernelTag string
 	// Data and CommThread place the computation/communication memory and
 	// the communication thread relative to the NIC (§4.3).
 	Data, CommThread Placement
@@ -63,37 +69,83 @@ type ContentionConfig struct {
 // the communication thread is bound to the last core of the CommThread
 // placement's NUMA node.
 func Fig4Contention(env Env, cfg ContentionConfig) []ContentionPoint {
-	spec := env.Spec
-	if cfg.Kernel == nil {
-		cfg.Kernel = func(numa int) machine.ComputeSpec {
-			return kernels.StreamTriad(kernels.DefaultStreamElems, numa)
+	pts, ok := contentionSweep(env.Spec, cfg)
+	if !ok {
+		// Un-taggable custom kernel: run the sweep as a plain serial
+		// loop against the caller's environment, bypassing the point
+		// scheduler and its cache.
+		out := make([]ContentionPoint, 0, len(contentionCoreCounts(env.Spec, cfg)))
+		for _, nc := range contentionCoreCounts(env.Spec, cfg) {
+			out = append(out, contentionCell(env, cfg, nc))
 		}
+		return out
 	}
-	coreCounts := cfg.CoreCounts
-	if len(coreCounts) == 0 {
-		for n := 1; n < spec.Cores(); n++ {
-			coreCounts = append(coreCounts, n)
+	return RunPointsAs[ContentionPoint](env, pts)
+}
+
+// contentionCoreCounts resolves the x-axis of a contention sweep.
+func contentionCoreCounts(spec *topology.NodeSpec, cfg ContentionConfig) []int {
+	if len(cfg.CoreCounts) > 0 {
+		return cfg.CoreCounts
+	}
+	var counts []int
+	for n := 1; n < spec.Cores(); n++ {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// contentionSweep compiles a contention configuration into one sweep
+// point per core count. ok is false when the config carries a custom
+// kernel without a KernelTag — such a sweep has no sound cache address
+// and must run as a plain loop.
+func contentionSweep(spec *topology.NodeSpec, cfg ContentionConfig) ([]Point, bool) {
+	tag := cfg.KernelTag
+	if cfg.Kernel == nil {
+		if tag == "" {
+			tag = "triad-default"
+		}
+	} else if tag == "" {
+		return nil, false
+	}
+	counts := contentionCoreCounts(spec, cfg)
+	pts := make([]Point, 0, len(counts))
+	for _, nc := range counts {
+		nc := nc
+		pts = append(pts, Point{
+			Key: fmt.Sprintf("contention/data=%s/comm=%s/kernel=%s/cores=%d",
+				cfg.Data, cfg.CommThread, tag, nc),
+			Fn: func(env Env) any { return contentionCell(env, cfg, nc) },
+		})
+	}
+	return pts, true
+}
+
+// contentionCell measures one core count of a Figure 4/5 sweep: the
+// full three-step protocol for both the latency and the bandwidth
+// benchmarks.
+func contentionCell(env Env, cfg ContentionConfig, nc int) ContentionPoint {
+	spec := env.Spec
+	kernel := cfg.Kernel
+	if kernel == nil {
+		kernel = func(numa int) machine.ComputeSpec {
+			return kernels.StreamTriad(kernels.DefaultStreamElems, numa)
 		}
 	}
 	dataNUMA := cfg.Data.numaOf(spec)
 	commCore := spec.LastCoreOfNUMA(cfg.CommThread.numaOf(spec))
-
-	var out []ContentionPoint
-	for _, nc := range coreCounts {
-		comp := ComputeConfig{Slice: cfg.Kernel(dataNUMA), Cores: nc}
-		lat := LatencyConfig()
-		lat.CommCore = commCore
-		lat.BufNUMA = dataNUMA
-		bw := BandwidthConfig()
-		bw.CommCore = commCore
-		bw.BufNUMA = dataNUMA
-		out = append(out, ContentionPoint{
-			Cores:     nc,
-			Latency:   Interference(env, lat, comp),
-			Bandwidth: Interference(env, bw, comp),
-		})
+	comp := ComputeConfig{Slice: kernel(dataNUMA), Cores: nc}
+	lat := LatencyConfig()
+	lat.CommCore = commCore
+	lat.BufNUMA = dataNUMA
+	bw := BandwidthConfig()
+	bw.CommCore = commCore
+	bw.BufNUMA = dataNUMA
+	return ContentionPoint{
+		Cores:     nc,
+		Latency:   Interference(env, lat, comp),
+		Bandwidth: Interference(env, bw, comp),
 	}
-	return out
 }
 
 // ContentionTable renders a Figure 4/5 series.
@@ -115,16 +167,32 @@ func ContentionTable(title string, points []ContentionPoint) *trace.Table {
 }
 
 // Fig5Placement runs the four placement schemes of Figure 5 / Table 1.
-// The returned map is keyed by "data/thread" ("near/far", ...).
+// The returned map is keyed by "data/thread" ("near/far", ...). All
+// four series are compiled into a single point batch so a parallel
+// campaign can overlap cells across placements.
 func Fig5Placement(env Env, coreCounts []int) map[string][]ContentionPoint {
-	out := make(map[string][]ContentionPoint)
+	type segment struct {
+		key string
+		n   int
+	}
+	var (
+		pts  []Point
+		segs []segment
+	)
 	for _, data := range []Placement{Near, Far} {
 		for _, thread := range []Placement{Near, Far} {
-			key := fmt.Sprintf("%s/%s", data, thread)
-			out[key] = Fig4Contention(env, ContentionConfig{
+			p, _ := contentionSweep(env.Spec, ContentionConfig{
 				Data: data, CommThread: thread, CoreCounts: coreCounts,
-			})
+			}) // default kernel: always compilable
+			segs = append(segs, segment{key: fmt.Sprintf("%s/%s", data, thread), n: len(p)})
+			pts = append(pts, p...)
 		}
+	}
+	cells := RunPointsAs[ContentionPoint](env, pts)
+	out := make(map[string][]ContentionPoint, len(segs))
+	for _, s := range segs {
+		out[s.key] = cells[:s.n:s.n]
+		cells = cells[s.n:]
 	}
 	return out
 }
@@ -213,22 +281,28 @@ func Fig6MessageSize(env Env, cores int, sizes []int64) []SizePoint {
 			sizes = append(sizes, s)
 		}
 	}
-	spec := env.Spec
-	dataNUMA := spec.NIC.NUMA
-	commCore := spec.LastCoreOfNUMA(spec.NUMANodes() - 1)
-	var out []SizePoint
+	pts := make([]Point, 0, len(sizes))
 	for _, size := range sizes {
-		comm := CommConfig{
-			CommCore: commCore, BufNUMA: dataNUMA,
-			Size: size, Iters: pingIters(size), Warmup: 2,
-		}
-		comp := ComputeConfig{
-			Slice: kernels.StreamTriad(kernels.DefaultStreamElems, dataNUMA),
-			Cores: cores,
-		}
-		out = append(out, SizePoint{Size: size, Result: Interference(env, comm, comp)})
+		size := size
+		pts = append(pts, Point{
+			Key: fmt.Sprintf("fig6/cores=%d/size=%d", cores, size),
+			Fn: func(env Env) any {
+				spec := env.Spec
+				dataNUMA := spec.NIC.NUMA
+				commCore := spec.LastCoreOfNUMA(spec.NUMANodes() - 1)
+				comm := CommConfig{
+					CommCore: commCore, BufNUMA: dataNUMA,
+					Size: size, Iters: pingIters(size), Warmup: 2,
+				}
+				comp := ComputeConfig{
+					Slice: kernels.StreamTriad(kernels.DefaultStreamElems, dataNUMA),
+					Cores: cores,
+				}
+				return SizePoint{Size: size, Result: Interference(env, comm, comp)}
+			},
+		})
 	}
-	return out
+	return RunPointsAs[SizePoint](env, pts)
 }
 
 // Fig6Table renders a Figure 6 series.
@@ -265,29 +339,35 @@ func Fig7Intensity(env Env, cores int, cursors []int) []IntensityPoint {
 	if len(cursors) == 0 {
 		cursors = []int{1, 2, 4, 8, 16, 24, 36, 48, 72, 96, 144, 288, 576, 1200}
 	}
-	spec := env.Spec
-	dataNUMA := spec.NIC.NUMA
-	commCore := spec.LastCoreOfNUMA(spec.NUMANodes() - 1)
 	// Smaller arrays keep high-cursor iterations short.
 	const elems = 1 << 20
-	var out []IntensityPoint
+	pts := make([]Point, 0, len(cursors))
 	for _, cur := range cursors {
-		slice := kernels.TriadX(elems, cur, dataNUMA)
-		comp := ComputeConfig{Slice: slice, Cores: cores}
-		lat := LatencyConfig()
-		lat.CommCore = commCore
-		lat.BufNUMA = dataNUMA
-		bw := BandwidthConfig()
-		bw.CommCore = commCore
-		bw.BufNUMA = dataNUMA
-		out = append(out, IntensityPoint{
-			Cursor:    cur,
-			Intensity: kernels.Intensity(slice),
-			Latency:   Interference(env, lat, comp),
-			Bandwidth: Interference(env, bw, comp),
+		cur := cur
+		pts = append(pts, Point{
+			Key: fmt.Sprintf("fig7/elems=%d/cores=%d/cursor=%d", elems, cores, cur),
+			Fn: func(env Env) any {
+				spec := env.Spec
+				dataNUMA := spec.NIC.NUMA
+				commCore := spec.LastCoreOfNUMA(spec.NUMANodes() - 1)
+				slice := kernels.TriadX(elems, cur, dataNUMA)
+				comp := ComputeConfig{Slice: slice, Cores: cores}
+				lat := LatencyConfig()
+				lat.CommCore = commCore
+				lat.BufNUMA = dataNUMA
+				bw := BandwidthConfig()
+				bw.CommCore = commCore
+				bw.BufNUMA = dataNUMA
+				return IntensityPoint{
+					Cursor:    cur,
+					Intensity: kernels.Intensity(slice),
+					Latency:   Interference(env, lat, comp),
+					Bandwidth: Interference(env, bw, comp),
+				}
+			},
 		})
 	}
-	return out
+	return RunPointsAs[IntensityPoint](env, pts)
 }
 
 // Fig7Table renders Figure 7.

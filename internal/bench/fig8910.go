@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -105,31 +107,43 @@ type Fig8Point struct {
 // means on the NIC's NUMA node). Workers are paused; the effect under
 // study is the software path plus NUMA distance of the handle data.
 func Fig8Runtime(env Env) []Fig8Point {
-	spec := env.Spec
-	var out []Fig8Point
+	closeFar := func(b bool) string {
+		if b {
+			return "close"
+		}
+		return "far"
+	}
+	var pts []Point
 	for _, dataClose := range []bool{true, false} {
 		for _, threadClose := range []bool{true, false} {
-			dataNUMA := spec.NIC.NUMA
-			if !dataClose {
-				dataNUMA = spec.NUMANodes() - 1
-			}
-			threadNUMA := spec.NIC.NUMA
-			if !threadClose {
-				threadNUMA = spec.NUMANodes() - 1
-			}
-			commCore := spec.LastCoreOfNUMA(threadNUMA)
-			var lats []float64
-			for run := 0; run < env.runs(); run++ {
-				lats = append(lats, starpuLatency(env, env.Seed+int64(run), 4,
-					commCore, dataNUMA, []int{1, 2}, taskrt.DefaultBackoff, true)...)
-			}
-			out = append(out, Fig8Point{
-				DataClose: dataClose, ThreadClose: threadClose,
-				Latency: stats.Summarize(lats),
+			dataClose, threadClose := dataClose, threadClose
+			pts = append(pts, Point{
+				Key: fmt.Sprintf("fig8/data=%s/thread=%s", closeFar(dataClose), closeFar(threadClose)),
+				Fn: func(env Env) any {
+					spec := env.Spec
+					dataNUMA := spec.NIC.NUMA
+					if !dataClose {
+						dataNUMA = spec.NUMANodes() - 1
+					}
+					threadNUMA := spec.NIC.NUMA
+					if !threadClose {
+						threadNUMA = spec.NUMANodes() - 1
+					}
+					commCore := spec.LastCoreOfNUMA(threadNUMA)
+					lats := make([]float64, 0, env.runs()*15)
+					for run := 0; run < env.runs(); run++ {
+						lats = append(lats, starpuLatency(env, env.Seed+int64(run), 4,
+							commCore, dataNUMA, []int{1, 2}, taskrt.DefaultBackoff, true)...)
+					}
+					return Fig8Point{
+						DataClose: dataClose, ThreadClose: threadClose,
+						Latency: stats.SummarizeInPlace(lats),
+					}
+				},
 			})
 		}
 	}
-	return out
+	return RunPointsAs[Fig8Point](env, pts)
 }
 
 // Fig8Table renders Figure 8.
@@ -175,15 +189,23 @@ func Fig9Polling(env Env) []Fig9Point {
 		{Label: "backoff-10000", Backoff: taskrt.Backoff{Min: 1, Max: 10000}},
 		{Label: "paused", Backoff: taskrt.DefaultBackoff, Paused: true},
 	}
-	for i := range configs {
-		var lats []float64
-		for run := 0; run < env.runs(); run++ {
-			lats = append(lats, starpuLatency(env, env.Seed+int64(run), 4,
-				commCore, -1, workers, configs[i].Backoff, configs[i].Paused)...)
-		}
-		configs[i].Latency = stats.Summarize(lats)
+	pts := make([]Point, 0, len(configs))
+	for _, cfg := range configs {
+		cfg := cfg
+		pts = append(pts, Point{
+			Key: fmt.Sprintf("fig9/%s/workers=%d", cfg.Label, len(workers)),
+			Fn: func(env Env) any {
+				lats := make([]float64, 0, env.runs()*15)
+				for run := 0; run < env.runs(); run++ {
+					lats = append(lats, starpuLatency(env, env.Seed+int64(run), 4,
+						commCore, -1, workers, cfg.Backoff, cfg.Paused)...)
+				}
+				cfg.Latency = stats.SummarizeInPlace(lats)
+				return cfg
+			},
+		})
 	}
-	return configs
+	return RunPointsAs[Fig9Point](env, pts)
 }
 
 // Fig9Table renders Figure 9.
@@ -214,17 +236,20 @@ func Fig10Kernels(env Env, workerCounts []int) []Fig10Point {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 34}
 	}
-	var out []Fig10Point
+	var pts []Point
 	for _, kname := range []string{"cg", "gemm"} {
 		for _, nw := range workerCounts {
 			if nw > env.Spec.Cores()-2 {
 				continue
 			}
-			pt := runFig10(env, kname, nw)
-			out = append(out, pt)
+			kname, nw := kname, nw
+			pts = append(pts, Point{
+				Key: fmt.Sprintf("fig10/kernel=%s/workers=%d", kname, nw),
+				Fn:  func(env Env) any { return runFig10(env, kname, nw) },
+			})
 		}
 	}
-	return out
+	return RunPointsAs[Fig10Point](env, pts)
 }
 
 // Fig10App builds the iterative two-node application for one §6 kernel:

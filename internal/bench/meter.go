@@ -17,6 +17,24 @@ type Meter struct {
 	mu      sync.Mutex
 	kernels []*sim.Kernel
 	sets    []*counters.Set
+	// Absorbed sweep-point accounting (see Absorb): worlds simulated
+	// under a point's own meter, including points replayed from cache.
+	absorbedSim    float64
+	absorbedWorlds int
+	absorbedFaults FaultTotals
+}
+
+// Absorb folds an already-accounted execution into the meter: sweep
+// points run against their own isolated meter (possibly on another
+// goroutine, possibly replayed from a cache without simulating at all),
+// and the owning experiment absorbs their totals in index order so the
+// campaign accounting is identical whichever path produced them.
+func (m *Meter) Absorb(simSeconds float64, worlds int, faults FaultTotals) {
+	m.mu.Lock()
+	m.absorbedSim += simSeconds
+	m.absorbedWorlds += worlds
+	m.absorbedFaults.merge(faults)
+	m.mu.Unlock()
 }
 
 func (m *Meter) track(k *sim.Kernel) {
@@ -25,11 +43,12 @@ func (m *Meter) track(k *sim.Kernel) {
 	m.mu.Unlock()
 }
 
-// Worlds returns how many simulated worlds have been built so far.
+// Worlds returns how many simulated worlds have been built so far,
+// including worlds absorbed from sweep points.
 func (m *Meter) Worlds() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.kernels)
+	return len(m.kernels) + m.absorbedWorlds
 }
 
 // TrackCounters registers one node's counter set so the harness can
@@ -96,7 +115,7 @@ func (t FaultTotals) Any() bool {
 func (m *Meter) FaultTotals() FaultTotals {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var t FaultTotals
+	t := m.absorbedFaults
 	for _, s := range m.sets {
 		t.add(s)
 	}
@@ -109,7 +128,7 @@ func (m *Meter) FaultTotals() FaultTotals {
 func (m *Meter) SimSeconds() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var total float64
+	total := m.absorbedSim
 	for _, k := range m.kernels {
 		total += sim.Duration(k.Now()).Seconds()
 	}

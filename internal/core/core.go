@@ -21,6 +21,10 @@ type Experiment struct {
 	ID string
 	// Title describes what the experiment reproduces.
 	Title string
+	// Sweep describes the experiment's parameter grid as compiled into
+	// independently schedulable points (see bench.Point); empty for
+	// experiments that run as a single unit.
+	Sweep string
 	// Run executes the experiment and returns the result tables.
 	Run func(env bench.Env) []*trace.Table
 }
@@ -115,6 +119,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig1",
 		Title: "Impact of constant core/uncore frequencies on network latency and bandwidth (§3.1)",
+		Sweep: "points: 2 core-freqs x 2 uncore-freqs x 5 sizes",
 		Run: func(env bench.Env) []*trace.Table {
 			sizes := []int64{4, 64 << 10, 1 << 20, 16 << 20, 64 << 20}
 			return []*trace.Table{bench.Fig1Table(bench.Fig1Frequencies(env, sizes))}
@@ -150,6 +155,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig3",
 		Title: "Impact of AVX-512 computations on network latency with turbo-boost (§3.3)",
+		Sweep: "points: 2 core counts",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.Fig3Table(bench.Fig3AVX(env, []int{4, 20}))}
 		},
@@ -157,6 +163,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig4",
 		Title: "Memory-bound computations vs network performance by computing-core count (§4.2)",
+		Sweep: "points: 1 per computing-core count",
 		Run: func(env bench.Env) []*trace.Table {
 			pts := bench.Fig4Contention(env, bench.ContentionConfig{
 				Data: bench.Near, CommThread: bench.Far, CoreCounts: defaultCoreSweep(env),
@@ -168,6 +175,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig5",
 		Title: "Impact of communication-thread placement and data locality (§4.3)",
+		Sweep: "points: 4 placements x core counts (one shared batch)",
 		Run: func(env bench.Env) []*trace.Table {
 			series := bench.Fig5Placement(env, defaultCoreSweep(env))
 			var tables []*trace.Table
@@ -183,6 +191,7 @@ func init() {
 	register(Experiment{
 		ID:    "tab1",
 		Title: "Summary of placement impact (Table 1, derived from Fig 5 sweeps)",
+		Sweep: "points: 4 placements x 5 core counts (cells shared with fig5)",
 		Run: func(env bench.Env) []*trace.Table {
 			series := bench.Fig5Placement(env, []int{1, 5, 15, 25, fullCores(env)})
 			return []*trace.Table{bench.Table1Render(bench.Table1(series))}
@@ -191,6 +200,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig6",
 		Title: "Impact of transmitted data size on memory contention (§4.4)",
+		Sweep: "points: 2 core counts x 13 message sizes",
 		Run: func(env bench.Env) []*trace.Table {
 			var tables []*trace.Table
 			for _, cores := range []int{5, fullCores(env)} {
@@ -203,6 +213,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig7",
 		Title: "From CPU- to memory-bound: tunable arithmetic intensity (§4.5)",
+		Sweep: "points: 14 intensity cursors",
 		Run: func(env bench.Env) []*trace.Table {
 			pts := bench.Fig7Intensity(env, fullCores(env), nil)
 			return []*trace.Table{bench.Fig7Table(pts)}
@@ -211,6 +222,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig8",
 		Title: "Impact of data locality and thread placement on StarPU latency (§5.3)",
+		Sweep: "points: 4 placements",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.Fig8Table(bench.Fig8Runtime(env))}
 		},
@@ -218,6 +230,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig9",
 		Title: "Impact of polling workers on network latency (§5.4)",
+		Sweep: "points: 4 polling configs",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.Fig9Table(bench.Fig9Polling(env))}
 		},
@@ -225,6 +238,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig10",
 		Title: "Network sends and memory stalls of CG and GEMM executions (§6)",
+		Sweep: "points: 2 kernels x worker counts",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.Fig10Table(bench.Fig10Kernels(env, nil))}
 		},
@@ -232,6 +246,7 @@ func init() {
 	register(Experiment{
 		ID:    "ablation",
 		Title: "Ablation: which model mechanism carries which Fig 4 result",
+		Sweep: "points: 5 model variants",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.Ablation(env)}
 		},
@@ -239,6 +254,7 @@ func init() {
 	register(Experiment{
 		ID:    "ext-collectives",
 		Title: "EXTENSION: collectives under memory contention (beyond the paper's p2p scope)",
+		Sweep: "points: 2 ops x 3 node counts",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtCollectives(env)}
 		},
@@ -246,6 +262,7 @@ func init() {
 	register(Experiment{
 		ID:    "ext-energy",
 		Title: "EXTENSION [14]: energy vs performance of frequency scaling in communication phases",
+		Sweep: "points: 2 phases x 2 frequencies",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtEnergy(env)}
 		},
@@ -253,6 +270,7 @@ func init() {
 	register(Experiment{
 		ID:    "ext-tuner",
 		Title: "EXTENSION §8: automatic worker-count selection for whole-program performance",
+		Sweep: "points: 1 per worker count",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtTuner(env)}
 		},
@@ -260,6 +278,7 @@ func init() {
 	register(Experiment{
 		ID:    "ext-throttle",
 		Title: "EXTENSION §8: pausing workers during communication phases",
+		Sweep: "points: 4 throttle levels",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtThrottle(env)}
 		},
@@ -267,6 +286,7 @@ func init() {
 	register(Experiment{
 		ID:    "ext-sched",
 		Title: "EXTENSION §8: NUMA-local task scheduling vs central FIFO",
+		Sweep: "points: 2 scheduler policies",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtScheduler(env)}
 		},
@@ -274,6 +294,7 @@ func init() {
 	register(Experiment{
 		ID:    "ext-overlap",
 		Title: "EXTENSION [7]: communication/computation overlap benchmark",
+		Sweep: "points: 4 message sizes",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.ExtOverlap(env)}
 		},
@@ -281,6 +302,7 @@ func init() {
 	register(Experiment{
 		ID:    "faults-pingpong",
 		Title: "FAULTS: ping-pong latency and bandwidth degradation vs fault intensity",
+		Sweep: "points: 1 per fault scenario",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.FaultsPingPong(env)}
 		},
@@ -288,6 +310,7 @@ func init() {
 	register(Experiment{
 		ID:    "faults-overlap",
 		Title: "FAULTS: communication/computation overlap under fault scenarios",
+		Sweep: "points: 1 per fault scenario",
 		Run: func(env bench.Env) []*trace.Table {
 			return []*trace.Table{bench.FaultsOverlap(env)}
 		},

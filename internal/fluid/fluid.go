@@ -215,6 +215,13 @@ func NewModel(k *sim.Kernel) *Model {
 // component-scoped; for performance diagnostics).
 func (m *Model) Solves() uint64 { return m.solves }
 
+// Version tags the solver's numerical behaviour. Bump it whenever a
+// change can alter any computed rate or completion time by even an ulp:
+// it is folded into content-addressed result-cache keys (see
+// internal/runner), so stale cached measurements are recomputed instead
+// of replayed against a different solver.
+const Version = 1
+
 // differentialDefault seeds the differential flag of newly created
 // models; set it with SetDifferential before building any world.
 var differentialDefault bool

@@ -1,0 +1,267 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bench"
+	"repro/internal/fluid"
+)
+
+// The point cache stores computed sweep points content-addressed by
+// everything that determines their value: the solver version, the sweep
+// drivers' measurement-logic version, the record schema, the full
+// cluster spec, the campaign seed/run-count/fault-schedule, and the
+// point's own parameter key. A -verify campaign or a repeated `make
+// bench` therefore replays unchanged points byte-identically and only
+// recomputes what a code or configuration change actually invalidated.
+
+// CacheStats counts point-level cache traffic for one campaign. All
+// fields are updated atomically; read them after the campaign drains.
+type CacheStats struct {
+	// Hits were served from the persistent cache; Misses were executed
+	// (including recomputations after a mismatch). MemoHits were served
+	// from the in-memory campaign memo: a second request for a point
+	// another experiment already computed this campaign (e.g. fig4,
+	// fig5 and tab1 sharing contention cells).
+	Hits, Misses, MemoHits int64
+	// Mismatches counts poisoned entries: a file whose stored key did
+	// not match the requested one (hash collision or tampering). Such
+	// entries are recomputed, never served.
+	Mismatches int64
+	// Errors counts failed cache reads/writes (best-effort: the point
+	// is computed as if uncached).
+	Errors int64
+}
+
+// Points returns the total number of points requested.
+func (s *CacheStats) Points() int64 {
+	return atomic.LoadInt64(&s.Hits) + atomic.LoadInt64(&s.Misses) + atomic.LoadInt64(&s.MemoHits)
+}
+
+// HitRate returns the fraction of requested points served without
+// executing (persistent hits + memo hits), in [0,1]; 0 for an empty
+// campaign.
+func (s *CacheStats) HitRate() float64 {
+	total := s.Points()
+	if total == 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&s.Hits)+atomic.LoadInt64(&s.MemoHits)) / float64(total)
+}
+
+// PointCache is a persistent, content-addressed store of computed sweep
+// points, safe for concurrent use (entries are written atomically via
+// rename; concurrent campaigns over the same directory at worst
+// recompute a point both could have shared).
+type PointCache struct {
+	dir string
+}
+
+// OpenPointCache opens (creating if needed) a cache rooted at dir.
+func OpenPointCache(dir string) (*PointCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: creating point cache: %w", err)
+	}
+	return &PointCache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *PointCache) Dir() string { return c.dir }
+
+// path maps a full point key to its file: two-level fan-out on the
+// key's sha256 keeps directories small on big campaigns.
+func (c *PointCache) path(fullKey string) string {
+	sum := sha256.Sum256([]byte(fullKey))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, name[:2], name+".json")
+}
+
+// load retrieves the record stored under fullKey. ok is false on any
+// miss: absent file, unreadable entry, schema drift, or a stored key
+// that does not match the requested one (mismatch=true; a poisoned
+// entry is never served). ioErr marks read failures distinct from
+// ordinary absence.
+func (c *PointCache) load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+	data, err := os.ReadFile(c.path(fullKey))
+	if err != nil {
+		return bench.PointRecord{}, false, false, !os.IsNotExist(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return bench.PointRecord{}, false, false, true
+	}
+	if rec.Schema != bench.PointSchema {
+		return bench.PointRecord{}, false, false, false
+	}
+	if rec.Key != fullKey {
+		return bench.PointRecord{}, false, true, false
+	}
+	return rec, true, false, false
+}
+
+// store writes the record under fullKey, atomically (temp + rename) so
+// readers never observe a torn entry.
+func (c *PointCache) store(fullKey string, rec bench.PointRecord) error {
+	rec.Key = fullKey
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	path := c.path(fullKey)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// pointBaseKey fingerprints everything outside the point's own key that
+// determines its value. Unlike ConfigHash it excludes the output format
+// (point payloads are structured data, rendered later) and includes the
+// solver and sweep-logic versions.
+func pointBaseKey(env bench.Env) string {
+	spec, err := json.Marshal(env.Spec)
+	if err != nil {
+		spec = []byte(err.Error())
+	}
+	faults := ""
+	if env.Faults != nil {
+		faults = env.Faults.String()
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d|sweep=%d|fluid=%d|%s|seed=%d|runs=%d|faults=%s",
+		bench.PointSchema, bench.SweepVersion, fluid.Version, spec, env.Seed, env.Runs, faults)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// memoEntry is one in-flight or completed point in the campaign memo.
+type memoEntry struct {
+	done chan struct{}
+	rec  bench.PointRecord
+}
+
+// pointScheduler implements bench.PointRunner for a campaign: points
+// from every experiment run on the shared pool, deduplicated through an
+// in-memory memo (two experiments requesting the same cell compute it
+// once) and optionally replayed from / stored to a persistent cache.
+type pointScheduler struct {
+	pool  *pointPool
+	cache *PointCache // nil disables the persistent layer
+	stats *CacheStats // nil disables counting
+	base  string
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+}
+
+func newPointScheduler(pool *pointPool, cache *PointCache, stats *CacheStats, env bench.Env) *pointScheduler {
+	if stats == nil {
+		stats = &CacheStats{}
+	}
+	return &pointScheduler{
+		pool:  pool,
+		cache: cache,
+		stats: stats,
+		base:  pointBaseKey(env),
+		memo:  make(map[string]*memoEntry),
+	}
+}
+
+// RunPoints schedules the batch on the pool and participates until it
+// completes, then returns records index-aligned with pts.
+func (s *pointScheduler) RunPoints(env bench.Env, pts []bench.Point) []bench.PointRecord {
+	recs := make([]bench.PointRecord, len(pts))
+	if len(pts) == 0 {
+		return recs
+	}
+	if s.pool == nil {
+		for i, p := range pts {
+			recs[i] = s.point(env, p)
+		}
+		return recs
+	}
+	b := s.pool.newBatch(len(pts))
+	tasks := make([]func(), len(pts))
+	for i := range pts {
+		i, p := i, pts[i]
+		tasks[i] = func() {
+			recs[i] = s.point(env, p)
+			b.done()
+		}
+	}
+	s.pool.enqueue(tasks)
+	s.pool.runUntil(b)
+	return recs
+}
+
+// point resolves one point: campaign memo, then persistent cache, then
+// execution. Exactly one goroutine computes each distinct key; the
+// others wait for its record.
+func (s *pointScheduler) point(env bench.Env, p bench.Point) bench.PointRecord {
+	fullKey := s.base + "/" + p.Key
+	s.mu.Lock()
+	if e, ok := s.memo[fullKey]; ok {
+		s.mu.Unlock()
+		<-e.done
+		atomic.AddInt64(&s.stats.MemoHits, 1)
+		return e.rec
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	s.memo[fullKey] = e
+	s.mu.Unlock()
+
+	e.rec = s.resolve(env, p, fullKey)
+	if e.rec.Panic != nil {
+		// A panicked point must not satisfy later requests for the key:
+		// each owner re-executes and observes the panic itself.
+		s.mu.Lock()
+		delete(s.memo, fullKey)
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.rec
+}
+
+// resolve loads the point from the persistent cache or executes it
+// (storing the fresh record on success).
+func (s *pointScheduler) resolve(env bench.Env, p bench.Point, fullKey string) bench.PointRecord {
+	if s.cache != nil {
+		rec, ok, mismatch, ioErr := s.cache.load(fullKey)
+		if ok {
+			atomic.AddInt64(&s.stats.Hits, 1)
+			return rec
+		}
+		if mismatch {
+			atomic.AddInt64(&s.stats.Mismatches, 1)
+		}
+		if ioErr {
+			atomic.AddInt64(&s.stats.Errors, 1)
+		}
+	}
+	atomic.AddInt64(&s.stats.Misses, 1)
+	rec := bench.ExecutePoint(env, p)
+	if s.cache != nil && rec.Panic == nil {
+		if err := s.cache.store(fullKey, rec); err != nil {
+			atomic.AddInt64(&s.stats.Errors, 1)
+		}
+	}
+	return rec
+}

@@ -1,0 +1,274 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// sweepExp builds an experiment whose Run compiles n points and renders
+// their decoded values in index order; perPoint, when non-nil, runs
+// inside each point (e.g. a random jitter sleep).
+func sweepExp(id string, n int, perPoint func(i int)) core.Experiment {
+	return core.Experiment{ID: id, Title: id, Run: func(env bench.Env) []*trace.Table {
+		pts := make([]bench.Point, n)
+		for i := range pts {
+			i := i
+			pts[i] = bench.Point{
+				Key: fmt.Sprintf("%s/cell=%d", id, i),
+				Fn: func(bench.Env) any {
+					if perPoint != nil {
+						perPoint(i)
+					}
+					return struct{ V int }{i * i}
+				},
+			}
+		}
+		cells := bench.RunPointsAs[struct{ V int }](env, pts)
+		tb := trace.NewTable(id, "i", "v")
+		for i, c := range cells {
+			tb.Add(i, c.V)
+		}
+		return []*trace.Table{tb}
+	}}
+}
+
+// TestPointPoolMergeOrderProperty: many experiments race their points
+// through the shared pool with randomized per-point delays, at several
+// worker counts, and every rendered table must come back index-ordered
+// and byte-identical to the serial run. This is the determinism property
+// the whole sweep layer rests on: completion order must never leak.
+func TestPointPoolMergeOrderProperty(t *testing.T) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(7))
+	jitter := func(int) {
+		mu.Lock()
+		d := time.Duration(rng.Intn(300)) * time.Microsecond
+		mu.Unlock()
+		time.Sleep(d)
+	}
+	exps := []core.Experiment{
+		sweepExp("alpha", 17, jitter),
+		sweepExp("beta", 5, jitter),
+		sweepExp("gamma", 29, jitter),
+		sweepExp("delta", 1, jitter),
+	}
+	want := Collect(Run(testEnv(t), exps, Options{Workers: 1}))
+	for _, workers := range []int{2, 4, 13} {
+		got := Collect(Run(testEnv(t), exps, Options{Workers: workers}))
+		for i := range exps {
+			if got[i].Err != nil {
+				t.Fatalf("j=%d: %s failed: %v", workers, exps[i].ID, got[i].Err)
+			}
+			if got[i].Rendered != want[i].Rendered {
+				t.Errorf("j=%d: %s differs from serial:\n%s", workers, exps[i].ID,
+					trace.UnifiedDiff("serial", fmt.Sprintf("j%d", workers), want[i].Rendered, got[i].Rendered))
+			}
+		}
+	}
+}
+
+// TestPointPanicFailsOwningExperiment: a panicking point must fail the
+// experiment that owns it — not whichever worker happened to execute it
+// — while sibling experiments complete.
+func TestPointPanicFailsOwningExperiment(t *testing.T) {
+	boom := core.Experiment{ID: "boom", Title: "boom", Run: func(env bench.Env) []*trace.Table {
+		bench.RunPointsAs[struct{}](env, []bench.Point{
+			{Key: "boom/cell", Fn: func(bench.Env) any { panic("kaboom") }},
+		})
+		return okTable()
+	}}
+	exps := []core.Experiment{sweepExp("healthy", 8, nil), boom, sweepExp("also-healthy", 8, nil)}
+	res := Collect(Run(testEnv(t), exps, Options{Workers: 4}))
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy experiments damaged: %v / %v", res[0].Err, res[2].Err)
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "kaboom") {
+		t.Fatalf("panicking point did not fail its owner: %v", res[1].Err)
+	}
+}
+
+// TestCampaignColdWarmByteIdentical: the same campaign rendered with no
+// cache, a cold cache, and a warm cache must be byte-identical, with the
+// cache stats reflecting each phase (cold: all misses; warm: all hits).
+func TestCampaignColdWarmByteIdentical(t *testing.T) {
+	exps := []core.Experiment{sweepExp("a", 6, nil), sweepExp("b", 11, nil)}
+	plain := Collect(Run(testEnv(t), exps, Options{Workers: 2}))
+
+	cache, err := OpenPointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold, warm CacheStats
+	coldRes := Collect(Run(testEnv(t), exps, Options{Workers: 2, Cache: cache, CacheStats: &cold}))
+	warmRes := Collect(Run(testEnv(t), exps, Options{Workers: 2, Cache: cache, CacheStats: &warm}))
+
+	for i := range exps {
+		if coldRes[i].Rendered != plain[i].Rendered {
+			t.Errorf("%s: cold cached differs from uncached:\n%s", exps[i].ID,
+				trace.UnifiedDiff("plain", "cold", plain[i].Rendered, coldRes[i].Rendered))
+		}
+		if warmRes[i].Rendered != plain[i].Rendered {
+			t.Errorf("%s: warm cached differs from uncached:\n%s", exps[i].ID,
+				trace.UnifiedDiff("plain", "warm", plain[i].Rendered, warmRes[i].Rendered))
+		}
+	}
+	if cold.Hits != 0 || cold.Misses != 17 {
+		t.Fatalf("cold stats: %+v, want 17 misses, 0 hits", cold)
+	}
+	if warm.Misses != 0 || warm.Hits != 17 || warm.HitRate() != 1 {
+		t.Fatalf("warm stats: %+v, want 17 hits, 0 misses", warm)
+	}
+	// Meter accounting must replay identically from cache.
+	for i := range exps {
+		if warmRes[i].Metrics.SimSeconds != plain[i].Metrics.SimSeconds ||
+			warmRes[i].Metrics.Worlds != plain[i].Metrics.Worlds {
+			t.Fatalf("%s: cached metrics drifted: %+v vs %+v",
+				exps[i].ID, warmRes[i].Metrics, plain[i].Metrics)
+		}
+	}
+}
+
+// TestCampaignMemoDedupsSharedPoints: two experiments requesting the
+// same keys compute each cell once; the second request is a memo hit
+// even with no persistent cache.
+func TestCampaignMemoDedupsSharedPoints(t *testing.T) {
+	twin1 := sweepExp("twin", 9, nil)
+	twin2 := twin1
+	twin2.ID = "twin2" // distinct experiment, same point keys
+	var stats CacheStats
+	res := Collect(Run(testEnv(t), []core.Experiment{twin1, twin2},
+		Options{Workers: 2, CacheStats: &stats}))
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if stats.Misses != 9 || stats.MemoHits != 9 {
+		t.Fatalf("stats %+v, want 9 misses + 9 memo hits", stats)
+	}
+}
+
+// TestPoisonedCacheEntryDetected: an entry whose stored key does not
+// match the requested one (misfiled or tampered) is never served — the
+// point is recomputed and the mismatch counted.
+func TestPoisonedCacheEntryDetected(t *testing.T) {
+	cache, err := OpenPointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(t)
+	exps := []core.Experiment{sweepExp("p", 3, nil)}
+
+	var cold CacheStats
+	Collect(Run(env, exps, Options{Workers: 1, Cache: cache, CacheStats: &cold}))
+	if cold.Misses != 3 {
+		t.Fatalf("cold misses %d, want 3", cold.Misses)
+	}
+
+	// Poison one entry: rewrite its stored key in place.
+	fullKey := pointBaseKey(env) + "/p/cell=1"
+	path := cache.path(fullKey)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("cache entry not where the key maps it: %v", err)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal(data, &entry); err != nil {
+		t.Fatal(err)
+	}
+	entry["key"] = "someone-elses-key"
+	poisoned, err := json.Marshal(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, poisoned, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, mismatch, _ := cache.load(fullKey); ok || !mismatch {
+		t.Fatalf("poisoned entry: ok=%v mismatch=%v, want miss+mismatch", ok, mismatch)
+	}
+
+	want := Collect(Run(env, exps, Options{Workers: 1}))
+	var warm CacheStats
+	got := Collect(Run(env, exps, Options{Workers: 1, Cache: cache, CacheStats: &warm}))
+	if got[0].Rendered != want[0].Rendered {
+		t.Errorf("output corrupted by poisoned cache:\n%s",
+			trace.UnifiedDiff("want", "got", want[0].Rendered, got[0].Rendered))
+	}
+	if warm.Mismatches != 1 || warm.Misses != 1 || warm.Hits != 2 {
+		t.Fatalf("stats %+v, want 1 mismatch → 1 recompute, 2 hits", warm)
+	}
+}
+
+// TestCacheSchemaDriftIsMiss: an entry recorded under a different
+// PointSchema is ignored (plain miss), not an error.
+func TestCacheSchemaDriftIsMiss(t *testing.T) {
+	cache, err := OpenPointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bench.PointRecord{Schema: bench.PointSchema + 1, Payload: []byte(`{}`)}
+	if err := cache.store("k", rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, mismatch, ioErr := cache.load("k"); ok || mismatch || ioErr {
+		t.Fatalf("schema drift: ok=%v mismatch=%v ioErr=%v, want plain miss", ok, mismatch, ioErr)
+	}
+}
+
+// TestCacheCorruptEntryIsIOError: unparseable bytes are reported as an
+// I/O-level error and the point recomputed.
+func TestCacheCorruptEntryIsIOError(t *testing.T) {
+	cache, err := OpenPointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.store("k", bench.PointRecord{Schema: bench.PointSchema, Payload: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.path("k"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _, ioErr := cache.load("k"); ok || !ioErr {
+		t.Fatalf("corrupt entry: ok=%v ioErr=%v, want miss+ioErr", ok, ioErr)
+	}
+}
+
+// TestPointBaseKeySensitivity: every knob that changes point values must
+// change the base key (else the cache would serve stale results), and
+// equal configurations must agree on it.
+func TestPointBaseKeySensitivity(t *testing.T) {
+	base := testEnv(t)
+	if pointBaseKey(base) != pointBaseKey(testEnv(t)) {
+		t.Fatal("base key not stable across equal envs")
+	}
+	seen := map[string]string{pointBaseKey(base): "base"}
+	mutations := map[string]bench.Env{}
+	seedEnv := base
+	seedEnv.Seed++
+	mutations["seed"] = seedEnv
+	runsEnv := base
+	runsEnv.Runs++
+	mutations["runs"] = runsEnv
+	specEnv := base
+	specEnv.Spec = base.Spec.Clone()
+	specEnv.Spec.CoresPerNUMA++
+	mutations["spec"] = specEnv
+	for name, env := range mutations {
+		k := pointBaseKey(env)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}

@@ -1,0 +1,110 @@
+package runner
+
+import "sync"
+
+// The point pool is the campaign's shared work queue for sweep points.
+// Every experiment that compiles a sweep enqueues its points here and
+// then *participates*: the experiment's own goroutine executes queued
+// tasks — its own or any other experiment's — until its batch is
+// complete. Workers that have run out of experiments drain the pool
+// until the campaign shuts it down. This work-sharing shape cannot
+// deadlock on nested parallelism: a goroutine waiting for its batch is
+// never idle while runnable work exists, and a batch's tasks are
+// executed by whichever goroutines are free, so progress never depends
+// on a particular worker being available.
+type pointPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+}
+
+func newPointPool() *pointPool {
+	p := &pointPool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// batch tracks the completion of one RunPoints call's tasks.
+type batch struct {
+	pool    *pointPool
+	pending int // guarded by pool.mu
+}
+
+func (p *pointPool) newBatch(n int) *batch {
+	return &batch{pool: p, pending: n}
+}
+
+// done marks one task of the batch complete and wakes waiters.
+func (b *batch) done() {
+	b.pool.mu.Lock()
+	b.pending--
+	b.pool.mu.Unlock()
+	b.pool.cond.Broadcast()
+}
+
+// enqueue appends tasks and wakes any waiting executors.
+func (p *pointPool) enqueue(fns []func()) {
+	p.mu.Lock()
+	p.queue = append(p.queue, fns...)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// pop removes the next task, or returns nil if the queue is empty.
+func (p *pointPool) pop() func() {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	fn := p.queue[0]
+	p.queue[0] = nil
+	p.queue = p.queue[1:]
+	return fn
+}
+
+// runUntil executes queued tasks (anyone's) until the batch completes.
+// When the queue is empty but the batch is still pending — its tasks
+// are running on other goroutines — it blocks until woken by a task
+// completion or a new enqueue.
+func (p *pointPool) runUntil(b *batch) {
+	p.mu.Lock()
+	for b.pending > 0 {
+		if fn := p.pop(); fn != nil {
+			p.mu.Unlock()
+			fn()
+			p.mu.Lock()
+			continue
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// drain executes queued tasks until the pool is closed; idle campaign
+// workers call this so finished experiments' goroutines keep helping
+// with the remaining experiments' points.
+func (p *pointPool) drain() {
+	p.mu.Lock()
+	for {
+		if fn := p.pop(); fn != nil {
+			p.mu.Unlock()
+			fn()
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.cond.Wait()
+	}
+}
+
+// close releases drained workers once the campaign is over. Any still
+// queued tasks keep executing via their owners' runUntil loops.
+func (p *pointPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

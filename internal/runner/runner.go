@@ -33,6 +33,13 @@ type Options struct {
 	// deadline) up to this many extra times before the experiment is
 	// reported as failed. 0 means one attempt only.
 	Retries int
+	// Cache, when non-nil, persists computed sweep points
+	// content-addressed by configuration (see PointCache): repeated
+	// campaigns replay unchanged points instead of recomputing them.
+	Cache *PointCache
+	// CacheStats, when non-nil, receives the campaign's point-level
+	// cache accounting (hits, misses, memo hits).
+	CacheStats *CacheStats
 }
 
 // Result is the outcome of one experiment.
@@ -83,13 +90,19 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(exps) {
-		workers = len(exps)
-	}
 	format := opts.Format
 	if format == "" {
 		format = "ascii"
 	}
+
+	// The scheduling unit is the sweep *point*, not the experiment: every
+	// experiment compiles its parameter grids into points (see
+	// bench.RunPointsAs) and submits them to this campaign-wide pool.
+	// Workers beyond the experiment count are therefore not wasted — they
+	// drain the pool directly — and a single huge experiment still
+	// spreads across all -j workers.
+	pool := newPointPool()
+	env.Sched = newPointScheduler(pool, opts.Cache, opts.CacheStats, env)
 
 	// One buffered slot per experiment lets workers finish out of order
 	// while the collector drains strictly in submission order.
@@ -109,6 +122,9 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 			for i := range jobs {
 				slots[i] <- runOne(env, exps[i], i, format, opts)
 			}
+			// Out of experiments: keep executing other experiments'
+			// points until the campaign ends.
+			pool.drain()
 		}()
 	}
 	out := make(chan Result)
@@ -116,6 +132,7 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 		for _, slot := range slots {
 			out <- <-slot
 		}
+		pool.close()
 		close(out)
 	}()
 	return out

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSamples builds a deterministic unsorted sample set the size of a
+// typical sweep-point accumulator (runs × iterations).
+func benchSamples(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	return xs
+}
+
+// BenchmarkSummarize measures the copying entry point: one allocation
+// per call (the defensive copy of the input).
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchSamples(90)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}
+
+// BenchmarkSummarizeInPlace measures the zero-copy entry point used by
+// the sweep drivers on their preallocated accumulators: it must not
+// allocate at all.
+func BenchmarkSummarizeInPlace(b *testing.B) {
+	xs := benchSamples(90)
+	scratch := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-shuffle cost is just a copy; SummarizeInPlace sorts scratch.
+		copy(scratch, xs)
+		SummarizeInPlace(scratch)
+	}
+}

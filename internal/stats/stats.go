@@ -21,25 +21,38 @@ type Summary struct {
 }
 
 // Summarize computes the summary of xs. An empty sample yields a zero
-// Summary.
+// Summary. The input is left untouched (it is copied before sorting);
+// hot paths that own their sample and are done with it should call
+// SummarizeInPlace instead and skip the copy.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	return SummarizeInPlace(append([]float64(nil), xs...))
+}
+
+// SummarizeInPlace computes the summary of xs, sorting xs itself
+// instead of a copy. The caller must own xs and tolerate its
+// reordering — the usual shape is a measurement accumulator that is
+// summarised once and discarded, where Summarize's per-call copy is
+// pure allocation overhead.
+func SummarizeInPlace(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
 	var sum float64
-	for _, v := range s {
+	for _, v := range xs {
 		sum += v
 	}
 	return Summary{
-		N:      len(s),
-		Median: Quantile(s, 0.5),
-		P10:    Quantile(s, 0.1),
-		P90:    Quantile(s, 0.9),
-		Mean:   sum / float64(len(s)),
-		Min:    s[0],
-		Max:    s[len(s)-1],
+		N:      len(xs),
+		Median: Quantile(xs, 0.5),
+		P10:    Quantile(xs, 0.1),
+		P90:    Quantile(xs, 0.9),
+		Mean:   sum / float64(len(xs)),
+		Min:    xs[0],
+		Max:    xs[len(xs)-1],
 	}
 }
 

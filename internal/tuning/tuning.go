@@ -63,8 +63,10 @@ type Result struct {
 	Series []Point
 }
 
-// defaultCounts yields 1, 2, 4, 6, ... up to cores−2.
-func defaultCounts(spec *topology.NodeSpec) []int {
+// DefaultCounts yields the default sweep axis — 1, 2, 4, 8, ... up to
+// cores−2 — so callers that split the sweep into per-count work units
+// (see bench.ExtTuner) enumerate exactly the counts WorkerSweep would.
+func DefaultCounts(spec *topology.NodeSpec) []int {
 	max := spec.Cores() - 2
 	counts := []int{1, 2}
 	for n := 4; n < max; n += 4 {
@@ -119,7 +121,7 @@ func WorkerSweep(o Options) Result {
 	}
 	counts := o.WorkerCounts
 	if len(counts) == 0 {
-		counts = defaultCounts(o.Spec)
+		counts = DefaultCounts(o.Spec)
 	}
 	var res Result
 	for _, n := range counts {
