@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz clean
+.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz serve load-test clean
 
 all: build vet test test-race bench
 
@@ -81,11 +81,24 @@ examples:
 	$(GO) run ./examples/faults
 
 # Short fuzz passes: fluid solver invariants, machine-spec JSON
-# parsing, fault-schedule spec parsing.
+# parsing, fault-schedule spec parsing, campaign-spec submissions.
 fuzz:
 	$(GO) test ./internal/fluid/ -fuzz FuzzSolverInvariants -fuzztime 30s
 	$(GO) test ./internal/topology/ -fuzz FuzzReadSpec -fuzztime 30s
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime 30s
+	$(GO) test ./internal/server/ -fuzz FuzzSubmitSpec -fuzztime 30s
+
+# Boot the campaign daemon on :7077 with its cache and durability state
+# under interfd-data/ (clients: `interference -remote http://host:7077`
+# or raw POSTs to /campaign; see EXPERIMENTS.md).
+serve:
+	$(GO) run ./cmd/interfd
+
+# The daemon concurrency battery under the race detector: many clients,
+# overlapping campaign specs, byte-identity and exactly-once assertions
+# (size with SERVER_LOAD_CLIENTS / SERVER_LOAD_PER_CLIENT).
+load-test:
+	$(GO) test -race -run TestServerLoad -count=1 -v ./internal/server/
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -19,10 +19,15 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -33,6 +38,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/server"
 )
 
 // Benchmark is one benchmark's measured costs.
@@ -78,8 +84,32 @@ type CacheRun struct {
 	WarmPointsPerSec float64 `json:"warm_points_per_sec"`
 }
 
+// ServerRun is the campaign-daemon measurement: a fleet of in-process
+// clients submits the full registry as individual campaigns against a
+// warm interfd (cold compute happens on a seeding daemon first, so the
+// percentiles measure service overhead, not simulation), then hammers
+// the remote cache protocol for a throughput figure.
+type ServerRun struct {
+	Clients   int `json:"clients"`
+	Campaigns int `json:"campaigns"`
+	Shards    int `json:"shards"`
+	// P50Ms/P99Ms are the daemon-side campaign latency percentiles over
+	// the warm storm (queue wait included).
+	P50Ms float64 `json:"server_p50_ms"`
+	P99Ms float64 `json:"server_p99_ms"`
+	// Deduped counts campaigns served by joining an identical in-flight
+	// one instead of executing.
+	Deduped int64 `json:"deduped_campaigns"`
+	// CacheOps/CacheOpsPerSec measure GET /cache/{sum} round trips
+	// (sha256-verified) against the daemon.
+	CacheOps       int64   `json:"cache_ops"`
+	CacheOpsPerSec float64 `json:"cache_ops_per_sec"`
+}
+
 // Report is the BENCH_sim.json schema. Schema 2 replaced the single
-// campaign wall with the per-worker-count matrix and the cache run.
+// campaign wall with the per-worker-count matrix and the cache run;
+// schema 3 added the campaign-daemon run (server percentiles and remote
+// cache throughput).
 type Report struct {
 	Schema     int                  `json:"schema"`
 	GoVersion  string               `json:"go_version"`
@@ -89,6 +119,7 @@ type Report struct {
 	// the reference solver on the same workload.
 	Derived  map[string]float64 `json:"derived"`
 	Campaign *Campaign          `json:"campaign,omitempty"`
+	Server   *ServerRun         `json:"server,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, with or without
@@ -97,13 +128,15 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 
 func main() {
 	var (
-		in       = flag.String("in", "bench_output.txt", "file with `go test -bench` output")
-		out      = flag.String("out", "BENCH_sim.json", "report destination")
-		campaign = flag.Bool("campaign", true, "also run and time the full golden campaign in-process")
-		cluster  = flag.String("cluster", "henri", "campaign cluster preset")
-		jobsList = flag.String("jobs", "1,4,8", "comma-separated worker counts for the cold cache-disabled walls")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the cache cold/warm runs")
-		toText   = flag.String("totext", "", "convert this BENCH_sim.json to Go benchmark text on stdout and exit")
+		in         = flag.String("in", "bench_output.txt", "file with `go test -bench` output")
+		out        = flag.String("out", "BENCH_sim.json", "report destination")
+		campaign   = flag.Bool("campaign", true, "also run and time the full golden campaign in-process")
+		withServer = flag.Bool("server", true, "also boot an in-process campaign daemon and measure service latency and cache-protocol throughput")
+		clients    = flag.Int("clients", 8, "concurrent clients for the daemon measurement")
+		cluster    = flag.String("cluster", "henri", "campaign cluster preset")
+		jobsList   = flag.String("jobs", "1,4,8", "comma-separated worker counts for the cold cache-disabled walls")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the cache cold/warm runs")
+		toText     = flag.String("totext", "", "convert this BENCH_sim.json to Go benchmark text on stdout and exit")
 	)
 	flag.Parse()
 
@@ -121,7 +154,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep := Report{
-		Schema:     2,
+		Schema:     3,
 		GoVersion:  runtime.Version(),
 		Benchmarks: benches,
 		Derived:    derive(benches),
@@ -138,6 +171,14 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Campaign = c
+	}
+	if *withServer {
+		sr, err := timeServer(*cluster, *clients)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		rep.Server = sr
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -176,6 +217,10 @@ func main() {
 				cr.WarmWallSeconds, cr.WarmPointsPerSec, 100*cr.WarmHitRate,
 				cr.Points, cr.Workers)
 		}
+	}
+	if sr := rep.Server; sr != nil {
+		fmt.Printf("  server: %d campaigns from %d clients, p50 %.2fms p99 %.2fms (%d deduped), cache protocol %.0f ops/s\n",
+			sr.Campaigns, sr.Clients, sr.P50Ms, sr.P99Ms, sr.Deduped, sr.CacheOpsPerSec)
 	}
 }
 
@@ -331,6 +376,184 @@ func perSec(points int64, wall float64) float64 {
 	return float64(points) / wall
 }
 
+// timeServer measures the campaign daemon. Two daemons share one cache
+// directory: the first absorbs the cold compute (seeding every point),
+// the second starts with a warm disk cache and a fresh latency window,
+// so its percentiles measure the service itself — admission, dedup,
+// cache replay, rendering — rather than first-time simulation. The
+// storm submits every registry experiment as its own campaign from
+// `clients` concurrent clients, then the same clients hammer the
+// GET /cache/{sum} protocol over every stored entry for the throughput
+// figure.
+func timeServer(cluster string, clients int) (*ServerRun, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	dir, err := os.MkdirTemp("", "benchreport-server-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	specs := make([]server.CampaignSpec, 0, len(core.Experiments()))
+	for _, e := range core.Experiments() {
+		specs = append(specs, server.CampaignSpec{
+			Cluster:     cluster,
+			Experiments: []string{e.ID},
+			Seed:        1,
+			Runs:        3,
+		})
+	}
+	total := clients * len(specs)
+	cfg := server.Config{
+		CacheDir:    dir,
+		Shards:      runtime.GOMAXPROCS(0),
+		QueueDepth:  total + 8,
+		MaxInflight: 4,
+	}
+
+	// Seeding pass: compute every point once.
+	seedSrv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seedHTTP := httptest.NewServer(seedSrv.Handler())
+	for _, spec := range specs {
+		if err := submitSpec(seedHTTP.URL, spec); err != nil {
+			seedHTTP.Close()
+			seedSrv.Close()
+			return nil, err
+		}
+	}
+	seedHTTP.Close()
+	if err := seedSrv.Close(); err != nil {
+		return nil, err
+	}
+
+	// Measured pass: warm daemon, concurrent clients.
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			for k := range specs {
+				if err := submitSpec(ts.URL, specs[(c+k)%len(specs)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	m := srv.Metrics()
+
+	// Cache-protocol throughput over every stored content address.
+	sums, err := cacheSums(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("server measurement stored no cache entries")
+	}
+	const opsPerClient = 400
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			client := &http.Client{}
+			for k := 0; k < opsPerClient; k++ {
+				resp, err := client.Get(ts.URL + "/cache/" + sums[(c+k)%len(sums)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("cache GET %s: %s", sums[(c+k)%len(sums)], resp.Status)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	opsWall := time.Since(start).Seconds()
+	ops := int64(clients * opsPerClient)
+
+	return &ServerRun{
+		Clients:        clients,
+		Campaigns:      int(m.Campaigns.Accepted + m.Campaigns.Deduped),
+		Shards:         srv.Shards(),
+		P50Ms:          m.Latency.P50Ms,
+		P99Ms:          m.Latency.P99Ms,
+		Deduped:        m.Campaigns.Deduped,
+		CacheOps:       ops,
+		CacheOpsPerSec: perSec(ops, opsWall),
+	}, nil
+}
+
+// submitSpec posts one campaign and demands a clean 200 with no
+// experiment errors.
+func submitSpec(base string, spec server.CampaignSpec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("campaign %v: %s: %s", spec.Experiments, resp.Status, payload)
+	}
+	var cr server.CampaignResponse
+	if err := json.Unmarshal(payload, &cr); err != nil {
+		return err
+	}
+	if cr.Errors != 0 {
+		return fmt.Errorf("campaign %v: %d experiment errors", spec.Experiments, cr.Errors)
+	}
+	return nil
+}
+
+// cacheSums harvests every stored content address (file name minus
+// .json) from a point-cache directory.
+func cacheSums(dir string) ([]string, error) {
+	var sums []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if name, ok := strings.CutSuffix(filepath.Base(path), ".json"); ok {
+			sums = append(sums, name)
+		}
+		return nil
+	})
+	return sums, err
+}
+
 // emitText converts a BENCH_sim.json back into Go benchmark text
 // format (sorted by name, fixed GOMAXPROCS suffix elided) so two
 // trajectories can be compared with benchstat.
@@ -374,6 +597,13 @@ func emitText(path string) error {
 		if cr := c.Cache; cr != nil {
 			fmt.Printf("BenchmarkCampaign%sColdCache 1 %.6g ns/op\n", c.Cluster, cr.ColdWallSeconds*1e9)
 			fmt.Printf("BenchmarkCampaign%sWarmCache 1 %.6g ns/op\n", c.Cluster, cr.WarmWallSeconds*1e9)
+		}
+	}
+	if sr := rep.Server; sr != nil {
+		fmt.Printf("BenchmarkServerCampaignP50 1 %.6g ns/op\n", sr.P50Ms*1e6)
+		fmt.Printf("BenchmarkServerCampaignP99 1 %.6g ns/op\n", sr.P99Ms*1e6)
+		if sr.CacheOpsPerSec > 0 {
+			fmt.Printf("BenchmarkServerCacheGet %d %.6g ns/op\n", sr.CacheOps, 1e9/sr.CacheOpsPerSec)
 		}
 	}
 	return nil

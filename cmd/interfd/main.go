@@ -1,0 +1,114 @@
+// Command interfd is the campaign daemon: a long-lived HTTP/JSON
+// service that executes simulation campaigns for many concurrent
+// clients. Clients submit campaign specs with `interference -remote`
+// (or raw POSTs to /campaign); a bounded admission queue schedules them
+// Slurm-style, sweep points fan out across a server-wide worker-shard
+// set, and results are served from a content-addressed cache that
+// deduplicates work across clients — identical points are computed once,
+// ever, no matter how many clients ask.
+//
+// Usage:
+//
+//	interfd                              # listen on :7077, state under interfd-data/
+//	interfd -addr :9000 -shards 8
+//	interfd -data /var/lib/interfd -queue 128 -inflight 4
+//
+// The daemon is crash-safe: completed experiments are journaled the
+// moment they finish, accepted campaigns are logged before they run,
+// and on restart unfinished campaigns re-execute (cached points replay)
+// so a re-submitted spec returns byte-identical output. SIGINT/SIGTERM
+// drain gracefully within -grace, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("interfd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":7077", "listen address")
+		data     = fs.String("data", "interfd-data", "data directory (point cache + durability state); \"\" disables persistence")
+		shards   = fs.Int("shards", 0, "worker shards executing sweep points; 0 = GOMAXPROCS")
+		queue    = fs.Int("queue", 64, "admission queue depth: campaigns waiting beyond this are rejected with 503")
+		inflight = fs.Int("inflight", 2, "campaigns executing concurrently (their points share the shard set)")
+		maxRuns  = fs.Int("max-runs", 64, "largest per-configuration repetition count a client may request")
+		grace    = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests on SIGINT/SIGTERM")
+		quiet    = fs.Bool("q", false, "suppress per-campaign log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *shards < 0 || *queue < 1 || *inflight < 1 || *maxRuns < 1 || *grace < 0 {
+		fmt.Fprintln(stderr, "interfd: -shards must be >= 0 and -queue/-inflight/-max-runs >= 1")
+		return 2
+	}
+
+	cfg := server.Config{
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		MaxInflight: *inflight,
+		MaxRuns:     *maxRuns,
+	}
+	if !*quiet {
+		cfg.Log = stderr
+	}
+	if *data != "" {
+		cfg.CacheDir = filepath.Join(*data, "cache")
+		cfg.StateDir = filepath.Join(*data, "state")
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "interfd:", err)
+		return 1
+	}
+	defer s.Close()
+	if n := s.Recovering(); n > 0 {
+		fmt.Fprintf(stderr, "interfd: resuming %d unfinished campaign(s) from %s\n", n, *data)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stderr, "interfd: serving on %s (%d shards, queue %d, %d in-flight)\n",
+		*addr, s.Shards(), *queue, *inflight)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "interfd:", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "interfd: %v: draining (grace %v)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(stderr, "interfd:", err)
+		}
+		// Close flushes nothing (appends are line-atomic) but stops the
+		// journal: campaigns that outlive the grace period are re-run on
+		// the next start, exactly like a hard kill.
+		if err := s.Close(); err != nil {
+			fmt.Fprintln(stderr, "interfd:", err)
+		}
+		return 0
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fluid"
 	"repro/internal/runner"
+	"repro/internal/server"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -73,12 +74,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume   = fs.Bool("resume", false, "replay results already in -journal and run only the missing experiments")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (whole process: with -j>1 all workers share one profile)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit (whole process: with -j>1 all workers share one profile)")
-		cacheDir = fs.String("cache", "results/.cache", "directory of the persistent point cache")
+		cacheDir = fs.String("cache", "results/.cache", "persistent point cache: a directory, or an interfd base URL (http://...) to share a remote cache")
 		noCache  = fs.Bool("no-cache", false, "disable the persistent point cache (in-memory dedup stays on)")
+		remote   = fs.String("remote", "", "base URL of an interfd daemon (e.g. http://host:7077): submit the campaign there instead of executing locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// Which flags the user actually set (vs defaults): -remote rejects
+	// local-execution flags explicitly instead of silently ignoring
+	// them, and that needs to distinguish "-j 0" from an untouched -j.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *list {
 		for _, e := range core.Experiments() {
@@ -88,6 +95,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		return 0
+	}
+	if *remote != "" {
+		// Everything below is a local-execution setting: the daemon owns
+		// worker counts, caching, durability and scheduling. Fail loudly
+		// rather than letting a flag be silently meaningless.
+		for _, bad := range []struct {
+			name string
+			why  string
+		}{
+			{"j", "the daemon sizes its own worker shards"},
+			{"cache", "the daemon owns the point cache"},
+			{"no-cache", "the daemon owns the point cache"},
+			{"journal", "the daemon journals campaigns itself"},
+			{"resume", "the daemon journals campaigns itself"},
+			{"timeout", "attempt deadlines are a daemon-side setting"},
+			{"retry", "retries are a daemon-side setting"},
+			{"update", "goldens must be regenerated by a local run (the solver's differential oracle only arms locally)"},
+			{"cpuprofile", "nothing executes locally under -remote"},
+			{"memprofile", "nothing executes locally under -remote"},
+		} {
+			if explicit[bad.name] {
+				fmt.Fprintf(stderr, "interference: -%s cannot be combined with -remote: %s\n", bad.name, bad.why)
+				return 2
+			}
+		}
 	}
 	if *jobs == 0 {
 		*jobs = runtime.GOMAXPROCS(0)
@@ -161,11 +193,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	if *verify {
+	if *verify && *remote == "" {
 		// Golden verification also arms the solver's differential oracle:
 		// every incremental re-solve is shadowed by the reference solver
 		// and any disagreement panics, so a -verify pass certifies both
-		// the rendered bytes and the allocation math behind them.
+		// the rendered bytes and the allocation math behind them. Under
+		// -remote nothing simulates locally — the verification is then a
+		// pure byte comparison of the daemon's output against the goldens.
 		fluid.SetDifferential(true)
 	}
 	if *all {
@@ -231,29 +265,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failed := 0
 	var done []runner.Result
 	stats := &runner.CacheStats{}
-	opts := runner.Options{
-		Workers: *jobs, Format: *format, Deadline: *timeout, Retries: *retry,
-		CacheStats: stats,
-	}
-	if !*noCache {
-		cache, err := runner.OpenPointCache(*cacheDir)
-		if err != nil {
-			fmt.Fprintln(stderr, "interference:", err)
-			return 2
-		}
-		opts.Cache = cache
-	}
+	cacheLabel := "persistent cache disabled"
 	var results <-chan runner.Result
-	if *journal != "" {
-		j, err := runner.OpenJournal(*journal)
+	if *remote != "" {
+		var inline *topology.NodeSpec
+		if *specFile != "" {
+			inline = env.Spec
+		}
+		var err error
+		results, err = submitRemote(*remote, inline, *cluster, todo, *seed, *runs, *format, *faults, stats)
 		if err != nil {
 			fmt.Fprintln(stderr, "interference:", err)
-			return 2
+			return 1
 		}
-		defer j.Close()
-		results = runner.RunResumable(env, todo, opts, j, *cluster, *resume)
+		cacheLabel = "remote: " + *remote
 	} else {
-		results = runner.Run(env, todo, opts)
+		opts := runner.Options{
+			Workers: *jobs, Format: *format, Deadline: *timeout, Retries: *retry,
+			CacheStats: stats,
+		}
+		if !*noCache {
+			if strings.HasPrefix(*cacheDir, "http://") || strings.HasPrefix(*cacheDir, "https://") {
+				// Local execution against a daemon's shared cache: points
+				// computed here are published for every other client.
+				opts.Cache = server.NewRemoteCache(*cacheDir)
+			} else {
+				cache, err := runner.OpenPointCache(*cacheDir)
+				if err != nil {
+					fmt.Fprintln(stderr, "interference:", err)
+					return 2
+				}
+				opts.Cache = cache
+			}
+			cacheLabel = *cacheDir
+		}
+		if *journal != "" {
+			j, err := runner.OpenJournal(*journal)
+			if err != nil {
+				fmt.Fprintln(stderr, "interference:", err)
+				return 2
+			}
+			defer j.Close()
+			results = runner.RunResumable(env, todo, opts, j, *cluster, *resume)
+		} else {
+			results = runner.Run(env, todo, opts)
+		}
 	}
 	for res := range results {
 		done = append(done, res)
@@ -319,14 +375,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet && stats.Points() > 0 {
 		line := fmt.Sprintf("point cache: %d points, %d disk hits, %d memo hits, %d computed (%.0f%% served without executing)",
 			stats.Points(), stats.Hits, stats.MemoHits, stats.Misses, stats.HitRate()*100)
+		if stats.FlightHits > 0 {
+			line += fmt.Sprintf("; %d shared with concurrent clients", stats.FlightHits)
+		}
 		if stats.Mismatches > 0 || stats.Errors > 0 {
 			line += fmt.Sprintf("; %d key mismatches, %d I/O errors", stats.Mismatches, stats.Errors)
 		}
-		if opts.Cache != nil {
-			line += " [" + opts.Cache.Dir() + "]"
-		} else {
-			line += " [persistent cache disabled]"
-		}
+		line += " [" + cacheLabel + "]"
 		fmt.Fprintln(stderr, line)
 	}
 	if failed > 0 {

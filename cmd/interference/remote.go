@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/topology"
+)
+
+// Remote mode: instead of executing the campaign in-process, the CLI
+// POSTs a campaign spec to an interfd daemon and streams the daemon's
+// results through the exact same rendering path as local execution —
+// the stdout bytes are identical either way, so goldens, -verify and
+// downstream tooling cannot tell where a campaign ran.
+
+// submitRemote sends one campaign to the daemon at base and converts
+// the response into the runner.Result stream the output loop consumes.
+// The returned stats mirror the daemon's per-campaign cache accounting.
+func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []core.Experiment,
+	seed int64, runs int, format, faults string, stats *runner.CacheStats) (<-chan runner.Result, error) {
+
+	req := server.CampaignSpec{
+		Cluster: cluster,
+		Seed:    seed,
+		Runs:    runs,
+		Format:  format,
+		Faults:  faults,
+	}
+	if spec != nil {
+		req.Spec = spec
+		req.Cluster = ""
+	}
+	for _, e := range todo {
+		req.Experiments = append(req.Experiments, e.ID)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	client := &http.Client{Timeout: 30 * time.Minute}
+	resp, err := client.Post(base+"/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("submitting campaign to %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading campaign response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("daemon rejected the campaign: %s: %s",
+			resp.Status, bytes.TrimSpace(payload))
+	}
+	var cr server.CampaignResponse
+	if err := json.Unmarshal(payload, &cr); err != nil {
+		return nil, fmt.Errorf("decoding campaign response: %w", err)
+	}
+	if len(cr.Results) != len(todo) {
+		return nil, fmt.Errorf("daemon returned %d results for %d experiments", len(cr.Results), len(todo))
+	}
+
+	atomic.StoreInt64(&stats.Hits, cr.Cache.Hits)
+	atomic.StoreInt64(&stats.Misses, cr.Cache.Misses)
+	atomic.StoreInt64(&stats.MemoHits, cr.Cache.MemoHits)
+	atomic.StoreInt64(&stats.FlightHits, cr.Cache.FlightHits)
+	atomic.StoreInt64(&stats.Mismatches, cr.Cache.Mismatches)
+	atomic.StoreInt64(&stats.Errors, cr.Cache.Errors)
+
+	out := make(chan runner.Result)
+	go func() {
+		defer close(out)
+		for i, er := range cr.Results {
+			res := runner.Result{
+				Exp:      todo[i],
+				Index:    i,
+				Rendered: er.Rendered,
+				Cached:   er.Cached,
+				Metrics: runner.Metrics{
+					ID:         er.ID,
+					Wall:       time.Duration(er.WallMs * float64(time.Millisecond)),
+					SimSeconds: er.SimSeconds,
+					Worlds:     er.Worlds,
+					Tables:     er.Tables,
+					Rows:       er.Rows,
+					Attempts:   er.Attempts,
+					Faults:     er.Faults,
+				},
+			}
+			if er.ID != todo[i].ID {
+				res.Err = fmt.Errorf("daemon returned result %q at position %d, want %q", er.ID, i, todo[i].ID)
+			} else if er.Error != "" {
+				res.Err = errors.New(er.Error)
+			}
+			out <- res
+		}
+	}()
+	return out, nil
+}

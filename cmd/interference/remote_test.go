@@ -1,0 +1,200 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// startDaemon boots an in-process interfd for the CLI to talk to.
+func startDaemon(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+// TestRemoteRejectsLocalFlags: every local-execution flag must fail
+// loudly when combined with -remote — a daemon-side setting silently
+// ignored is a lie to the user.
+func TestRemoteRejectsLocalFlags(t *testing.T) {
+	cases := [][]string{
+		{"-j", "4"},
+		{"-cache", "somedir"},
+		{"-no-cache"},
+		{"-journal", "j.jsonl"},
+		{"-resume"},
+		{"-timeout", "5s"},
+		{"-retry", "2"},
+		{"-update"},
+		{"-cpuprofile", "cpu.out"},
+		{"-memprofile", "mem.out"},
+	}
+	for _, extra := range cases {
+		args := append([]string{"-remote", "http://localhost:1", "-exp", "fig3"}, extra...)
+		var stdout, stderr strings.Builder
+		code := run(args, &stdout, &stderr)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", extra, code)
+		}
+		if !strings.Contains(stderr.String(), "cannot be combined with -remote") ||
+			!strings.Contains(stderr.String(), extra[0]) {
+			t.Errorf("%v: stderr does not name the conflicting flag: %q", extra, stderr.String())
+		}
+	}
+}
+
+// TestRemoteExplicitDefaultsStillRejected: setting a conflicting flag
+// to its default value is still an explicit local-execution request and
+// must be rejected, not special-cased by value.
+func TestRemoteExplicitDefaultsStillRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-remote", "http://localhost:1", "-exp", "fig3", "-j", "0"}, &stdout, &stderr)
+	if code != 2 || !strings.Contains(stderr.String(), "-j cannot be combined") {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+}
+
+// TestRemoteUnreachableDaemon: a dead daemon is a runtime failure (exit
+// 1) with the URL in the error, not a silent fallback to local
+// execution.
+func TestRemoteUnreachableDaemon(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-remote", "http://127.0.0.1:1", "-exp", "fig3", "-runs", "1", "-q"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "127.0.0.1:1") {
+		t.Fatalf("error does not name the daemon: %q", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("failed remote run still produced output: %q", stdout.String())
+	}
+}
+
+// TestRemoteRejectedSpec: a daemon-side 4xx surfaces to the user with
+// the daemon's reason.
+func TestRemoteRejectedSpec(t *testing.T) {
+	url := startDaemon(t, server.Config{MaxRuns: 2})
+	var stdout, stderr strings.Builder
+	code := run([]string{"-remote", url, "-exp", "fig3", "-runs", "30", "-q"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "out of range") {
+		t.Fatalf("daemon reason lost: %q", stderr.String())
+	}
+}
+
+// TestRemoteStdoutMatchesLocal is the byte-identity contract: the same
+// campaign through -remote (cold cache, then warm) and locally must
+// write identical stdout — goldens and downstream tooling cannot tell
+// where a campaign ran.
+func TestRemoteStdoutMatchesLocal(t *testing.T) {
+	url := startDaemon(t, server.Config{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	for _, exp := range []string{"fig3", "ext-sched"} {
+		args := []string{"-exp", exp, "-runs", "1", "-seed", "1", "-q"}
+		_, local, localErr := runCLI(args...)
+		if local == "" {
+			t.Fatalf("%s: local run produced nothing: %s", exp, localErr)
+		}
+		for _, phase := range []string{"cold", "warm"} {
+			var stdout, stderr strings.Builder
+			code := run(append([]string{"-remote", url}, args...), &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("%s %s: exit %d: %s", exp, phase, code, stderr.String())
+			}
+			if stdout.String() != local {
+				t.Fatalf("%s %s: remote stdout differs from local:\n got %q\nwant %q",
+					exp, phase, stdout.String(), local)
+			}
+		}
+	}
+}
+
+// TestRemoteVerifyAgainstGoldens: -verify under -remote compares the
+// daemon's output against local goldens — pass on fresh goldens, exit 1
+// with a diff on tampered ones.
+func TestRemoteVerifyAgainstGoldens(t *testing.T) {
+	url := startDaemon(t, server.Config{})
+	dir := t.TempDir()
+	args := []string{"-exp", "fig3", "-runs", "1", "-q", "-o", dir}
+
+	if code, _, stderr := runCLI(append(args, "-update")...); code != 0 {
+		t.Fatalf("golden update failed (%d): %s", code, stderr)
+	}
+	var stdout, stderr strings.Builder
+	if code := run(append(append([]string{"-remote", url}, args...), "-verify"), &stdout, &stderr); code != 0 {
+		t.Fatalf("remote -verify against fresh goldens failed (%d): %s%s", code, stdout.String(), stderr.String())
+	}
+
+	golden := filepath.Join(dir, "fig3-henri.txt")
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(golden, append(data, "tampered\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code := run(append(append([]string{"-remote", url}, args...), "-verify"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("remote -verify of tampered golden exited %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "@@") {
+		t.Fatalf("remote -verify did not print a diff:\n%s", stdout.String())
+	}
+}
+
+// TestRemoteRecapNamesDaemon: the cache recap under -remote credits the
+// daemon, not a local directory.
+func TestRemoteRecapNamesDaemon(t *testing.T) {
+	url := startDaemon(t, server.Config{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-remote", url, "-exp", "fig3", "-runs", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "remote: "+url) {
+		t.Fatalf("recap does not name the daemon:\n%s", stderr.String())
+	}
+}
+
+// TestLocalRunAgainstRemoteCache: -cache with an http URL executes
+// locally but publishes and consumes points through the daemon's shared
+// cache — the second run is fully served.
+func TestLocalRunAgainstRemoteCache(t *testing.T) {
+	url := startDaemon(t, server.Config{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	args := []string{"-exp", "fig3", "-runs", "1", "-cache", url}
+	var cold, coldErr strings.Builder
+	if code := run(args, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold exit %d: %s", code, coldErr.String())
+	}
+	var warm, warmErr strings.Builder
+	if code := run(args, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm exit %d: %s", code, warmErr.String())
+	}
+	if warm.String() != cold.String() {
+		t.Fatal("warm remote-cache stdout differs from cold")
+	}
+	if !strings.Contains(warmErr.String(), "0 computed (100% served without executing)") {
+		t.Fatalf("warm run not served by the daemon's cache:\n%s", warmErr.String())
+	}
+	if !strings.Contains(warmErr.String(), url) {
+		t.Fatalf("recap does not name the remote cache:\n%s", warmErr.String())
+	}
+}

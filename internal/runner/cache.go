@@ -31,6 +31,10 @@ type CacheStats struct {
 	// another experiment already computed this campaign (e.g. fig4,
 	// fig5 and tab1 sharing contention cells).
 	Hits, Misses, MemoHits int64
+	// FlightHits were served by joining another campaign's in-flight
+	// computation of the same key through a PointFlight (cross-client
+	// singleflight; zero unless Options.Flight is set).
+	FlightHits int64
 	// Mismatches counts poisoned entries: a file whose stored key did
 	// not match the requested one (hash collision or tampering). Such
 	// entries are recomputed, never served.
@@ -42,7 +46,8 @@ type CacheStats struct {
 
 // Points returns the total number of points requested.
 func (s *CacheStats) Points() int64 {
-	return atomic.LoadInt64(&s.Hits) + atomic.LoadInt64(&s.Misses) + atomic.LoadInt64(&s.MemoHits)
+	return atomic.LoadInt64(&s.Hits) + atomic.LoadInt64(&s.Misses) +
+		atomic.LoadInt64(&s.MemoHits) + atomic.LoadInt64(&s.FlightHits)
 }
 
 // HitRate returns the fraction of requested points served without
@@ -53,7 +58,42 @@ func (s *CacheStats) HitRate() float64 {
 	if total == 0 {
 		return 0
 	}
-	return float64(atomic.LoadInt64(&s.Hits)+atomic.LoadInt64(&s.MemoHits)) / float64(total)
+	served := atomic.LoadInt64(&s.Hits) + atomic.LoadInt64(&s.MemoHits) + atomic.LoadInt64(&s.FlightHits)
+	return float64(served) / float64(total)
+}
+
+// Add folds another campaign's counters into the receiver (atomically on
+// both sides), so a long-lived service can aggregate per-campaign stats
+// into a server-wide total.
+func (s *CacheStats) Add(o *CacheStats) {
+	atomic.AddInt64(&s.Hits, atomic.LoadInt64(&o.Hits))
+	atomic.AddInt64(&s.Misses, atomic.LoadInt64(&o.Misses))
+	atomic.AddInt64(&s.MemoHits, atomic.LoadInt64(&o.MemoHits))
+	atomic.AddInt64(&s.FlightHits, atomic.LoadInt64(&o.FlightHits))
+	atomic.AddInt64(&s.Mismatches, atomic.LoadInt64(&o.Mismatches))
+	atomic.AddInt64(&s.Errors, atomic.LoadInt64(&o.Errors))
+}
+
+// CacheStore is the persistence layer of the point cache: the on-disk
+// PointCache implements it, and a service can substitute a remote
+// content-addressed store speaking the same load/store contract. Both
+// methods must be safe for concurrent use.
+type CacheStore interface {
+	// Load retrieves the record stored under fullKey. ok is false on any
+	// miss; mismatch marks a poisoned entry (stored key differs from the
+	// requested one — never served); ioErr marks transport/read failures
+	// distinct from ordinary absence.
+	Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool)
+	// Store persists the record under fullKey.
+	Store(fullKey string, rec bench.PointRecord) error
+}
+
+// CacheKeySum returns the content address of a full point key: the hex
+// sha256 under which both the on-disk cache and the remote cache
+// protocol file the record.
+func CacheKeySum(fullKey string) string {
+	sum := sha256.Sum256([]byte(fullKey))
+	return hex.EncodeToString(sum[:])
 }
 
 // PointCache is a persistent, content-addressed store of computed sweep
@@ -78,17 +118,31 @@ func (c *PointCache) Dir() string { return c.dir }
 // path maps a full point key to its file: two-level fan-out on the
 // key's sha256 keeps directories small on big campaigns.
 func (c *PointCache) path(fullKey string) string {
-	sum := sha256.Sum256([]byte(fullKey))
-	name := hex.EncodeToString(sum[:])
-	return filepath.Join(c.dir, name[:2], name+".json")
+	return c.sumPath(CacheKeySum(fullKey))
 }
 
-// load retrieves the record stored under fullKey. ok is false on any
+// sumPath maps an already-hashed key (see CacheKeySum) to its file.
+func (c *PointCache) sumPath(sum string) string {
+	return filepath.Join(c.dir, sum[:2], sum+".json")
+}
+
+// LoadSum returns the raw stored bytes for a content address, as the
+// remote cache protocol serves them; os.IsNotExist(err) distinguishes
+// absence from read failures. No validation happens here — callers must
+// verify the decoded record's key hashes back to sum before trusting it.
+func (c *PointCache) LoadSum(sum string) ([]byte, error) {
+	if len(sum) < 2 {
+		return nil, os.ErrNotExist
+	}
+	return os.ReadFile(c.sumPath(sum))
+}
+
+// Load retrieves the record stored under fullKey. ok is false on any
 // miss: absent file, unreadable entry, schema drift, or a stored key
 // that does not match the requested one (mismatch=true; a poisoned
 // entry is never served). ioErr marks read failures distinct from
 // ordinary absence.
-func (c *PointCache) load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+func (c *PointCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
 	data, err := os.ReadFile(c.path(fullKey))
 	if err != nil {
 		return bench.PointRecord{}, false, false, !os.IsNotExist(err)
@@ -105,9 +159,9 @@ func (c *PointCache) load(fullKey string) (rec bench.PointRecord, ok, mismatch, 
 	return rec, true, false, false
 }
 
-// store writes the record under fullKey, atomically (temp + rename) so
+// Store writes the record under fullKey, atomically (temp + rename) so
 // readers never observe a torn entry.
-func (c *PointCache) store(fullKey string, rec bench.PointRecord) error {
+func (c *PointCache) Store(fullKey string, rec bench.PointRecord) error {
 	rec.Key = fullKey
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -158,30 +212,78 @@ type memoEntry struct {
 	rec  bench.PointRecord
 }
 
+// PointFlight deduplicates concurrent computations of the same point
+// *across* campaigns: the per-campaign memo only sees one client's
+// requests, so a long-lived service shares one PointFlight between every
+// campaign it runs, and two clients racing on the same cell compute it
+// once. Unlike the memo, entries are dropped the moment the leader
+// finishes — completed points are the persistent cache's job; the flight
+// only covers the window where the cache has no entry yet.
+type PointFlight struct {
+	mu       sync.Mutex
+	inflight map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	rec  bench.PointRecord
+}
+
+// NewPointFlight returns an empty singleflight group.
+func NewPointFlight() *PointFlight {
+	return &PointFlight{inflight: make(map[string]*flightCall)}
+}
+
+// do runs fn for fullKey exactly once among concurrent callers: the
+// first caller (leader=true) computes; the rest block until the leader
+// finishes and receive its record (panic records included — each owner
+// re-raises on its own experiment). The entry is removed on completion,
+// so a later, non-overlapping request computes (or cache-hits) afresh.
+func (f *PointFlight) do(fullKey string, fn func() bench.PointRecord) (rec bench.PointRecord, leader bool) {
+	f.mu.Lock()
+	if c, ok := f.inflight[fullKey]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.rec, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.inflight[fullKey] = c
+	f.mu.Unlock()
+
+	c.rec = fn()
+	f.mu.Lock()
+	delete(f.inflight, fullKey)
+	f.mu.Unlock()
+	close(c.done)
+	return c.rec, true
+}
+
 // pointScheduler implements bench.PointRunner for a campaign: points
 // from every experiment run on the shared pool, deduplicated through an
 // in-memory memo (two experiments requesting the same cell compute it
 // once) and optionally replayed from / stored to a persistent cache.
 type pointScheduler struct {
-	pool  *pointPool
-	cache *PointCache // nil disables the persistent layer
-	stats *CacheStats // nil disables counting
-	base  string
+	pool   *pointPool
+	cache  CacheStore   // nil disables the persistent layer
+	flight *PointFlight // nil disables cross-campaign singleflight
+	stats  *CacheStats  // nil disables counting
+	base   string
 
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 }
 
-func newPointScheduler(pool *pointPool, cache *PointCache, stats *CacheStats, env bench.Env) *pointScheduler {
+func newPointScheduler(pool *pointPool, cache CacheStore, flight *PointFlight, stats *CacheStats, env bench.Env) *pointScheduler {
 	if stats == nil {
 		stats = &CacheStats{}
 	}
 	return &pointScheduler{
-		pool:  pool,
-		cache: cache,
-		stats: stats,
-		base:  pointBaseKey(env),
-		memo:  make(map[string]*memoEntry),
+		pool:   pool,
+		cache:  cache,
+		flight: flight,
+		stats:  stats,
+		base:   pointBaseKey(env),
+		memo:   make(map[string]*memoEntry),
 	}
 }
 
@@ -241,10 +343,25 @@ func (s *pointScheduler) point(env bench.Env, p bench.Point) bench.PointRecord {
 }
 
 // resolve loads the point from the persistent cache or executes it
-// (storing the fresh record on success).
+// (storing the fresh record on success). With a PointFlight installed,
+// concurrent campaigns resolving the same key elect one leader: it runs
+// the cache-then-execute path once and the others adopt its record.
 func (s *pointScheduler) resolve(env bench.Env, p bench.Point, fullKey string) bench.PointRecord {
+	if s.flight == nil {
+		return s.resolveLocal(env, p, fullKey)
+	}
+	rec, leader := s.flight.do(fullKey, func() bench.PointRecord {
+		return s.resolveLocal(env, p, fullKey)
+	})
+	if !leader {
+		atomic.AddInt64(&s.stats.FlightHits, 1)
+	}
+	return rec
+}
+
+func (s *pointScheduler) resolveLocal(env bench.Env, p bench.Point, fullKey string) bench.PointRecord {
 	if s.cache != nil {
-		rec, ok, mismatch, ioErr := s.cache.load(fullKey)
+		rec, ok, mismatch, ioErr := s.cache.Load(fullKey)
 		if ok {
 			atomic.AddInt64(&s.stats.Hits, 1)
 			return rec
@@ -259,7 +376,7 @@ func (s *pointScheduler) resolve(env bench.Env, p bench.Point, fullKey string) b
 	atomic.AddInt64(&s.stats.Misses, 1)
 	rec := bench.ExecutePoint(env, p)
 	if s.cache != nil && rec.Panic == nil {
-		if err := s.cache.store(fullKey, rec); err != nil {
+		if err := s.cache.Store(fullKey, rec); err != nil {
 			atomic.AddInt64(&s.stats.Errors, 1)
 		}
 	}

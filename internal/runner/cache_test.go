@@ -194,7 +194,7 @@ func TestPoisonedCacheEntryDetected(t *testing.T) {
 	if err := os.WriteFile(path, poisoned, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, mismatch, _ := cache.load(fullKey); ok || !mismatch {
+	if _, ok, mismatch, _ := cache.Load(fullKey); ok || !mismatch {
 		t.Fatalf("poisoned entry: ok=%v mismatch=%v, want miss+mismatch", ok, mismatch)
 	}
 
@@ -218,10 +218,10 @@ func TestCacheSchemaDriftIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := bench.PointRecord{Schema: bench.PointSchema + 1, Payload: []byte(`{}`)}
-	if err := cache.store("k", rec); err != nil {
+	if err := cache.Store("k", rec); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, mismatch, ioErr := cache.load("k"); ok || mismatch || ioErr {
+	if _, ok, mismatch, ioErr := cache.Load("k"); ok || mismatch || ioErr {
 		t.Fatalf("schema drift: ok=%v mismatch=%v ioErr=%v, want plain miss", ok, mismatch, ioErr)
 	}
 }
@@ -233,13 +233,13 @@ func TestCacheCorruptEntryIsIOError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cache.store("k", bench.PointRecord{Schema: bench.PointSchema, Payload: []byte(`{}`)}); err != nil {
+	if err := cache.Store("k", bench.PointRecord{Schema: bench.PointSchema, Payload: []byte(`{}`)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(cache.path("k"), []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _, ioErr := cache.load("k"); ok || !ioErr {
+	if _, ok, _, ioErr := cache.Load("k"); ok || !ioErr {
 		t.Fatalf("corrupt entry: ok=%v ioErr=%v, want miss+ioErr", ok, ioErr)
 	}
 }

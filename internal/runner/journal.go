@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -49,9 +50,14 @@ type JournalEntry struct {
 	Faults     bench.FaultTotals `json:"faults"`
 }
 
-// Journal is an append-only record of completed experiments.
+// Journal is an append-only record of completed experiments, safe for
+// concurrent use: a service runs many campaigns against one journal, so
+// lookups and appends from different campaigns may interleave freely
+// (each append is a single written line).
 type Journal struct {
+	mu      sync.Mutex
 	f       *os.File
+	closed  bool
 	entries map[string]JournalEntry // keyed by ID + "\x00" + Hash
 }
 
@@ -113,16 +119,24 @@ func OpenJournal(path string) (*Journal, error) {
 // Lookup returns the journaled entry for an experiment under the given
 // configuration hash, if one exists.
 func (j *Journal) Lookup(id, hash string) (JournalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	e, ok := j.entries[id+"\x00"+hash]
 	return e, ok
 }
 
 // Len reports how many entries the journal holds.
-func (j *Journal) Len() int { return len(j.entries) }
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
 
 // Append records a completed experiment. The write is a single
-// appended line, so concurrent campaigns against distinct journals and
-// kills between experiments never corrupt earlier entries.
+// appended line, so concurrent campaigns against one journal and kills
+// between experiments never corrupt earlier entries. Appending to a
+// closed journal fails (the campaign's result is then reported as no
+// longer crash-safe, exactly as if the process had died).
 func (j *Journal) Append(e JournalEntry) error {
 	e.Schema = journalSchema
 	b, err := json.Marshal(e)
@@ -130,6 +144,11 @@ func (j *Journal) Append(e JournalEntry) error {
 		return fmt.Errorf("runner: encoding journal entry: %w", err)
 	}
 	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("runner: journal is closed")
+	}
 	if _, err := j.f.Write(b); err != nil {
 		return fmt.Errorf("runner: appending to journal: %w", err)
 	}
@@ -137,8 +156,16 @@ func (j *Journal) Append(e JournalEntry) error {
 	return nil
 }
 
-// Close releases the journal file.
-func (j *Journal) Close() error { return j.f.Close() }
+// Close releases the journal file; later appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
 
 // ConfigHash fingerprints everything that determines an experiment's
 // output: the cluster spec, seed, run count, output format and fault

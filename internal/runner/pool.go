@@ -108,3 +108,44 @@ func (p *pointPool) close() {
 	p.mu.Unlock()
 	p.cond.Broadcast()
 }
+
+// SharedPool is a long-lived point pool with its own worker-shard set,
+// shared by every campaign of a service: campaigns enqueue their points
+// here (Options.SharedPool) and the shard goroutines execute them, while
+// each campaign's own experiment goroutines still participate through
+// runUntil. Work from concurrent campaigns interleaves freely — the
+// index-ordered merge in bench.RunPointsAs keeps every campaign's output
+// deterministic regardless of who executed which point.
+type SharedPool struct {
+	pool    *pointPool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewSharedPool starts a pool with n dedicated worker shards (n <= 0
+// panics: a service must size its shard set explicitly). Close releases
+// the shards.
+func NewSharedPool(n int) *SharedPool {
+	if n <= 0 {
+		panic("runner: SharedPool needs at least one worker shard")
+	}
+	sp := &SharedPool{pool: newPointPool(), workers: n}
+	sp.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer sp.wg.Done()
+			sp.pool.drain()
+		}()
+	}
+	return sp
+}
+
+// Workers reports the shard count.
+func (sp *SharedPool) Workers() int { return sp.workers }
+
+// Close shuts the pool down and waits for the shards to exit. Queued
+// tasks still complete via their owning campaigns' runUntil loops.
+func (sp *SharedPool) Close() {
+	sp.pool.close()
+	sp.wg.Wait()
+}

@@ -34,12 +34,22 @@ type Options struct {
 	// reported as failed. 0 means one attempt only.
 	Retries int
 	// Cache, when non-nil, persists computed sweep points
-	// content-addressed by configuration (see PointCache): repeated
-	// campaigns replay unchanged points instead of recomputing them.
-	Cache *PointCache
+	// content-addressed by configuration (local PointCache or a remote
+	// store): repeated campaigns replay unchanged points instead of
+	// recomputing them.
+	Cache CacheStore
 	// CacheStats, when non-nil, receives the campaign's point-level
 	// cache accounting (hits, misses, memo hits).
 	CacheStats *CacheStats
+	// Flight, when non-nil, deduplicates point computations against
+	// other campaigns sharing the same PointFlight: a service passes one
+	// flight to every campaign so concurrent clients racing on a cell
+	// compute it exactly once.
+	Flight *PointFlight
+	// SharedPool, when non-nil, executes this campaign's points on a
+	// service-wide worker-shard set instead of a private per-campaign
+	// pool; the pool outlives the campaign and is never closed by Run.
+	SharedPool *SharedPool
 }
 
 // Result is the outcome of one experiment.
@@ -100,9 +110,17 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 	// bench.RunPointsAs) and submits them to this campaign-wide pool.
 	// Workers beyond the experiment count are therefore not wasted — they
 	// drain the pool directly — and a single huge experiment still
-	// spreads across all -j workers.
+	// spreads across all -j workers. With a SharedPool the points go to
+	// the service-wide shard set instead: campaign workers then only run
+	// experiments (the shards and each experiment's own runUntil
+	// participation execute the points), so finished campaigns never
+	// park goroutines in a pool they do not own.
 	pool := newPointPool()
-	env.Sched = newPointScheduler(pool, opts.Cache, opts.CacheStats, env)
+	shared := opts.SharedPool != nil
+	if shared {
+		pool = opts.SharedPool.pool
+	}
+	env.Sched = newPointScheduler(pool, opts.Cache, opts.Flight, opts.CacheStats, env)
 
 	// One buffered slot per experiment lets workers finish out of order
 	// while the collector drains strictly in submission order.
@@ -123,8 +141,12 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 				slots[i] <- runOne(env, exps[i], i, format, opts)
 			}
 			// Out of experiments: keep executing other experiments'
-			// points until the campaign ends.
-			pool.drain()
+			// points until the campaign ends. On a shared pool the
+			// worker exits instead — draining would park it until the
+			// *service* shuts down.
+			if !shared {
+				pool.drain()
+			}
 		}()
 	}
 	out := make(chan Result)
@@ -132,7 +154,9 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 		for _, slot := range slots {
 			out <- <-slot
 		}
-		pool.close()
+		if !shared {
+			pool.close()
+		}
 		close(out)
 	}()
 	return out

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
+)
+
+// The remote cache protocol promotes the on-disk point cache to a
+// network service, shaped like a remote build cache:
+//
+//	GET /cache/{sum}  -> 200 + record JSON (+ X-Content-SHA256), 404 miss
+//	PUT /cache/{sum}  <- record JSON + X-Content-SHA256, 204 on store
+//
+// {sum} is the content address: hex sha256 of the record's full point
+// key (runner.CacheKeySum). Verification happens on both ends. The
+// server refuses a PUT whose body digest does not match its header or
+// whose embedded key does not hash to the addressed sum, so a client
+// can never misfile an entry; the client re-verifies the body digest
+// and the embedded key on GET, so a poisoned server entry is detected
+// (counted as a mismatch, mirroring the on-disk cache) and recomputed,
+// never served.
+
+const shaHeader = "X-Content-SHA256"
+
+func bodySum(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func validSum(sum string) bool {
+	if len(sum) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(sum)
+	return err == nil
+}
+
+// handleCacheGet serves the raw stored record for a content address.
+// Key verification is the client's job (the server only knows the
+// hashed address, not which full key the client wants), but the server
+// always stamps the body digest so transport corruption is detectable.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	s.proto.gets.Add(1)
+	sum := r.PathValue("sum")
+	if !validSum(sum) {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: cache key must be a hex sha256", http.StatusBadRequest)
+		return
+	}
+	if s.cache == nil {
+		http.Error(w, "interfd: no persistent cache configured", http.StatusNotFound)
+		return
+	}
+	data, err := s.cache.LoadSum(sum)
+	if err != nil {
+		if os.IsNotExist(err) {
+			http.NotFound(w, r)
+			return
+		}
+		http.Error(w, "interfd: reading cache entry", http.StatusInternalServerError)
+		return
+	}
+	s.proto.getHits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(shaHeader, bodySum(data))
+	w.Write(data)
+}
+
+// handleCachePut stores a record after verifying it end to end: the
+// body digest must match the X-Content-SHA256 header, the body must
+// decode as a current-schema record, and the embedded key must hash to
+// the addressed sum.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	s.proto.puts.Add(1)
+	sum := r.PathValue("sum")
+	if !validSum(sum) {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: cache key must be a hex sha256", http.StatusBadRequest)
+		return
+	}
+	if s.cache == nil {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: no persistent cache configured", http.StatusNotImplemented)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: reading body", http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: cache entry too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if got, want := bodySum(body), r.Header.Get(shaHeader); want == "" || got != want {
+		s.proto.rejected.Add(1)
+		http.Error(w, fmt.Sprintf("interfd: body digest %s does not match %s header %q", got, shaHeader, want),
+			http.StatusBadRequest)
+		return
+	}
+	var rec bench.PointRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: cache entry is not a point record", http.StatusBadRequest)
+		return
+	}
+	if rec.Schema != bench.PointSchema {
+		s.proto.rejected.Add(1)
+		http.Error(w, fmt.Sprintf("interfd: record schema %d, want %d", rec.Schema, bench.PointSchema),
+			http.StatusBadRequest)
+		return
+	}
+	if rec.Key == "" || runner.CacheKeySum(rec.Key) != sum {
+		s.proto.rejected.Add(1)
+		http.Error(w, "interfd: record key does not hash to the addressed sum (misfiled entry refused)",
+			http.StatusBadRequest)
+		return
+	}
+	if err := s.cache.Store(rec.Key, rec); err != nil {
+		http.Error(w, "interfd: storing cache entry", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// RemoteCache is a runner.CacheStore backed by a daemon's cache
+// protocol: a local campaign pointed at it shares computed points with
+// every other client of the same daemon. All verification mirrors the
+// on-disk cache — a poisoned remote entry surfaces as a key mismatch
+// and is recomputed, never trusted.
+type RemoteCache struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemoteCache builds a store talking to the daemon at baseURL (e.g.
+// "http://host:7077").
+func NewRemoteCache(baseURL string) *RemoteCache {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &RemoteCache{base: baseURL, client: http.DefaultClient}
+}
+
+// Load implements runner.CacheStore over GET /cache/{sum}.
+func (rc *RemoteCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+	resp, err := rc.client.Get(rc.base + "/cache/" + runner.CacheKeySum(fullKey))
+	if err != nil {
+		return bench.PointRecord{}, false, false, true
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return bench.PointRecord{}, false, false, false
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return bench.PointRecord{}, false, false, true
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes+1))
+	if err != nil || len(body) > maxSpecBytes {
+		return bench.PointRecord{}, false, false, true
+	}
+	if want := resp.Header.Get(shaHeader); want != "" && bodySum(body) != want {
+		// Transport corruption: the bytes do not match the digest the
+		// server computed over what it stored.
+		return bench.PointRecord{}, false, false, true
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return bench.PointRecord{}, false, false, true
+	}
+	if rec.Schema != bench.PointSchema {
+		return bench.PointRecord{}, false, false, false
+	}
+	if rec.Key != fullKey {
+		return bench.PointRecord{}, false, true, false
+	}
+	return rec, true, false, false
+}
+
+// Store implements runner.CacheStore over PUT /cache/{sum}.
+func (rc *RemoteCache) Store(fullKey string, rec bench.PointRecord) error {
+	rec.Key = fullKey
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		rc.base+"/cache/"+runner.CacheKeySum(fullKey), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(shaHeader, bodySum(body))
+	resp, err := rc.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: cache PUT rejected: %s", resp.Status)
+	}
+	return nil
+}

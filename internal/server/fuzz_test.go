@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzSubmitSpec throws arbitrary bytes at the campaign-submission
+// decoder through the real HTTP handler. The daemon is long-lived: a
+// hostile spec may be refused (4xx) but must never panic the handler,
+// produce a 5xx, or wedge the admission queue for later clients.
+// Execution is stubbed out — the fuzz target probes parsing and
+// admission, not the simulator.
+func FuzzSubmitSpec(f *testing.F) {
+	// Valid seeds derived from the checked-in goldens: every
+	// "<experiment>-<cluster>.txt" under results/ names a combination a
+	// real client submits.
+	goldens, _ := os.ReadDir("../../results")
+	seeded := 0
+	for _, g := range goldens {
+		name, ok := strings.CutSuffix(g.Name(), ".txt")
+		if !ok {
+			continue
+		}
+		i := strings.LastIndex(name, "-")
+		if i <= 0 {
+			continue
+		}
+		exp, cluster := name[:i], name[i+1:]
+		f.Add([]byte(fmt.Sprintf(`{"cluster":%q,"experiments":[%q],"seed":1,"runs":1}`, cluster, exp)))
+		seeded++
+	}
+	if seeded == 0 {
+		f.Fatal("no golden files found to seed the corpus from")
+	}
+	// Hand-written hostile seeds: each one exercises a distinct refusal
+	// path the fuzzer should mutate around.
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"experiments":[]}`,
+		`{"experiments":["all"]}`,
+		`{"experiments":["faults"],"faults":"loss:p=0.1"}`,
+		`{"experiments":["fig3"],"runs":-1}`,
+		`{"experiments":["fig3"],"runs":1e9}`,
+		`{"experiments":["fig3"],"seed":1e999}`,
+		`{"experiments":["fig3"],"format":"<script>"}`,
+		`{"experiments":["fig3"],"bogus":true}`,
+		`{"experiments":["fig3"]} trailing`,
+		`{"cluster":"../../../etc/passwd","experiments":["fig3"]}`,
+		`{"spec":{"name":"x"},"experiments":["fig3"]}`,
+		`{"experiments":[` + strings.Repeat(`"fig3",`, 300) + `"fig3"]}`,
+		`{"experiments":["` + strings.Repeat("A", 1024) + `"]}`,
+		strings.Repeat(`{"experiments":`, 256),
+	} {
+		f.Add([]byte(seed))
+	}
+
+	s, err := New(Config{Shards: 1, QueueDepth: 4, MaxInflight: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { s.Close() })
+	s.runFn = func(c *campaign) *CampaignResponse {
+		return &CampaignResponse{ID: c.id, Cluster: c.cluster}
+	}
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/campaign", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req) // a panic here fails the fuzz run
+		if c := w.Code; c != http.StatusOK && (c < 400 || c > 499) {
+			t.Fatalf("status %d for spec %q (want 200 or 4xx)", c, body)
+		}
+		if w.Code != http.StatusOK && w.Body.Len() == 0 {
+			t.Fatalf("refusal without a reason for spec %q", body)
+		}
+		m := s.Metrics()
+		if m.Campaigns.QueueDepth != 0 || m.Campaigns.Inflight != 0 {
+			t.Fatalf("queue wedged after spec %q: %+v", body, m.Campaigns)
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package server turns the campaign runner into a long-lived service:
+// clients POST campaign specs (experiments × cluster × faults × seed ×
+// runs) to an HTTP/JSON daemon, a bounded admission queue schedules
+// them Slurm-style, and every campaign's sweep points fan out across a
+// server-wide worker-shard set. The content-addressed point cache is
+// shared by all campaigns and exposed over a remote GET/PUT protocol,
+// in-flight computations are deduplicated across concurrent clients,
+// and a JSONL journal makes the daemon crash-safe: a killed daemon
+// resumes unfinished campaigns on restart and replays finished ones
+// byte-identically.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Config sizes one daemon.
+type Config struct {
+	// CacheDir roots the persistent point cache; "" disables it (points
+	// are still deduplicated in memory across concurrent campaigns).
+	CacheDir string
+	// StateDir holds the durability layer (campaign log + result
+	// journal); "" disables it (a killed daemon then forgets its work).
+	StateDir string
+	// Shards is the size of the server-wide point-execution worker set;
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Shards int
+	// QueueDepth bounds how many campaigns may wait for a run slot
+	// before submissions are rejected with 503 (Slurm-style admission);
+	// <= 0 means 64.
+	QueueDepth int
+	// MaxInflight bounds how many campaigns execute concurrently;
+	// <= 0 means 2. Points of concurrent campaigns share the shard set.
+	MaxInflight int
+	// MaxRuns bounds the per-configuration repetition count a client
+	// may request; <= 0 means 64.
+	MaxRuns int
+	// Log receives one line per accepted/rejected/recovered campaign;
+	// nil discards.
+	Log io.Writer
+}
+
+// Server is the campaign daemon. Create with New, serve Handler, and
+// Close when done.
+type Server struct {
+	cfg     Config
+	pool    *runner.SharedPool
+	flight  *runner.PointFlight
+	cache   *runner.PointCache // nil when CacheDir == ""
+	journal *runner.Journal    // nil when StateDir == ""
+
+	queueSlots chan struct{}
+	runSlots   chan struct{}
+	queueDepth atomic.Int64
+	inflight   atomic.Int64
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64 // queue-full rejections
+	badSpecs  atomic.Int64 // 4xx submissions
+	dedups    atomic.Int64 // campaigns served by joining an identical in-flight one
+	recovered atomic.Int64 // campaigns re-run at startup
+
+	cacheTotals runner.CacheStats
+	proto       protoCounters
+	latency     latencyRecorder
+
+	mu         sync.Mutex
+	campFlight map[string]*campaignCall
+	stateLog   *os.File
+	closed     bool
+
+	recovery sync.WaitGroup
+
+	// runFn executes one validated campaign; tests stub it to probe the
+	// HTTP layer without simulating anything.
+	runFn func(c *campaign) *CampaignResponse
+}
+
+type campaignCall struct {
+	done chan struct{}
+	resp *CampaignResponse
+	err  *submitError
+}
+
+// submitError is a client-visible submission failure with its HTTP
+// status.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// New builds a daemon: opens the cache and durability layer, starts the
+// worker shards, and re-runs any campaign that was accepted but not
+// completed when the previous process died (their results land in the
+// journal, so a client re-submitting the spec replays byte-identically).
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	s := &Server{
+		cfg:        cfg,
+		flight:     runner.NewPointFlight(),
+		queueSlots: make(chan struct{}, cfg.QueueDepth),
+		runSlots:   make(chan struct{}, cfg.MaxInflight),
+		campFlight: make(map[string]*campaignCall),
+	}
+	s.runFn = s.runCampaign
+	if cfg.CacheDir != "" {
+		cache, err := runner.OpenPointCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
+	var pending []*campaign
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating state dir: %w", err)
+		}
+		j, err := runner.OpenJournal(filepath.Join(cfg.StateDir, "journal.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		pending, err = s.openStateLog(filepath.Join(cfg.StateDir, "campaigns.jsonl"))
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	s.pool = runner.NewSharedPool(cfg.Shards)
+
+	// Resume campaigns the previous process accepted but never finished.
+	// They run through the normal submission path (queue slots and all),
+	// concurrently with fresh client traffic; the point flight dedups
+	// any overlap with a client re-submitting the same spec.
+	for _, c := range pending {
+		c := c
+		s.recovered.Add(1)
+		s.recovery.Add(1)
+		go func() {
+			defer s.recovery.Done()
+			s.logf("recovering campaign %s (%d experiments)", c.id[:12], len(c.exps))
+			if _, err := s.submit(c); err != nil {
+				s.logf("recovery of %s failed: %s", c.id[:12], err.msg)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Recovering reports how many unfinished campaigns this daemon picked
+// up at startup; WaitRecovery blocks until they have been re-run.
+func (s *Server) Recovering() int  { return int(s.recovered.Load()) }
+func (s *Server) WaitRecovery()    { s.recovery.Wait() }
+func (s *Server) CacheDir() string { return s.cfg.CacheDir }
+func (s *Server) Shards() int      { return s.cfg.Shards }
+func (s *Server) Journal() bool    { return s.journal != nil }
+
+// Close releases the daemon: the shard set, the journal, and the state
+// log. Campaigns still executing keep computing on their own request
+// goroutines but can no longer journal results — exactly the state a
+// killed process leaves behind, which New recovers from.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stateLog := s.stateLog
+	s.stateLog = nil
+	s.mu.Unlock()
+
+	s.pool.Close()
+	var err error
+	if s.journal != nil {
+		err = s.journal.Close()
+	}
+	if stateLog != nil {
+		if cerr := stateLog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /campaign     submit a campaign spec, respond with its results
+//	GET  /cache/{sum}  fetch a cached point record by content address
+//	PUT  /cache/{sum}  store a point record (sha256-verified)
+//	GET  /metrics      queue/cache/latency counters as JSON
+//	GET  /experiments  the experiment registry
+//	GET  /healthz      liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaign", s.handleCampaign)
+	mux.HandleFunc("GET /cache/{sum}", s.handleCacheGet)
+	mux.HandleFunc("PUT /cache/{sum}", s.handleCachePut)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleCampaign is the submission endpoint. Malformed or out-of-bound
+// specs are 400s; a full queue is a 503 with Retry-After; everything
+// else executes (or joins an identical in-flight campaign) and returns
+// the full result set as JSON.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	c, err := parseSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes), s.cfg.MaxRuns)
+	if err != nil {
+		s.badSpecs.Add(1)
+		http.Error(w, "interfd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, serr := s.submit(c)
+	if serr != nil {
+		if serr.status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, "interfd: "+serr.msg, serr.status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		s.logf("encoding response for %s: %v", resp.ID[:12], err)
+	}
+}
+
+// submit runs one validated campaign through the campaign-level
+// singleflight and the admission queue. Concurrent identical specs
+// share one execution: followers wait on the leader and receive its
+// response (marked Deduped) without consuming queue or run slots.
+func (s *Server) submit(c *campaign) (*CampaignResponse, *submitError) {
+	s.mu.Lock()
+	if call, ok := s.campFlight[c.id]; ok {
+		s.mu.Unlock()
+		<-call.done
+		s.dedups.Add(1)
+		if call.err != nil {
+			return nil, call.err
+		}
+		shared := *call.resp
+		shared.Deduped = true
+		return &shared, nil
+	}
+	call := &campaignCall{done: make(chan struct{})}
+	s.campFlight[c.id] = call
+	s.mu.Unlock()
+
+	call.resp, call.err = s.admit(c)
+	s.mu.Lock()
+	delete(s.campFlight, c.id)
+	s.mu.Unlock()
+	close(call.done)
+	return call.resp, call.err
+}
+
+// admit applies the Slurm-style bounded queue: reject when the queue is
+// full, otherwise wait for one of the MaxInflight run slots and
+// execute.
+func (s *Server) admit(c *campaign) (*CampaignResponse, *submitError) {
+	select {
+	case s.queueSlots <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		s.logf("rejected campaign %s: queue full (%d waiting)", c.id[:12], s.queueDepth.Load())
+		return nil, &submitError{http.StatusServiceUnavailable,
+			fmt.Sprintf("admission queue is full (%d campaigns waiting); retry later", s.queueDepth.Load())}
+	}
+	defer func() { <-s.queueSlots }()
+
+	s.queueDepth.Add(1)
+	s.runSlots <- struct{}{}
+	s.queueDepth.Add(-1)
+	defer func() { <-s.runSlots }()
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	s.accepted.Add(1)
+	s.logState(stateEntry{ID: c.id, Status: "accepted", Spec: &c.spec})
+	start := time.Now()
+	resp := s.runFn(c)
+	resp.WallMs = float64(time.Since(start).Microseconds()) / 1e3
+	s.latency.add(resp.WallMs)
+	s.logState(stateEntry{ID: c.id, Status: "done"})
+	s.completed.Add(1)
+	s.logf("campaign %s: %d experiments on %s in %.0fms (%d/%d points cached, %d errors)",
+		c.id[:12], len(c.exps), c.cluster, resp.WallMs,
+		resp.Cache.Hits+resp.Cache.MemoHits+resp.Cache.FlightHits, resp.Cache.Points, resp.Errors)
+	return resp, nil
+}
+
+// runCampaign executes a campaign on the shared shard set, replaying
+// journaled results when the durability layer is on.
+func (s *Server) runCampaign(c *campaign) *CampaignResponse {
+	stats := &runner.CacheStats{}
+	opts := runner.Options{
+		Workers:    s.cfg.Shards,
+		Format:     c.spec.Format,
+		CacheStats: stats,
+		Flight:     s.flight,
+		SharedPool: s.pool,
+	}
+	if s.cache != nil {
+		opts.Cache = s.cache
+	}
+	var results <-chan runner.Result
+	if s.journal != nil {
+		results = runner.RunResumable(c.env, c.exps, opts, s.journal, c.cluster, true)
+	} else {
+		results = runner.Run(c.env, c.exps, opts)
+	}
+	resp := &CampaignResponse{ID: c.id, Cluster: c.cluster}
+	for res := range results {
+		er := ExperimentResult{
+			ID:       res.Exp.ID,
+			Rendered: res.Rendered,
+			Cached:   res.Cached,
+		}
+		m := res.Metrics
+		er.SimSeconds, er.Worlds, er.Tables, er.Rows = m.SimSeconds, m.Worlds, m.Tables, m.Rows
+		er.Attempts, er.WallMs, er.Faults = m.Attempts, float64(m.Wall.Milliseconds()), m.Faults
+		if res.Err != nil {
+			er.Error = res.Err.Error()
+			er.Rendered = ""
+			resp.Errors++
+		}
+		resp.Results = append(resp.Results, er)
+	}
+	resp.Cache = summarize(stats)
+	s.cacheTotals.Add(stats)
+	return resp
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "interfd: "+format+"\n", args...)
+}

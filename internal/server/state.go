@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The campaign state log is the daemon-level half of the durability
+// story (the runner journal is the experiment-level half): every
+// accepted campaign spec is appended before it runs and a "done" marker
+// after it completes, both as single JSONL lines. On startup, specs
+// with no done marker are the campaigns the previous process was killed
+// inside; New re-runs them so their remaining experiments land in the
+// journal and a re-submitted spec replays byte-identically. The log is
+// append-only across restarts; a torn trailing line (killed mid-append)
+// is skipped, matching the journal's tolerance.
+
+const stateSchema = 1
+
+type stateEntry struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	Status string `json:"status"` // "accepted" or "done"
+	// Spec rides along on accepted entries so a restart can re-run the
+	// campaign without the client.
+	Spec *CampaignSpec `json:"spec,omitempty"`
+}
+
+// openStateLog loads the campaign log at path, returning the campaigns
+// that were accepted but never completed, and opens the file for
+// appending.
+func (s *Server) openStateLog(path string) ([]*campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("server: reading campaign log: %w", err)
+	}
+	open := map[string]*CampaignSpec{}
+	var order []string
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), maxSpecBytes*2)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e stateEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn tail of a killed append; anything after it would have
+			// been written by a process that survived the tear, which
+			// cannot happen for an append-only log.
+			break
+		}
+		if e.Schema != stateSchema {
+			continue
+		}
+		switch e.Status {
+		case "accepted":
+			if e.Spec != nil {
+				if _, dup := open[e.ID]; !dup {
+					order = append(order, e.ID)
+				}
+				open[e.ID] = e.Spec
+			}
+		case "done":
+			if _, ok := open[e.ID]; ok {
+				delete(open, e.ID)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: scanning campaign log: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening campaign log: %w", err)
+	}
+	s.stateLog = f
+
+	var pending []*campaign
+	for _, id := range order {
+		spec, ok := open[id]
+		if !ok {
+			continue
+		}
+		c, err := compile(*spec, s.cfg.MaxRuns)
+		if err != nil {
+			// The registry changed since the spec was logged; nothing to
+			// resume.
+			continue
+		}
+		pending = append(pending, c)
+	}
+	return pending, nil
+}
+
+// logState appends one entry to the campaign log (single write, torn
+// tails tolerated on load). Best-effort: a failed append costs
+// durability, not correctness, and is surfaced in the daemon log.
+func (s *Server) logState(e stateEntry) {
+	s.mu.Lock()
+	f := s.stateLog
+	s.mu.Unlock()
+	if f == nil {
+		return
+	}
+	e.Schema = stateSchema
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.logf("encoding campaign log entry: %v", err)
+		return
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		s.logf("appending to campaign log: %v", err)
+	}
+}
