@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz serve load-test clean
+.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz serve load-test chaos-soak clean
 
 all: build vet test test-race bench
 
@@ -90,7 +90,10 @@ fuzz:
 
 # Boot the campaign daemon on :7077 with its cache and durability state
 # under interfd-data/ (clients: `interference -remote http://host:7077`
-# or raw POSTs to /campaign; see EXPERIMENTS.md).
+# or raw POSTs to /campaign; see EXPERIMENTS.md). SIGINT/SIGTERM drain
+# gracefully: admission closes, in-flight campaigns finish within
+# -drain-timeout (default 30s), state is flushed, exit 0 — campaigns
+# that outlive the window simply resume on the next start.
 serve:
 	$(GO) run ./cmd/interfd
 
@@ -99,6 +102,15 @@ serve:
 # (size with SERVER_LOAD_CLIENTS / SERVER_LOAD_PER_CLIENT).
 load-test:
 	$(GO) test -race -run TestServerLoad -count=1 -v ./internal/server/
+
+# The chaos battery under the race detector: the load storm against
+# daemons with failing disks and a hostile network, asserting
+# byte-identity, the exactly-once bound, breaker/degradation behaviour
+# and graceful shutdown. Reproduce a red run with its printed seed:
+# CHAOS_SEED=<n> make chaos-soak. Size with CHAOS_SOAK_CLIENTS /
+# CHAOS_SOAK_PER_CLIENT.
+chaos-soak:
+	$(GO) test -race -run 'TestServerChaosSoak|TestRemoteCacheChaosTransport|TestDaemonGracefulShutdown|TestDaemonChaosDrill' -count=1 -v ./internal/server/ ./cmd/interfd/
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -28,13 +28,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fluid"
@@ -77,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheDir = fs.String("cache", "results/.cache", "persistent point cache: a directory, or an interfd base URL (http://...) to share a remote cache")
 		noCache  = fs.Bool("no-cache", false, "disable the persistent point cache (in-memory dedup stays on)")
 		remote   = fs.String("remote", "", "base URL of an interfd daemon (e.g. http://host:7077): submit the campaign there instead of executing locally")
+		chaosStr = fs.String("chaos", "", "chaos schedule injected into daemon HTTP traffic, e.g. \"refuse:p=0.2;http:status=503,p=0.1\" (requires -remote or an http:// -cache)")
+		chaosSd  = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule (-chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +125,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
+	}
+	// Chaos only makes sense where there is network traffic to disturb:
+	// a remote submission or a remote point cache. Local simulation is
+	// deterministic by construction; refusing -chaos there keeps "my run
+	// was chaos-free" an invariant rather than a hope.
+	remoteCacheURL := !*noCache &&
+		(strings.HasPrefix(*cacheDir, "http://") || strings.HasPrefix(*cacheDir, "https://"))
+	var chaosRT http.RoundTripper
+	if *chaosStr != "" {
+		if *remote == "" && !remoteCacheURL {
+			fmt.Fprintln(stderr, "interference: -chaos requires -remote or an http(s):// -cache (it injects faults into daemon traffic)")
+			return 2
+		}
+		sched, err := chaos.ParseSpec(*chaosStr)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		chaosRT = &chaos.Transport{Inj: chaos.NewInjector(*chaosSd, sched)}
+		if !*quiet {
+			fmt.Fprintf(stderr, "interference: CHAOS ACTIVE: injecting %q with seed %d into daemon traffic\n",
+				sched, *chaosSd)
+		}
+	} else if explicit["chaos-seed"] {
+		fmt.Fprintln(stderr, "interference: -chaos-seed without -chaos has no schedule to seed")
+		return 2
 	}
 	if *jobs == 0 {
 		*jobs = runtime.GOMAXPROCS(0)
@@ -267,13 +298,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := &runner.CacheStats{}
 	cacheLabel := "persistent cache disabled"
 	var results <-chan runner.Result
+	var breaker *runner.Breaker
+	var remoteResp *server.CampaignResponse
 	if *remote != "" {
 		var inline *topology.NodeSpec
 		if *specFile != "" {
 			inline = env.Spec
 		}
 		var err error
-		results, err = submitRemote(*remote, inline, *cluster, todo, *seed, *runs, *format, *faults, stats)
+		results, remoteResp, err = submitRemote(*remote, inline, *cluster, todo, *seed, *runs, *format, *faults, stats, chaosRT)
 		if err != nil {
 			fmt.Fprintln(stderr, "interference:", err)
 			return 1
@@ -285,10 +318,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			CacheStats: stats,
 		}
 		if !*noCache {
-			if strings.HasPrefix(*cacheDir, "http://") || strings.HasPrefix(*cacheDir, "https://") {
+			if remoteCacheURL {
 				// Local execution against a daemon's shared cache: points
-				// computed here are published for every other client.
-				opts.Cache = server.NewRemoteCache(*cacheDir)
+				// computed here are published for every other client. The
+				// remote store retries transient failures with backoff and
+				// sits behind a circuit breaker, so an unreachable daemon
+				// degrades to local recomputation instead of hammering a
+				// dead endpoint once per point.
+				rc := server.NewRemoteCache(*cacheDir)
+				rc.AttachStats(stats)
+				if chaosRT != nil {
+					rc.SetTransport(chaosRT)
+				}
+				breaker = runner.NewBreaker(rc, 0, 0)
+				opts.Cache = breaker
 			} else {
 				cache, err := runner.OpenPointCache(*cacheDir)
 				if err != nil {
@@ -313,6 +356,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for res := range results {
 		done = append(done, res)
+		if res.DurabilityErr != nil {
+			// The result is correct; only its crash-safety is gone. A
+			// warning, never a failure — campaigns keep their exit code.
+			fmt.Fprintf(stderr, "interference: %s: durability warning: %v\n", res.Exp.ID, res.DurabilityErr)
+		}
 		if res.Err != nil {
 			failed++
 			fmt.Fprintf(stderr, "interference: %s: %v\n", res.Exp.ID, res.Err)
@@ -381,8 +429,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if stats.Mismatches > 0 || stats.Errors > 0 {
 			line += fmt.Sprintf("; %d key mismatches, %d I/O errors", stats.Mismatches, stats.Errors)
 		}
+		if r := atomic.LoadInt64(&stats.Retries); r > 0 {
+			line += fmt.Sprintf("; %d transient failures retried", r)
+		}
+		if sk := atomic.LoadInt64(&stats.Skipped); sk > 0 {
+			line += fmt.Sprintf("; %d cache ops skipped", sk)
+		}
 		line += " [" + cacheLabel + "]"
 		fmt.Fprintln(stderr, line)
+	}
+	if !*quiet && breaker != nil {
+		if bs := breaker.Stats(); bs.Trips > 0 {
+			fmt.Fprintf(stderr, "cache breaker: %d trip(s), %d recover(ies), %d op(s) suppressed while open (state: %s)\n",
+				bs.Trips, bs.Recoveries, bs.Skipped, bs.StateName)
+		}
+	}
+	if atomic.LoadInt64(&stats.Degraded) > 0 || (remoteResp != nil && remoteResp.Degraded) {
+		fmt.Fprintln(stderr, "interference: WARNING: campaign degraded to no-cache mode after repeated cache failures (results are correct, recomputed)")
+	}
+	if remoteResp != nil && remoteResp.TimedOut {
+		fmt.Fprintln(stderr, "interference: WARNING: the daemon's campaign deadline expired; failed experiments above were cancelled")
 	}
 	if failed > 0 {
 		// Recap after the summary table, so a long campaign's failures

@@ -24,9 +24,13 @@ import (
 
 // submitRemote sends one campaign to the daemon at base and converts
 // the response into the runner.Result stream the output loop consumes.
-// The returned stats mirror the daemon's per-campaign cache accounting.
+// The returned stats mirror the daemon's per-campaign cache accounting;
+// the raw response rides along so the caller can surface campaign-level
+// degradation (no-cache mode, expired deadline). A non-nil transport
+// (chaos drills) replaces the submission client's.
 func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []core.Experiment,
-	seed int64, runs int, format, faults string, stats *runner.CacheStats) (<-chan runner.Result, error) {
+	seed int64, runs int, format, faults string, stats *runner.CacheStats,
+	rt http.RoundTripper) (<-chan runner.Result, *server.CampaignResponse, error) {
 
 	req := server.CampaignSpec{
 		Cluster: cluster,
@@ -44,32 +48,32 @@ func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []c
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	client := &http.Client{Timeout: 30 * time.Minute}
+	client := &http.Client{Timeout: 30 * time.Minute, Transport: rt}
 	resp, err := client.Post(base+"/campaign", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("submitting campaign to %s: %w", base, err)
+		return nil, nil, fmt.Errorf("submitting campaign to %s: %w", base, err)
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("reading campaign response: %w", err)
+		return nil, nil, fmt.Errorf("reading campaign response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("daemon rejected the campaign: %s: %s",
+		return nil, nil, fmt.Errorf("daemon rejected the campaign: %s: %s",
 			resp.Status, bytes.TrimSpace(payload))
 	}
 	var cr server.CampaignResponse
 	if err := json.Unmarshal(payload, &cr); err != nil {
-		return nil, fmt.Errorf("decoding campaign response: %w", err)
+		return nil, nil, fmt.Errorf("decoding campaign response: %w", err)
 	}
 	if len(cr.Results) != len(todo) {
-		return nil, fmt.Errorf("daemon returned %d results for %d experiments", len(cr.Results), len(todo))
+		return nil, nil, fmt.Errorf("daemon returned %d results for %d experiments", len(cr.Results), len(todo))
 	}
 
 	atomic.StoreInt64(&stats.Hits, cr.Cache.Hits)
@@ -78,6 +82,11 @@ func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []c
 	atomic.StoreInt64(&stats.FlightHits, cr.Cache.FlightHits)
 	atomic.StoreInt64(&stats.Mismatches, cr.Cache.Mismatches)
 	atomic.StoreInt64(&stats.Errors, cr.Cache.Errors)
+	atomic.StoreInt64(&stats.Retries, cr.Cache.Retries)
+	atomic.StoreInt64(&stats.Skipped, cr.Cache.Skipped)
+	if cr.Degraded {
+		atomic.StoreInt64(&stats.Degraded, 1)
+	}
 
 	out := make(chan runner.Result)
 	go func() {
@@ -104,8 +113,11 @@ func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []c
 			} else if er.Error != "" {
 				res.Err = errors.New(er.Error)
 			}
+			if er.DurabilityLost {
+				res.DurabilityErr = errors.New("the daemon could not journal this result; it will not survive a daemon crash")
+			}
 			out <- res
 		}
 	}()
-	return out, nil
+	return out, &cr, nil
 }

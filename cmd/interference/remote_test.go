@@ -198,3 +198,72 @@ func TestLocalRunAgainstRemoteCache(t *testing.T) {
 		t.Fatalf("recap does not name the remote cache:\n%s", warmErr.String())
 	}
 }
+
+// TestChaosRequiresRemoteTraffic: -chaos injects into daemon HTTP
+// traffic, so it is a usage error anywhere there is none — purely local
+// runs stay provably chaos-free.
+func TestChaosRequiresRemoteTraffic(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "fig3", "-chaos", "refuse:p=1"}, "-chaos requires"},
+		{[]string{"-exp", "fig3", "-no-cache", "-chaos", "refuse:p=1"}, "-chaos requires"},
+		{[]string{"-exp", "fig3", "-chaos-seed", "3"}, "-chaos-seed without -chaos"},
+		{[]string{"-remote", "http://localhost:1", "-exp", "fig3", "-chaos", "bogus:p=1"}, "chaos"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit %d, want 2: %s", tc.args, code, stderr.String())
+		} else if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr %q does not contain %q", tc.args, stderr.String(), tc.want)
+		}
+	}
+}
+
+// TestChaosRetriesAgainstRemoteCache: a 5xx burst injected into the
+// remote-cache traffic is absorbed by the client's backoff retries —
+// stdout stays byte-identical to a fault-free run and the recap reports
+// the retries.
+func TestChaosRetriesAgainstRemoteCache(t *testing.T) {
+	url := startDaemon(t, server.Config{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	args := []string{"-exp", "fig3", "-runs", "1", "-seed", "1"}
+	_, clean, cleanErr := runCLI(args...)
+	if clean == "" {
+		t.Fatalf("fault-free run produced nothing: %s", cleanErr)
+	}
+	var stdout, stderr strings.Builder
+	chaosArgs := append([]string{"-cache", url, "-chaos", "http:status=503,ops=1-2", "-chaos-seed", "7"}, args...)
+	if code := run(chaosArgs, &stdout, &stderr); code != 0 {
+		t.Fatalf("chaos run exit %d: %s", code, stderr.String())
+	}
+	if stdout.String() != clean {
+		t.Fatal("stdout drifted under injected 5xx bursts")
+	}
+	if !strings.Contains(stderr.String(), "CHAOS ACTIVE") || !strings.Contains(stderr.String(), "seed 7") {
+		t.Fatalf("chaos drill not announced with its seed:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "transient failures retried") {
+		t.Fatalf("recap does not report the retries:\n%s", stderr.String())
+	}
+}
+
+// TestChaosRefusalOnSubmission: with every connection refused, -remote
+// fails cleanly (exit 1, daemon named) — proving the chaos transport is
+// wired into the submission path, and that a drill failure is loud, not
+// a silent local fallback.
+func TestChaosRefusalOnSubmission(t *testing.T) {
+	url := startDaemon(t, server.Config{})
+	var stdout, stderr strings.Builder
+	code := run([]string{"-remote", url, "-exp", "fig3", "-runs", "1", "-q", "-chaos", "refuse:p=1"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "submitting campaign") {
+		t.Fatalf("refusal not surfaced as a submission error:\n%s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("refused submission still produced output: %q", stdout.String())
+	}
+}

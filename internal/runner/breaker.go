@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/bench"
+)
+
+// BreakerState names the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: operations flow to the wrapped store.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: operations are skipped (Load reports a clean miss,
+	// Store drops the write) except for periodic half-open probes.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	if s == BreakerOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// BreakerStats is a point-in-time snapshot of a breaker's counters.
+type BreakerStats struct {
+	State BreakerState `json:"-"`
+	// StateName is the JSON-friendly rendering of State.
+	StateName string `json:"state"`
+	// Trips counts closed→open transitions; Recoveries open→closed.
+	Trips      int64 `json:"trips"`
+	Recoveries int64 `json:"recoveries"`
+	// Probes counts half-open operations let through while open;
+	// Skipped counts operations answered without touching the store.
+	Probes  int64 `json:"probes"`
+	Skipped int64 `json:"skipped"`
+}
+
+// Breaker is a circuit breaker over a CacheStore: failLimit consecutive
+// I/O failures open the circuit, after which operations are answered
+// locally (Load → clean miss, Store → dropped) so a sick or unreachable
+// cache costs the campaign nothing beyond recomputation. While open,
+// every probeEvery-th operation is sent through as a half-open probe; a
+// probe that succeeds closes the circuit again. Probing is op-count
+// based rather than wall-clock based, so behaviour is deterministic
+// under test and recovery latency scales with actual traffic.
+//
+// Cache semantics make this safe: a suppressed Load is
+// indistinguishable from a miss (the point is recomputed), and a
+// dropped Store only forfeits future hits.
+type Breaker struct {
+	store CacheStore
+
+	mu         sync.Mutex
+	state      BreakerState
+	failures   int64 // consecutive failures while closed
+	sinceOpen  int64 // operations seen since the circuit opened
+	failLimit  int64
+	probeEvery int64
+	trips      int64
+	recoveries int64
+	probes     int64
+	skipped    int64
+}
+
+// NewBreaker wraps store. failLimit <= 0 defaults to 5 consecutive
+// failures; probeEvery <= 0 defaults to probing every 16th operation.
+func NewBreaker(store CacheStore, failLimit, probeEvery int) *Breaker {
+	if failLimit <= 0 {
+		failLimit = 5
+	}
+	if probeEvery <= 0 {
+		probeEvery = 16
+	}
+	return &Breaker{store: store, failLimit: int64(failLimit), probeEvery: int64(probeEvery)}
+}
+
+// Stats returns a snapshot of the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:      b.state,
+		StateName:  b.state.String(),
+		Trips:      b.trips,
+		Recoveries: b.recoveries,
+		Probes:     b.probes,
+		Skipped:    b.skipped,
+	}
+}
+
+// admit decides whether the next operation may touch the store.
+func (b *Breaker) admit() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed {
+		return true
+	}
+	b.sinceOpen++
+	if b.sinceOpen%b.probeEvery == 0 {
+		b.probes++
+		return true
+	}
+	b.skipped++
+	return false
+}
+
+// observe records an operation's outcome and moves the state machine.
+func (b *Breaker) observe(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		if b.state == BreakerClosed {
+			b.failures++
+			if b.failures >= b.failLimit {
+				b.state = BreakerOpen
+				b.trips++
+				b.sinceOpen = 0
+			}
+		}
+		// A failed probe leaves the circuit open; the op counter keeps
+		// running so the next probe window arrives on schedule.
+		return
+	}
+	if b.state == BreakerOpen {
+		b.state = BreakerClosed
+		b.recoveries++
+	}
+	b.failures = 0
+}
+
+// Load implements CacheStore. While open (and not probing) it reports a
+// clean miss so the caller recomputes without waiting on a sick store.
+func (b *Breaker) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+	if !b.admit() {
+		return bench.PointRecord{}, false, false, false
+	}
+	rec, ok, mismatch, ioErr = b.store.Load(fullKey)
+	b.observe(ioErr)
+	return rec, ok, mismatch, ioErr
+}
+
+// Store implements CacheStore. While open (and not probing) the write
+// is dropped without error — the record simply won't be a future hit.
+func (b *Breaker) Store(fullKey string, rec bench.PointRecord) error {
+	if !b.admit() {
+		return nil
+	}
+	err := b.store.Store(fullKey, rec)
+	b.observe(err != nil)
+	return err
+}

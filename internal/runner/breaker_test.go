@@ -1,0 +1,270 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// faultyStore is a CacheStore whose failure mode is flipped at will.
+type faultyStore struct {
+	mu      sync.Mutex
+	failing bool
+	loads   int
+	stores  int
+	recs    map[string]bench.PointRecord
+}
+
+func newFaultyStore() *faultyStore {
+	return &faultyStore{recs: make(map[string]bench.PointRecord)}
+}
+
+func (s *faultyStore) setFailing(v bool) {
+	s.mu.Lock()
+	s.failing = v
+	s.mu.Unlock()
+}
+
+func (s *faultyStore) Load(fullKey string) (bench.PointRecord, bool, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	if s.failing {
+		return bench.PointRecord{}, false, false, true
+	}
+	rec, ok := s.recs[fullKey]
+	return rec, ok, false, false
+}
+
+func (s *faultyStore) Store(fullKey string, rec bench.PointRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores++
+	if s.failing {
+		return errors.New("store down")
+	}
+	s.recs[fullKey] = rec
+	return nil
+}
+
+func (s *faultyStore) ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads + s.stores
+}
+
+// TestBreakerTripProbeRecover walks the full state machine: consecutive
+// failures trip the circuit, suppressed operations are answered locally
+// (clean miss / dropped write), the probe window sends real operations
+// through, and a successful probe closes the circuit again.
+func TestBreakerTripProbeRecover(t *testing.T) {
+	store := newFaultyStore()
+	store.setFailing(true)
+	b := NewBreaker(store, 3, 7)
+
+	for i := 0; i < 3; i++ {
+		if _, _, _, ioErr := b.Load("k"); !ioErr {
+			t.Fatalf("failure %d not surfaced while closed", i)
+		}
+	}
+	st := b.Stats()
+	if st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("after 3 failures: %+v, want open with 1 trip", st)
+	}
+
+	// Open: ops 1-6 after the trip are suppressed, op 7 is the probe.
+	before := store.ops()
+	for i := 0; i < 3; i++ {
+		if _, ok, _, ioErr := b.Load("k"); ok || ioErr {
+			t.Fatalf("suppressed load %d not a clean miss", i)
+		}
+		if err := b.Store("k", bench.PointRecord{}); err != nil {
+			t.Fatalf("suppressed store %d errored: %v", i, err)
+		}
+	}
+	if store.ops() != before {
+		t.Fatalf("suppressed ops reached the store (%d -> %d)", before, store.ops())
+	}
+	store.setFailing(false)
+	b.Load("k") // 7th op since trip: half-open probe, succeeds
+	st = b.Stats()
+	if st.State != BreakerClosed || st.Recoveries != 1 || st.Probes != 1 || st.Skipped != 6 {
+		t.Fatalf("after successful probe: %+v", st)
+	}
+	// Closed again: traffic flows.
+	before = store.ops()
+	b.Load("k")
+	if store.ops() != before+1 {
+		t.Fatal("recovered breaker still suppressing")
+	}
+}
+
+// TestBreakerFailedProbeStaysOpen: a probe that fails leaves the
+// circuit open and does not count as a trip.
+func TestBreakerFailedProbeStaysOpen(t *testing.T) {
+	store := newFaultyStore()
+	store.setFailing(true)
+	b := NewBreaker(store, 1, 2)
+	b.Load("k") // trips
+	b.Load("k") // suppressed (1st since open)
+	b.Load("k") // probe, fails
+	st := b.Stats()
+	if st.State != BreakerOpen || st.Trips != 1 || st.Probes != 1 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+}
+
+// TestBreakerCampaignFallsBackToRecompute: a campaign over a dead cache
+// behind a breaker completes with byte-identical output — the breaker
+// converts cache failures into recomputation, and stops hammering the
+// store after the trip.
+func TestBreakerCampaignFallsBackToRecompute(t *testing.T) {
+	exps := []core.Experiment{sweepExp("a", 6, nil), sweepExp("b", 11, nil)}
+	plain := Collect(Run(testEnv(t), exps, Options{Workers: 2}))
+
+	store := newFaultyStore()
+	store.setFailing(true)
+	b := NewBreaker(store, 3, 1000) // probe window longer than the campaign
+	var stats CacheStats
+	res := Collect(Run(testEnv(t), exps, Options{Workers: 2, Cache: b, CacheStats: &stats}))
+	for i := range exps {
+		if res[i].Err != nil {
+			t.Fatalf("%s failed: %v", exps[i].ID, res[i].Err)
+		}
+		if res[i].Rendered != plain[i].Rendered {
+			t.Errorf("%s: output drifted under a dead cache:\n%s", exps[i].ID,
+				trace.UnifiedDiff("plain", "breaker", plain[i].Rendered, res[i].Rendered))
+		}
+	}
+	if stats.Misses != 17 {
+		t.Fatalf("misses = %d, want 17 (every point recomputed)", stats.Misses)
+	}
+	st := b.Stats()
+	if st.Trips != 1 || st.Skipped == 0 {
+		t.Fatalf("breaker stats %+v, want 1 trip and suppressed traffic", st)
+	}
+	if store.ops() > 6 {
+		t.Fatalf("dead store saw %d ops; breaker should have capped it near failLimit", store.ops())
+	}
+}
+
+// TestCampaignDegradesToNoCache: repeated cache I/O errors flip the
+// campaign to no-cache mode — later points skip the cache entirely,
+// the degradation is flagged in the stats, and output is unharmed.
+func TestCampaignDegradesToNoCache(t *testing.T) {
+	exps := []core.Experiment{sweepExp("a", 24, nil)}
+	plain := Collect(Run(testEnv(t), exps, Options{Workers: 1}))
+
+	store := newFaultyStore()
+	store.setFailing(true)
+	var stats CacheStats
+	res := Collect(Run(testEnv(t), exps, Options{
+		Workers: 1, Cache: store, CacheStats: &stats, DegradeAfter: 4,
+	}))
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if res[0].Rendered != plain[0].Rendered {
+		t.Errorf("degraded campaign output drifted:\n%s",
+			trace.UnifiedDiff("plain", "degraded", plain[0].Rendered, res[0].Rendered))
+	}
+	if atomic.LoadInt64(&stats.Degraded) != 1 {
+		t.Fatalf("stats.Degraded = %d, want 1", stats.Degraded)
+	}
+	if stats.Skipped == 0 {
+		t.Fatal("no cache ops skipped after degradation")
+	}
+	if stats.Misses != 24 {
+		t.Fatalf("misses = %d, want 24", stats.Misses)
+	}
+	if stats.Errors < 4 {
+		t.Fatalf("errors = %d, want >= DegradeAfter", stats.Errors)
+	}
+	// Serial campaign: after the 4th error (during load+store of early
+	// points) no further ops may reach the store.
+	if store.ops() >= 24 {
+		t.Fatalf("degraded campaign still sent %d ops to the store", store.ops())
+	}
+}
+
+// TestCampaignDegradeViaFlakyFS: same degradation, but driven through a
+// real on-disk cache wrapped in the chaos filesystem — the path the
+// soak test and drills exercise.
+func TestCampaignDegradeViaFlakyFS(t *testing.T) {
+	exps := []core.Experiment{sweepExp("a", 16, nil)}
+	plain := Collect(Run(testEnv(t), exps, Options{Workers: 1}))
+
+	inj := chaos.NewInjector(1, mustChaos(t, "enospc:match=.tmp-"))
+	cache, err := OpenPointCacheFS(t.TempDir(), chaos.Flaky(chaos.OS(), inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats CacheStats
+	res := Collect(Run(testEnv(t), exps, Options{
+		Workers: 1, Cache: cache, CacheStats: &stats, DegradeAfter: 3,
+	}))
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if res[0].Rendered != plain[0].Rendered {
+		t.Error("output drifted under a full disk")
+	}
+	if atomic.LoadInt64(&stats.Degraded) != 1 || stats.Skipped == 0 {
+		t.Fatalf("full disk did not degrade the campaign: %+v", stats)
+	}
+}
+
+// TestCampaignContextCancellation: a campaign whose context is already
+// expired fails fast — every experiment reports the cancellation
+// instead of executing its points.
+func TestCampaignContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := int64(0)
+	exps := []core.Experiment{sweepExp("a", 4, func(int) { atomic.AddInt64(&calls, 1) })}
+	res := Collect(Run(testEnv(t), exps, Options{Workers: 2, Ctx: ctx}))
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "cancelled") {
+		t.Fatalf("cancelled campaign err = %v", res[0].Err)
+	}
+	if atomic.LoadInt64(&calls) != 0 {
+		t.Fatalf("%d points executed after cancellation", calls)
+	}
+}
+
+// TestSharedPoolShardRestart: a task that panics past the executor's
+// recovery kills only its shard's drain loop, which restarts — the
+// pool keeps executing later work at full strength.
+func TestSharedPoolShardRestart(t *testing.T) {
+	sp := NewSharedPool(2)
+	defer sp.Close()
+
+	// Enqueue the bomb directly (not via runUntil, which would execute
+	// it on this goroutine): an idle shard picks it up and panics.
+	sp.pool.enqueue([]func(){func() { panic("poisoned point") }})
+
+	deadline := time.After(2 * time.Second)
+	for sp.Restarts() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("shard never restarted after the panic")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The pool still runs a full campaign afterwards.
+	exps := []core.Experiment{sweepExp("after", 12, nil)}
+	res := Collect(Run(testEnv(t), exps, Options{Workers: 2, SharedPool: sp}))
+	if res[0].Err != nil {
+		t.Fatalf("campaign after shard restart failed: %v", res[0].Err)
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/fluid"
 )
 
@@ -42,6 +44,17 @@ type CacheStats struct {
 	// Errors counts failed cache reads/writes (best-effort: the point
 	// is computed as if uncached).
 	Errors int64
+	// Retries counts transient cache-transport failures that were
+	// retried (remote cache only; a retry that ultimately succeeds adds
+	// here but not to Errors).
+	Retries int64
+	// Skipped counts cache operations not attempted because the
+	// campaign degraded to no-cache mode or a circuit breaker was open.
+	Skipped int64
+	// Degraded is 1 once the campaign has permanently switched to
+	// no-cache mode after repeated cache failures (Add sums it, so a
+	// server-wide total counts degraded campaigns).
+	Degraded int64
 }
 
 // Points returns the total number of points requested.
@@ -72,6 +85,9 @@ func (s *CacheStats) Add(o *CacheStats) {
 	atomic.AddInt64(&s.FlightHits, atomic.LoadInt64(&o.FlightHits))
 	atomic.AddInt64(&s.Mismatches, atomic.LoadInt64(&o.Mismatches))
 	atomic.AddInt64(&s.Errors, atomic.LoadInt64(&o.Errors))
+	atomic.AddInt64(&s.Retries, atomic.LoadInt64(&o.Retries))
+	atomic.AddInt64(&s.Skipped, atomic.LoadInt64(&o.Skipped))
+	atomic.AddInt64(&s.Degraded, atomic.LoadInt64(&o.Degraded))
 }
 
 // CacheStore is the persistence layer of the point cache: the on-disk
@@ -102,14 +118,21 @@ func CacheKeySum(fullKey string) string {
 // recompute a point both could have shared).
 type PointCache struct {
 	dir string
+	fs  chaos.FS
 }
 
 // OpenPointCache opens (creating if needed) a cache rooted at dir.
 func OpenPointCache(dir string) (*PointCache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenPointCacheFS(dir, chaos.OS())
+}
+
+// OpenPointCacheFS opens a cache whose I/O goes through fsys — the
+// production filesystem, or a chaos.Flaky wrapper in fault drills.
+func OpenPointCacheFS(dir string, fsys chaos.FS) (*PointCache, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: creating point cache: %w", err)
 	}
-	return &PointCache{dir: dir}, nil
+	return &PointCache{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the cache root.
@@ -134,7 +157,7 @@ func (c *PointCache) LoadSum(sum string) ([]byte, error) {
 	if len(sum) < 2 {
 		return nil, os.ErrNotExist
 	}
-	return os.ReadFile(c.sumPath(sum))
+	return c.fs.ReadFile(c.sumPath(sum))
 }
 
 // Load retrieves the record stored under fullKey. ok is false on any
@@ -143,7 +166,7 @@ func (c *PointCache) LoadSum(sum string) ([]byte, error) {
 // entry is never served). ioErr marks read failures distinct from
 // ordinary absence.
 func (c *PointCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
-	data, err := os.ReadFile(c.path(fullKey))
+	data, err := c.fs.ReadFile(c.path(fullKey))
 	if err != nil {
 		return bench.PointRecord{}, false, false, !os.IsNotExist(err)
 	}
@@ -168,23 +191,23 @@ func (c *PointCache) Store(fullKey string, rec bench.PointRecord) error {
 		return err
 	}
 	path := c.path(fullKey)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := c.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	tmp, err := c.fs.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return c.fs.Rename(tmp.Name(), path)
 }
 
 // pointBaseKey fingerprints everything outside the point's own key that
@@ -264,26 +287,62 @@ func (f *PointFlight) do(fullKey string, fn func() bench.PointRecord) (rec bench
 // once) and optionally replayed from / stored to a persistent cache.
 type pointScheduler struct {
 	pool   *pointPool
-	cache  CacheStore   // nil disables the persistent layer
-	flight *PointFlight // nil disables cross-campaign singleflight
-	stats  *CacheStats  // nil disables counting
+	cache  CacheStore      // nil disables the persistent layer
+	flight *PointFlight    // nil disables cross-campaign singleflight
+	stats  *CacheStats     // nil disables counting
+	ctx    context.Context // nil means never cancelled
 	base   string
+
+	// degradeAfter is the consecutive-ish cache-error budget: once
+	// errCount reaches it the campaign flips to no-cache mode for good
+	// (degraded=1, stats.Degraded=1) and every later cache op is
+	// skipped instead of attempted. Keeps a campaign from paying a
+	// timeout or EIO per point when the cache layer is sick.
+	degradeAfter int64
+	errCount     atomic.Int64
+	degraded     atomic.Bool
 
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 }
+
+// DefaultDegradeAfter is the cache-error budget before a campaign
+// degrades to no-cache mode, when Options.DegradeAfter is unset.
+const DefaultDegradeAfter = 8
 
 func newPointScheduler(pool *pointPool, cache CacheStore, flight *PointFlight, stats *CacheStats, env bench.Env) *pointScheduler {
 	if stats == nil {
 		stats = &CacheStats{}
 	}
 	return &pointScheduler{
-		pool:   pool,
-		cache:  cache,
-		flight: flight,
-		stats:  stats,
-		base:   pointBaseKey(env),
-		memo:   make(map[string]*memoEntry),
+		pool:         pool,
+		cache:        cache,
+		flight:       flight,
+		stats:        stats,
+		base:         pointBaseKey(env),
+		degradeAfter: DefaultDegradeAfter,
+		memo:         make(map[string]*memoEntry),
+	}
+}
+
+// noteCacheError counts a cache failure toward the degradation budget
+// and flips the campaign to no-cache mode when it is spent.
+func (s *pointScheduler) noteCacheError() {
+	if s.errCount.Add(1) >= s.degradeAfter && s.degraded.CompareAndSwap(false, true) {
+		atomic.StoreInt64(&s.stats.Degraded, 1)
+	}
+}
+
+// cancelled reports whether the campaign's context has expired.
+func (s *pointScheduler) cancelled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	select {
+	case <-s.ctx.Done():
+		return true
+	default:
+		return false
 	}
 }
 
@@ -305,8 +364,11 @@ func (s *pointScheduler) RunPoints(env bench.Env, pts []bench.Point) []bench.Poi
 	for i := range pts {
 		i, p := i, pts[i]
 		tasks[i] = func() {
+			// done must run even if the point panics past ExecutePoint's
+			// recover (worker restart path) — a hung batch would wedge
+			// every campaign sharing the pool.
+			defer b.done()
 			recs[i] = s.point(env, p)
-			b.done()
 		}
 	}
 	s.pool.enqueue(tasks)
@@ -360,7 +422,18 @@ func (s *pointScheduler) resolve(env bench.Env, p bench.Point, fullKey string) b
 }
 
 func (s *pointScheduler) resolveLocal(env bench.Env, p bench.Point, fullKey string) bench.PointRecord {
-	if s.cache != nil {
+	if s.cancelled() {
+		return bench.PointRecord{
+			Schema: bench.PointSchema,
+			Key:    fullKey,
+			Panic:  fmt.Errorf("runner: campaign cancelled: %w", s.ctx.Err()),
+		}
+	}
+	useCache := s.cache != nil && !s.degraded.Load()
+	if s.cache != nil && !useCache {
+		atomic.AddInt64(&s.stats.Skipped, 1)
+	}
+	if useCache {
 		rec, ok, mismatch, ioErr := s.cache.Load(fullKey)
 		if ok {
 			atomic.AddInt64(&s.stats.Hits, 1)
@@ -371,13 +444,15 @@ func (s *pointScheduler) resolveLocal(env bench.Env, p bench.Point, fullKey stri
 		}
 		if ioErr {
 			atomic.AddInt64(&s.stats.Errors, 1)
+			s.noteCacheError()
 		}
 	}
 	atomic.AddInt64(&s.stats.Misses, 1)
 	rec := bench.ExecutePoint(env, p)
-	if s.cache != nil && rec.Panic == nil {
+	if useCache && rec.Panic == nil && !s.degraded.Load() {
 		if err := s.cache.Store(fullKey, rec); err != nil {
 			atomic.AddInt64(&s.stats.Errors, 1)
+			s.noteCacheError()
 		}
 	}
 	return rec

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -55,28 +56,49 @@ type JournalEntry struct {
 // lookups and appends from different campaigns may interleave freely
 // (each append is a single written line).
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	closed  bool
+	mu     sync.Mutex
+	f      chaos.File
+	closed bool
+	// dirty means the file may end mid-line (a failed or torn append,
+	// or a file recovered without a trailing newline): the next append
+	// leads with a newline so the damaged record stays isolated on its
+	// own line instead of corrupting the new one.
+	dirty   bool
+	skipped int
 	entries map[string]JournalEntry // keyed by ID + "\x00" + Hash
 }
 
 // OpenJournal opens (creating if needed) the journal at path and loads
-// its entries. A corrupt trailing line — the signature of a campaign
-// killed mid-append — is tolerated: it is truncated away so later
-// appends start a clean line. Corruption anywhere else is an error.
+// its entries, tolerating corruption: see OpenJournalFS.
 func OpenJournal(path string) (*Journal, error) {
-	data, err := os.ReadFile(path)
+	return OpenJournalFS(path, chaos.OS(), nil)
+}
+
+// OpenJournalFS opens the journal at path through fsys. Recovery is
+// tolerant by design — a journal exists to save work, so one damaged
+// record must never cost the rest: a corrupt line anywhere (torn tail
+// from a mid-append kill, a record mangled by a torn write, stray
+// garbage) is skipped, counted (see Skipped) and reported through logf,
+// and every intact record before and after it still loads. An
+// unterminated final line is truncated away so later appends start
+// clean. logf may be nil to discard the reports.
+func OpenJournalFS(path string, fsys chaos.FS, logf func(format string, args ...any)) (*Journal, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	data, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("runner: reading journal: %w", err)
 	}
 	j := &Journal{entries: make(map[string]JournalEntry)}
-	offset, truncateAt := 0, -1
+	offset := 0
+	truncateAt := -1 // offset of an unterminated, unparsable tail
 	for line := 1; offset < len(data); line++ {
 		end := bytes.IndexByte(data[offset:], '\n')
 		text := data[offset:]
 		next := len(data)
-		if end >= 0 {
+		terminated := end >= 0
+		if terminated {
 			text = data[offset : offset+end]
 			next = offset + end + 1
 		}
@@ -86,17 +108,14 @@ func OpenJournal(path string) (*Journal, error) {
 		}
 		var e JournalEntry
 		if err := json.Unmarshal(text, &e); err != nil {
-			if truncateAt >= 0 {
-				return nil, fmt.Errorf("runner: journal %s corrupt before line %d", path, line)
+			if !terminated {
+				truncateAt = offset
+			} else {
+				j.skipped++
+				logf("journal %s: skipping corrupt record at line %d (%d bytes)", path, line, len(text))
 			}
-			truncateAt = offset
 			offset = next
 			continue
-		}
-		if truncateAt >= 0 {
-			// A valid entry after a corrupt line means the damage was
-			// not a truncated tail.
-			return nil, fmt.Errorf("runner: journal %s corrupt before line %d", path, line)
 		}
 		if e.Schema == journalSchema {
 			j.entries[e.ID+"\x00"+e.Hash] = e
@@ -104,11 +123,20 @@ func OpenJournal(path string) (*Journal, error) {
 		offset = next
 	}
 	if truncateAt >= 0 {
-		if err := os.Truncate(path, int64(truncateAt)); err != nil {
-			return nil, fmt.Errorf("runner: dropping journal %s torn tail: %w", path, err)
+		j.skipped++
+		logf("journal %s: dropping torn tail record at byte %d", path, truncateAt)
+		if err := fsys.Truncate(path, int64(truncateAt)); err != nil {
+			// Can't repair in place; isolate the tail on its own line at
+			// the next append instead.
+			logf("journal %s: could not truncate torn tail: %v", path, err)
+			j.dirty = true
 		}
+	} else if len(data) > 0 && data[len(data)-1] != '\n' {
+		// Final line parsed but was never terminated: lead the next
+		// append with a newline rather than gluing onto it.
+		j.dirty = true
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: opening journal: %w", err)
 	}
@@ -132,11 +160,22 @@ func (j *Journal) Len() int {
 	return len(j.entries)
 }
 
+// Skipped reports how many corrupt records were skipped during
+// recovery.
+func (j *Journal) Skipped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.skipped
+}
+
 // Append records a completed experiment. The write is a single
 // appended line, so concurrent campaigns against one journal and kills
-// between experiments never corrupt earlier entries. Appending to a
-// closed journal fails (the campaign's result is then reported as no
-// longer crash-safe, exactly as if the process had died).
+// between experiments never corrupt earlier entries; after a failed or
+// torn write the next append leads with a newline to keep the damage
+// on its own (recoverable-by-skipping) line. Appending to a closed
+// journal fails. An append failure costs only durability — the result
+// is still correct, the campaign is just no longer crash-safe — and is
+// reported as Result.DurabilityErr by RunResumable.
 func (j *Journal) Append(e JournalEntry) error {
 	e.Schema = journalSchema
 	b, err := json.Marshal(e)
@@ -149,14 +188,36 @@ func (j *Journal) Append(e JournalEntry) error {
 	if j.closed {
 		return fmt.Errorf("runner: journal is closed")
 	}
-	if _, err := j.f.Write(b); err != nil {
+	if j.dirty {
+		b = append([]byte{'\n'}, b...)
+	}
+	n, err := j.f.Write(b)
+	if err != nil || n < len(b) {
+		// The line may be half on disk; isolate it before the next one.
+		j.dirty = true
+		if err == nil {
+			err = fmt.Errorf("short write (%d of %d bytes)", n, len(b))
+		}
 		return fmt.Errorf("runner: appending to journal: %w", err)
 	}
+	j.dirty = false
 	j.entries[e.ID+"\x00"+e.Hash] = e
 	return nil
 }
 
-// Close releases the journal file; later appends fail.
+// Sync flushes the journal file to stable storage (best-effort
+// durability checkpoint, e.g. before a drain completes).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs (best-effort) and releases the journal file; later
+// appends fail.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -164,6 +225,7 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	j.f.Sync()
 	return j.f.Close()
 }
 
@@ -229,9 +291,10 @@ func resultFor(e JournalEntry, exp core.Experiment, index int) Result {
 // replayed from the journal instead of executing. Results still arrive
 // in the order of exps — cached and fresh interleaved — so the
 // campaign output stays byte-identical to an uninterrupted run.
-// Failed experiments are never journaled. Journal append errors are
-// reported through the result's Err (the experiment itself succeeded,
-// but the campaign is no longer crash-safe, which the caller must see).
+// Failed experiments are never journaled. A journal append failure
+// does NOT fail the experiment — its result is correct and is still
+// delivered — but the loss of crash-safety is reported through the
+// result's DurabilityErr so callers can warn.
 func RunResumable(env bench.Env, exps []core.Experiment, opts Options, j *Journal, cluster string, resume bool) <-chan Result {
 	format := opts.Format
 	if format == "" {
@@ -269,7 +332,7 @@ func RunResumable(env bench.Env, exps []core.Experiment, opts Options, j *Journa
 			res.Index = pendingIndex[res.Exp.ID]
 			if res.Err == nil {
 				if err := j.Append(entryFor(res, cluster, hash)); err != nil {
-					res.Err = err
+					res.DurabilityErr = err
 				}
 			}
 			out <- res

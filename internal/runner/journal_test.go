@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/trace"
@@ -111,19 +112,121 @@ func TestJournalToleratesTruncatedTail(t *testing.T) {
 	}
 }
 
-// TestJournalRejectsMidFileCorruption: damage that is not a truncated
-// tail is an error, not a silent skip.
-func TestJournalRejectsMidFileCorruption(t *testing.T) {
+// TestJournalSkipsMidFileCorruption: a record damaged mid-file (torn
+// write isolated on its own line, stray garbage) is skipped, counted
+// and logged; every intact record before AND after it still loads. One
+// bad record must never cost the rest of the journal.
+func TestJournalSkipsMidFileCorruption(t *testing.T) {
 	path := tmpJournal(t)
-	body := `garbage not json
-{"schema":1,"id":"a","hash":"h"}
+	body := `{"schema":1,"id":"before","hash":"h"}
+garbage not json
+{"schema":1,"id":"after","hash":"h"}
 `
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
-		t.Fatalf("mid-file corruption accepted: %v", err)
+	var logged []string
+	j, err := OpenJournalFS(path, chaos.OS(), func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatalf("mid-file corruption aborted recovery: %v", err)
 	}
+	defer j.Close()
+	if _, ok := j.Lookup("before", "h"); !ok {
+		t.Fatal("entry before the corrupt record lost")
+	}
+	if _, ok := j.Lookup("after", "h"); !ok {
+		t.Fatal("entry after the corrupt record lost")
+	}
+	if j.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1", j.Skipped())
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "line 2") {
+		t.Fatalf("corrupt record not reported: %v", logged)
+	}
+}
+
+// TestJournalSkipsTornMidRecord: a record torn *inside* the file — a
+// half-written JSON line terminated by a later append's leading newline
+// — is skipped without losing its neighbours.
+func TestJournalSkipsTornMidRecord(t *testing.T) {
+	path := tmpJournal(t)
+	body := `{"schema":1,"id":"a","hash":"h","rendered":"A\n"}
+{"schema":1,"id":"torn","hash":"h","rend
+{"schema":1,"id":"b","hash":"h","rendered":"B\n"}
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn mid-record aborted recovery: %v", err)
+	}
+	defer j.Close()
+	for _, id := range []string{"a", "b"} {
+		if _, ok := j.Lookup(id, "h"); !ok {
+			t.Fatalf("entry %q lost to a neighbouring torn record", id)
+		}
+	}
+	if _, ok := j.Lookup("torn", "h"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	if j.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1", j.Skipped())
+	}
+}
+
+// TestJournalTornAppendIsolated: when an append fails half-written, the
+// journal marks itself dirty and the NEXT append leads with a newline,
+// so the torn bytes stay on their own line and both the pre-tear and
+// post-tear entries survive a reload.
+func TestJournalTornAppendIsolated(t *testing.T) {
+	path := tmpJournal(t)
+	// Tear the 2nd write to the journal file (the 1st is entry "a").
+	inj := chaos.NewInjector(1, mustChaos(t, "torn:ops=2-2,match=j.jsonl"))
+	fsys := chaos.Flaky(chaos.OS(), inj)
+	j, err := OpenJournalFS(path, fsys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalEntry{ID: "a", Hash: "h", Rendered: "A\n"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalEntry{ID: "b", Hash: "h", Rendered: "B\n"}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The failed entry is retried (or a different one lands) afterwards.
+	if err := j.Append(JournalEntry{ID: "c", Hash: "h", Rendered: "C\n"}); err != nil {
+		t.Fatalf("append after torn write: %v", err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+	defer j2.Close()
+	for _, id := range []string{"a", "c"} {
+		if _, ok := j2.Lookup(id, "h"); !ok {
+			t.Fatalf("entry %q lost to the torn append", id)
+		}
+	}
+	if _, ok := j2.Lookup("b", "h"); ok {
+		t.Fatal("torn entry resurrected")
+	}
+	if j2.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1 (the torn half-record)", j2.Skipped())
+	}
+}
+
+func mustChaos(t *testing.T, spec string) *chaos.Schedule {
+	t.Helper()
+	s, err := chaos.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestConfigHashSensitivity(t *testing.T) {

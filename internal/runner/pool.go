@@ -1,6 +1,9 @@
 package runner
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The point pool is the campaign's shared work queue for sweep points.
 // Every experiment that compiles a sweep enqueues its points here and
@@ -117,14 +120,18 @@ func (p *pointPool) close() {
 // index-ordered merge in bench.RunPointsAs keeps every campaign's output
 // deterministic regardless of who executed which point.
 type SharedPool struct {
-	pool    *pointPool
-	workers int
-	wg      sync.WaitGroup
+	pool     *pointPool
+	workers  int
+	restarts atomic.Int64
+	wg       sync.WaitGroup
 }
 
 // NewSharedPool starts a pool with n dedicated worker shards (n <= 0
 // panics: a service must size its shard set explicitly). Close releases
-// the shards.
+// the shards. Shards are self-healing: a task that panics past the
+// executor's own recovery takes down only its shard's current drain
+// loop, which is restarted immediately (counted by Restarts) — one
+// poisoned point never shrinks the service's worker set.
 func NewSharedPool(n int) *SharedPool {
 	if n <= 0 {
 		panic("runner: SharedPool needs at least one worker shard")
@@ -134,14 +141,33 @@ func NewSharedPool(n int) *SharedPool {
 	for i := 0; i < n; i++ {
 		go func() {
 			defer sp.wg.Done()
-			sp.pool.drain()
+			for !sp.runShard() {
+				sp.restarts.Add(1)
+			}
 		}()
 	}
 	return sp
 }
 
+// runShard drains the pool once, converting a task panic into a clean
+// return. It reports true when the pool closed (the shard should exit)
+// and false when it survived a panic (the shard should restart).
+func (sp *SharedPool) runShard() (closed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			closed = false
+		}
+	}()
+	sp.pool.drain()
+	return true
+}
+
 // Workers reports the shard count.
 func (sp *SharedPool) Workers() int { return sp.workers }
+
+// Restarts reports how many times a shard was restarted after a task
+// panic.
+func (sp *SharedPool) Restarts() int64 { return sp.restarts.Load() }
 
 // Close shuts the pool down and waits for the shards to exit. Queued
 // tasks still complete via their owning campaigns' runUntil loops.

@@ -9,6 +9,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -50,6 +51,15 @@ type Options struct {
 	// service-wide worker-shard set instead of a private per-campaign
 	// pool; the pool outlives the campaign and is never closed by Run.
 	SharedPool *SharedPool
+	// Ctx, when non-nil, cancels the campaign: once it expires, points
+	// not yet started fail immediately (their experiments report the
+	// cancellation) instead of executing. Points already executing run
+	// to completion — the simulator cannot be interrupted mid-world.
+	Ctx context.Context
+	// DegradeAfter is the cache-error budget before the campaign
+	// permanently switches to no-cache mode (see CacheStats.Degraded);
+	// <= 0 means DefaultDegradeAfter.
+	DegradeAfter int
 }
 
 // Result is the outcome of one experiment.
@@ -69,6 +79,10 @@ type Result struct {
 	// executed (see RunResumable); Tables is nil for cached results but
 	// Rendered and Metrics carry the journaled values.
 	Cached bool
+	// DurabilityErr is non-nil when the experiment SUCCEEDED but its
+	// journal append failed: the result is correct and usable, it just
+	// will not survive a crash. Callers should warn, not fail.
+	DurabilityErr error
 	// Metrics is the per-experiment accounting.
 	Metrics Metrics
 }
@@ -120,7 +134,12 @@ func Run(env bench.Env, exps []core.Experiment, opts Options) <-chan Result {
 	if shared {
 		pool = opts.SharedPool.pool
 	}
-	env.Sched = newPointScheduler(pool, opts.Cache, opts.Flight, opts.CacheStats, env)
+	sched := newPointScheduler(pool, opts.Cache, opts.Flight, opts.CacheStats, env)
+	sched.ctx = opts.Ctx
+	if opts.DegradeAfter > 0 {
+		sched.degradeAfter = int64(opts.DegradeAfter)
+	}
+	env.Sched = sched
 
 	// One buffered slot per experiment lets workers finish out of order
 	// while the collector drains strictly in submission order.

@@ -7,10 +7,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/runner"
 )
 
@@ -139,79 +144,186 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 // every other client of the same daemon. All verification mirrors the
 // on-disk cache — a poisoned remote entry surfaces as a key mismatch
 // and is recomputed, never trusted.
+//
+// Transient failures — connection refusals, 5xx bursts, truncated
+// bodies — are retried with jittered exponential backoff before the
+// operation is reported as an I/O error (at which point the caller
+// falls back to recomputing the point). Protocol-level refusals (4xx,
+// key mismatches, schema drift) are never retried: repeating them
+// cannot change the answer.
 type RemoteCache struct {
 	base   string
 	client *http.Client
+
+	retries   int
+	baseDelay time.Duration
+	maxDelay  time.Duration
+	clock     chaos.Clock
+	retried   atomic.Int64
+	stats     *runner.CacheStats // optional; Retries flows into it
+	rngMu     sync.Mutex
+	rng       *rand.Rand
 }
 
 // NewRemoteCache builds a store talking to the daemon at baseURL (e.g.
-// "http://host:7077").
+// "http://host:7077"), with 3 retries and 25ms–1s backoff by default.
 func NewRemoteCache(baseURL string) *RemoteCache {
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
-	return &RemoteCache{base: baseURL, client: http.DefaultClient}
+	return &RemoteCache{
+		base:      baseURL,
+		client:    &http.Client{},
+		retries:   3,
+		baseDelay: 25 * time.Millisecond,
+		maxDelay:  time.Second,
+		clock:     chaos.Real(),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
-// Load implements runner.CacheStore over GET /cache/{sum}.
+// SetTransport installs an http.RoundTripper (e.g. a chaos.Transport
+// for fault drills).
+func (rc *RemoteCache) SetTransport(rt http.RoundTripper) { rc.client.Transport = rt }
+
+// SetRetries tunes the retry budget and backoff window; retries < 0 or
+// non-positive delays keep the current values.
+func (rc *RemoteCache) SetRetries(retries int, base, max time.Duration) {
+	if retries >= 0 {
+		rc.retries = retries
+	}
+	if base > 0 {
+		rc.baseDelay = base
+	}
+	if max > 0 {
+		rc.maxDelay = max
+	}
+}
+
+// SetClock substitutes the backoff clock (tests pass chaos.FakeClock).
+func (rc *RemoteCache) SetClock(c chaos.Clock) { rc.clock = c }
+
+// AttachStats mirrors the retry counter into a campaign's CacheStats
+// so recaps and responses report it.
+func (rc *RemoteCache) AttachStats(s *runner.CacheStats) { rc.stats = s }
+
+// Retries reports how many transient failures were retried.
+func (rc *RemoteCache) Retries() int64 { return rc.retried.Load() }
+
+// retryable reports whether an HTTP status is worth retrying: server
+// errors and overload responses are transient, everything else is a
+// protocol answer.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// noteRetry counts one retried attempt and sleeps the backoff for it:
+// exponential in the attempt number, capped, with ±50% jitter so a
+// fleet of clients recovering together does not stampede the daemon.
+func (rc *RemoteCache) noteRetry(attempt int) {
+	rc.retried.Add(1)
+	if rc.stats != nil {
+		atomic.AddInt64(&rc.stats.Retries, 1)
+	}
+	d := rc.baseDelay << attempt
+	if d > rc.maxDelay || d <= 0 {
+		d = rc.maxDelay
+	}
+	rc.rngMu.Lock()
+	jitter := 0.5 + rc.rng.Float64()
+	rc.rngMu.Unlock()
+	rc.clock.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// Load implements runner.CacheStore over GET /cache/{sum}, retrying
+// transient failures.
 func (rc *RemoteCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+	for attempt := 0; ; attempt++ {
+		var transient bool
+		rec, ok, mismatch, ioErr, transient = rc.loadOnce(fullKey)
+		if !transient || attempt >= rc.retries {
+			return rec, ok, mismatch, ioErr
+		}
+		rc.noteRetry(attempt)
+	}
+}
+
+func (rc *RemoteCache) loadOnce(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr, transient bool) {
 	resp, err := rc.client.Get(rc.base + "/cache/" + runner.CacheKeySum(fullKey))
 	if err != nil {
-		return bench.PointRecord{}, false, false, true
+		return bench.PointRecord{}, false, false, true, true
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusNotFound:
 		io.Copy(io.Discard, resp.Body)
-		return bench.PointRecord{}, false, false, false
+		return bench.PointRecord{}, false, false, false, false
 	default:
 		io.Copy(io.Discard, resp.Body)
-		return bench.PointRecord{}, false, false, true
+		return bench.PointRecord{}, false, false, true, retryable(resp.StatusCode)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes+1))
 	if err != nil || len(body) > maxSpecBytes {
-		return bench.PointRecord{}, false, false, true
+		// A cut connection mid-body; the next attempt gets fresh bytes.
+		return bench.PointRecord{}, false, false, true, true
 	}
 	if want := resp.Header.Get(shaHeader); want != "" && bodySum(body) != want {
 		// Transport corruption: the bytes do not match the digest the
 		// server computed over what it stored.
-		return bench.PointRecord{}, false, false, true
+		return bench.PointRecord{}, false, false, true, true
 	}
 	if err := json.Unmarshal(body, &rec); err != nil {
-		return bench.PointRecord{}, false, false, true
+		return bench.PointRecord{}, false, false, true, true
 	}
 	if rec.Schema != bench.PointSchema {
-		return bench.PointRecord{}, false, false, false
+		return bench.PointRecord{}, false, false, false, false
 	}
 	if rec.Key != fullKey {
-		return bench.PointRecord{}, false, true, false
+		// Poisoned entry: retrying would fetch the same bytes.
+		return bench.PointRecord{}, false, true, false, false
 	}
-	return rec, true, false, false
+	return rec, true, false, false, false
 }
 
-// Store implements runner.CacheStore over PUT /cache/{sum}.
+// Store implements runner.CacheStore over PUT /cache/{sum}, retrying
+// transient failures.
 func (rc *RemoteCache) Store(fullKey string, rec bench.PointRecord) error {
 	rec.Key = fullKey
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
+	for attempt := 0; ; attempt++ {
+		err, transient := rc.storeOnce(fullKey, body)
+		if !transient || attempt >= rc.retries {
+			return err
+		}
+		rc.noteRetry(attempt)
+	}
+}
+
+func (rc *RemoteCache) storeOnce(fullKey string, body []byte) (err error, transient bool) {
 	req, err := http.NewRequest(http.MethodPut,
 		rc.base+"/cache/"+runner.CacheKeySum(fullKey), bytes.NewReader(body))
 	if err != nil {
-		return err
+		return err, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(shaHeader, bodySum(body))
 	resp, err := rc.client.Do(req)
 	if err != nil {
-		return err
+		return err, true
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: cache PUT rejected: %s", resp.Status)
+		return fmt.Errorf("server: cache PUT rejected: %s", resp.Status), retryable(resp.StatusCode)
 	}
-	return nil
+	return nil, false
 }

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// chaosSeed returns the soak seed: CHAOS_SEED from the environment (the
+// CI matrix sweeps it), default 1. Every failure message carries the
+// seed so a red run reproduces with one env var.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q is not an integer", v)
+		}
+		return n
+	}
+	return 1
+}
+
+// soakStorm hammers the daemon with the overlapping spec set from the
+// load test, concurrently, and returns each submission's comparable
+// view (indexed like the outcomes slice; spec index in the second
+// return).
+func soakStorm(t *testing.T, url string, specs []CampaignSpec, clients, perClient int) ([]string, []int) {
+	t.Helper()
+	total := clients * perClient
+	views := make([]string, total)
+	specIdx := make([]int, total)
+	codes := make([]int, total)
+	bodies := make([]string, total)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				i := c*perClient + k
+				idx := (c + k) % len(specs)
+				specIdx[i] = idx
+				code, body, cr := postSpec(t, url, specs[idx])
+				codes[i], bodies[i] = code, string(body)
+				if cr != nil {
+					views[i] = comparableView(cr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("storm submission %d (spec %d): %d: %s", i, specIdx[i], code, bodies[i])
+		}
+	}
+	return views, specIdx
+}
+
+// TestServerChaosSoak is the chaos battery: the load-test storm runs
+// against daemons whose filesystem is actively failing, and the test
+// demands the exactly-once and byte-identity contracts still hold.
+//
+// Scenario A (durability chaos): torn writes, EIO and fsync failures on
+// the journal and campaign log only. Results must be byte-identical to
+// a fault-free baseline, the cache exactly-once bound must hold with
+// equality (the cache is untouched), losses must surface as durability
+// warnings, and a clean daemon must reopen the mangled state without
+// error.
+//
+// Scenario B (full chaos): EIO bursts on cache reads (tripping the
+// circuit breaker) and ENOSPC on cache temp files (degrading campaigns
+// to no-cache mode). Results must still be byte-identical; the misses
+// may exceed the union only by the accounted-for failure paths.
+func TestServerChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak; skipped with -short")
+	}
+	seed := chaosSeed(t)
+	clients := loadEnvInt("CHAOS_SOAK_CLIENTS", 4)
+	perClient := loadEnvInt("CHAOS_SOAK_PER_CLIENT", 6)
+	// Wider than the load-test set: distinct seeds and run counts make
+	// distinct campaigns (and cache traffic) while still overlapping.
+	specs := []CampaignSpec{
+		{Experiments: []string{"fig3"}, Seed: 1, Runs: 1},
+		{Experiments: []string{"ext-sched"}, Seed: 1, Runs: 1},
+		{Experiments: []string{"fig3", "ext-sched"}, Seed: 1, Runs: 1},
+		{Experiments: []string{"fig3"}, Seed: 2, Runs: 1},
+		{Experiments: []string{"ext-sched"}, Seed: 2, Runs: 1},
+		{Experiments: []string{"fig3", "ext-sched"}, Seed: 3, Runs: 1},
+		{Experiments: []string{"fig3"}, Seed: 3, Runs: 2},
+		{Experiments: []string{"ext-sched"}, Seed: 4, Runs: 1},
+	}
+
+	// The storm's spec selection is a deterministic function of the
+	// sizing, and at small CHAOS_SOAK_* values it does not reach every
+	// spec — so the exactly-once union must only count the specs the
+	// storm will actually submit. Uncovered specs are still baselined
+	// afterwards (the breaker sub-test needs spec 2's bytes) but their
+	// points stay out of the union.
+	covered := make([]bool, len(specs))
+	for c := 0; c < clients; c++ {
+		for k := 0; k < perClient; k++ {
+			covered[(c+k)%len(specs)] = true
+		}
+	}
+
+	// Fault-free serial baseline: the expected bytes per spec and the
+	// union of distinct points across the covered specs.
+	base, baseURL := newLoadServer(t, clients*perClient)
+	want := make([]string, len(specs))
+	baseline := func(i int) {
+		code, body, cr := postSpec(t, baseURL, specs[i])
+		if code != http.StatusOK || cr.Errors != 0 {
+			t.Fatalf("baseline spec %d: %d (%d errors): %s", i, code, cr.Errors, body)
+		}
+		want[i] = comparableView(cr)
+	}
+	for i := range specs {
+		if covered[i] {
+			baseline(i)
+		}
+	}
+	union := base.Metrics().Cache.Misses
+	if union == 0 {
+		t.Fatal("baseline computed nothing")
+	}
+	for i := range specs {
+		if !covered[i] {
+			baseline(i)
+		}
+	}
+
+	t.Run("durability", func(t *testing.T) {
+		spec := "torn:p=0.25,match=journal.jsonl;eio-write:p=0.25,match=campaigns.jsonl;fsync:p=0.5,match=journal.jsonl"
+		inj := chaos.NewInjector(seed, mustChaosSpec(t, spec))
+		dir := t.TempDir()
+		cfg := Config{
+			CacheDir:    filepath.Join(dir, "cache"),
+			StateDir:    filepath.Join(dir, "state"),
+			Shards:      4,
+			QueueDepth:  clients*perClient + 8,
+			MaxInflight: 4,
+			FS:          chaos.Flaky(chaos.OS(), inj),
+		}
+		s, ts := newTestServer(t, cfg)
+		views, specIdx := soakStorm(t, ts.URL, specs, clients, perClient)
+		for i, v := range views {
+			if v != want[specIdx[i]] {
+				t.Fatalf("seed %d: submission %d (spec %d) drifted under durability chaos:\n got %s\nwant %s",
+					seed, i, specIdx[i], v, want[specIdx[i]])
+			}
+		}
+		m := s.Metrics()
+		// The chaos never touches the cache, so exactly-once must hold
+		// with equality, exactly like the fault-free storm.
+		if m.Cache.Misses != union {
+			t.Fatalf("seed %d: durability chaos executed %d points, want exactly %d (stats %+v)",
+				seed, m.Cache.Misses, union, m.Cache)
+		}
+		if inj.Injected() > 0 && m.Robustness.DurabilityWarnings == 0 {
+			t.Fatalf("seed %d: %d faults injected but zero durability warnings", seed, inj.Injected())
+		}
+		t.Logf("seed %d: durability chaos: %d faults injected, %d durability warnings, %d journal-skipped on this boot",
+			seed, inj.Injected(), m.Robustness.DurabilityWarnings, m.Robustness.JournalSkipped)
+
+		// The mangled state must reopen cleanly on a healthy filesystem;
+		// campaigns whose "done" marker was lost simply re-run (cache
+		// replays their points).
+		if err := s.Close(); err != nil {
+			t.Fatalf("seed %d: closing chaos daemon: %v", seed, err)
+		}
+		cfg.FS = nil
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: reopening state written under chaos: %v", seed, err)
+		}
+		defer fresh.Close()
+		fresh.WaitRecovery()
+		// Every recovered campaign must reach a terminal state. Two storm
+		// submissions of the same spec can both lose their "done" marker
+		// to the chaos, in which case recovery resubmits both and the
+		// campaign singleflight merges them — those finish as Deduped,
+		// not Completed.
+		if fm := fresh.Metrics(); fm.Campaigns.Completed+fm.Campaigns.Deduped != fm.Campaigns.Recovered {
+			t.Fatalf("seed %d: recovery incomplete after chaos: %+v", seed, fm.Campaigns)
+		}
+	})
+
+	t.Run("full", func(t *testing.T) {
+		// EIO on cache entry reads plus ENOSPC on cache temp files: loads
+		// and stores both fail, the breaker trips on failure streaks
+		// (suppressing the cache until a probe succeeds), and campaigns
+		// hitting the error threshold degrade to no-cache mode. This
+		// daemon runs without a StateDir — durability chaos is scenario
+		// A's business, and with no state log there are no boot-time
+		// reads, so the unrestricted eio-read event can only ever hit the
+		// point cache.
+		spec := "eio-read:p=0.6;enospc:p=0.6,match=.tmp-"
+		inj := chaos.NewInjector(seed, mustChaosSpec(t, spec))
+		s, ts := newTestServer(t, Config{
+			CacheDir:    filepath.Join(t.TempDir(), "cache"),
+			Shards:      4,
+			QueueDepth:  clients*perClient + 8,
+			MaxInflight: 4,
+			FS:          chaos.Flaky(chaos.OS(), inj),
+			// A tight breaker and degrade threshold so the soak exercises
+			// trip → probe → recover and per-campaign degradation inside
+			// one storm.
+			BreakerFailLimit:  6,
+			BreakerProbeEvery: 4,
+			DegradeAfter:      2,
+		})
+		views, specIdx := soakStorm(t, ts.URL, specs, clients, perClient)
+		for i, v := range views {
+			if v != want[specIdx[i]] {
+				t.Fatalf("seed %d: submission %d (spec %d) drifted under full chaos:\n got %s\nwant %s",
+					seed, i, specIdx[i], v, want[specIdx[i]])
+			}
+		}
+		m := s.Metrics()
+		// Every miss beyond the union must be accounted for by a failure
+		// path: cache I/O errors, degraded-mode skips, breaker-suppressed
+		// ops, or verification mismatches. Anything else would mean a
+		// point executed twice for no recorded reason.
+		slack := m.Cache.Errors + m.Cache.Skipped + m.Robustness.Breaker.Skipped + m.Cache.Mismatches
+		if m.Cache.Misses < union || m.Cache.Misses > union+slack {
+			t.Fatalf("seed %d: full chaos executed %d points, want within [%d, %d] (cache %+v, breaker %+v)",
+				seed, m.Cache.Misses, union, union+slack, m.Cache, m.Robustness.Breaker)
+		}
+		if inj.Injected() == 0 {
+			t.Fatalf("seed %d: full-chaos schedule injected nothing", seed)
+		}
+		t.Logf("seed %d: full chaos: %d faults injected, misses %d (union %d), breaker %+v, %d degraded campaigns",
+			seed, inj.Injected(), m.Cache.Misses, union, m.Robustness.Breaker, m.Robustness.DegradedCampaigns)
+		// The default seed is pinned in CI and must demonstrably reach
+		// degradation; other seeds may legitimately miss it. (Breaker
+		// trips depend on the global op interleaving, so the guaranteed
+		// trip lives in the deterministic sub-test below.)
+		if seed == 1 && m.Robustness.DegradedCampaigns == 0 {
+			t.Fatal("seed 1: no campaign degraded to no-cache mode")
+		}
+	})
+
+	t.Run("breaker", func(t *testing.T) {
+		// A cache whose every read and write fails: whatever order the
+		// shards issue operations in, the failure streak only grows, so
+		// the breaker is guaranteed to trip, suppress the remaining ops,
+		// and never recover (every probe fails too) — while the campaign
+		// itself still serves the exact baseline bytes.
+		inj := chaos.NewInjector(seed, mustChaosSpec(t, "eio-read:p=1;enospc:p=1,match=.tmp-"))
+		s, ts := newTestServer(t, Config{
+			CacheDir:          filepath.Join(t.TempDir(), "cache"),
+			Shards:            4,
+			FS:                chaos.Flaky(chaos.OS(), inj),
+			BreakerFailLimit:  3,
+			BreakerProbeEvery: 4,
+		})
+		code, body, cr := postSpec(t, ts.URL, specs[2])
+		if code != http.StatusOK {
+			t.Fatalf("seed %d: campaign on a dead cache: %d: %s", seed, code, body)
+		}
+		if v := comparableView(cr); v != want[2] {
+			t.Fatalf("seed %d: dead-cache campaign drifted:\n got %s\nwant %s", seed, v, want[2])
+		}
+		m := s.Metrics()
+		b := m.Robustness.Breaker
+		if b.Trips == 0 || b.StateName != "open" {
+			t.Fatalf("seed %d: dead cache did not trip the breaker: %+v", seed, b)
+		}
+		if b.Recoveries != 0 {
+			t.Fatalf("seed %d: breaker recovered against a dead cache: %+v", seed, b)
+		}
+		if b.Skipped == 0 {
+			t.Fatalf("seed %d: open breaker suppressed nothing: %+v", seed, b)
+		}
+	})
+}
+
+// TestRemoteCacheChaosTransport: a RemoteCache speaking to a perfectly
+// healthy daemon through a hostile network (refused connections, 5xx
+// bursts, truncated bodies) absorbs the faults with retries — the
+// campaign's bytes are identical to a fault-free local run.
+func TestRemoteCacheChaosTransport(t *testing.T) {
+	seed := chaosSeed(t)
+	_, ts := newTestServer(t, Config{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	inj := chaos.NewInjector(seed, mustChaosSpec(t, "refuse:p=0.3;http:status=503,p=0.2;truncate:p=0.15"))
+	rc := NewRemoteCache(ts.URL)
+	rc.SetTransport(&chaos.Transport{Inj: inj})
+	rc.SetRetries(3, time.Millisecond, 4*time.Millisecond)
+	stats := &runner.CacheStats{}
+	rc.AttachStats(stats)
+
+	env, err := core.Env("henri", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, ok := core.ByID("ext-sched")
+	if !ok {
+		t.Fatal("ext-sched not registered")
+	}
+	res := runner.Collect(runner.Run(env, []core.Experiment{exp},
+		runner.Options{Workers: 2, Format: "ascii", Cache: rc, CacheStats: stats}))
+	if res[0].Err != nil {
+		t.Fatalf("seed %d: campaign through hostile network failed: %v", seed, res[0].Err)
+	}
+	if want := localRendered(t, "henri", 1, 1, "ext-sched")[0]; res[0].Rendered != want {
+		t.Fatalf("seed %d: output drifted under transport chaos", seed)
+	}
+	if inj.Injected() > 0 && rc.Retries() == 0 {
+		t.Fatalf("seed %d: %d transport faults injected but nothing retried", seed, inj.Injected())
+	}
+	t.Logf("seed %d: transport chaos: %d faults injected, %d retries, cache errors %d",
+		seed, inj.Injected(), rc.Retries(), stats.Errors)
+}

@@ -24,7 +24,13 @@ type CampaignResponse struct {
 	Deduped bool               `json:"deduped,omitempty"`
 	Results []ExperimentResult `json:"results"`
 	Errors  int                `json:"errors,omitempty"`
-	Cache   CacheSummary       `json:"cache"`
+	// Degraded marks a campaign that switched to no-cache mode after
+	// repeated cache failures (results are still correct, just
+	// recomputed); TimedOut one that blew the server's campaign
+	// deadline (its remaining experiments report errors).
+	Degraded bool         `json:"degraded,omitempty"`
+	TimedOut bool         `json:"timed_out,omitempty"`
+	Cache    CacheSummary `json:"cache"`
 	// WallMs is the campaign's server-side latency, queue wait included.
 	WallMs float64 `json:"wall_ms"`
 }
@@ -35,14 +41,17 @@ type ExperimentResult struct {
 	Rendered string `json:"rendered,omitempty"`
 	Error    string `json:"error,omitempty"`
 	// Cached marks a result replayed from the daemon's journal.
-	Cached     bool              `json:"cached,omitempty"`
-	SimSeconds float64           `json:"sim_seconds"`
-	Worlds     int               `json:"worlds"`
-	Tables     int               `json:"tables"`
-	Rows       int               `json:"rows"`
-	Attempts   int               `json:"attempts"`
-	WallMs     float64           `json:"wall_ms"`
-	Faults     bench.FaultTotals `json:"faults"`
+	Cached bool `json:"cached,omitempty"`
+	// DurabilityLost marks a successful result whose journal append
+	// failed: correct, but it will not survive a daemon crash.
+	DurabilityLost bool              `json:"durability_lost,omitempty"`
+	SimSeconds     float64           `json:"sim_seconds"`
+	Worlds         int               `json:"worlds"`
+	Tables         int               `json:"tables"`
+	Rows           int               `json:"rows"`
+	Attempts       int               `json:"attempts"`
+	WallMs         float64           `json:"wall_ms"`
+	Faults         bench.FaultTotals `json:"faults"`
 }
 
 // CacheSummary is a CacheStats snapshot in wire form.
@@ -54,6 +63,8 @@ type CacheSummary struct {
 	FlightHits int64   `json:"flight_hits"`
 	Mismatches int64   `json:"mismatches"`
 	Errors     int64   `json:"errors"`
+	Retries    int64   `json:"retries,omitempty"`
+	Skipped    int64   `json:"skipped,omitempty"`
 	HitRate    float64 `json:"hit_rate"`
 }
 
@@ -66,6 +77,8 @@ func summarize(s *runner.CacheStats) CacheSummary {
 		FlightHits: atomic.LoadInt64(&s.FlightHits),
 		Mismatches: atomic.LoadInt64(&s.Mismatches),
 		Errors:     atomic.LoadInt64(&s.Errors),
+		Retries:    atomic.LoadInt64(&s.Retries),
+		Skipped:    atomic.LoadInt64(&s.Skipped),
 		HitRate:    s.HitRate(),
 	}
 }
@@ -147,6 +160,22 @@ type Metrics struct {
 		P50Ms float64 `json:"p50_ms"`
 		P99Ms float64 `json:"p99_ms"`
 	} `json:"latency"`
+	// Robustness reports the daemon's degradation machinery: drain
+	// state, the cache circuit breaker, campaigns running without a
+	// cache or deadline-expired, results served without durability,
+	// worker shards restarted after panics, and corrupt durability
+	// records skipped at boot.
+	Robustness struct {
+		Draining           bool                `json:"draining"`
+		Breaker            runner.BreakerStats `json:"breaker"`
+		DegradedCampaigns  int64               `json:"degraded_campaigns"`
+		TimedOutCampaigns  int64               `json:"timed_out_campaigns"`
+		DurabilityWarnings int64               `json:"durability_warnings"`
+		DrainRejected      int64               `json:"drain_rejected"`
+		ShardRestarts      int64               `json:"shard_restarts"`
+		JournalSkipped     int64               `json:"journal_skipped_records"`
+		CampaignLogSkipped int64               `json:"campaign_log_skipped_records"`
+	} `json:"robustness"`
 	Shards int `json:"shards"`
 }
 
@@ -167,6 +196,21 @@ func (s *Server) Metrics() Metrics {
 	m.CacheProtocol.Puts = s.proto.puts.Load()
 	m.CacheProtocol.Rejected = s.proto.rejected.Load()
 	m.Latency.P50Ms, m.Latency.P99Ms, m.Latency.Count = percentilesOf(&s.latency)
+	m.Robustness.Draining = s.Draining()
+	if s.breaker != nil {
+		m.Robustness.Breaker = s.breaker.Stats()
+	} else {
+		m.Robustness.Breaker.StateName = "closed"
+	}
+	m.Robustness.DegradedCampaigns = s.degradedCampaigns.Load()
+	m.Robustness.TimedOutCampaigns = s.timeouts.Load()
+	m.Robustness.DurabilityWarnings = s.durabilityWarnings.Load()
+	m.Robustness.DrainRejected = s.drainRejects.Load()
+	m.Robustness.ShardRestarts = s.pool.Restarts()
+	if s.journal != nil {
+		m.Robustness.JournalSkipped = int64(s.journal.Skipped())
+	}
+	m.Robustness.CampaignLogSkipped = s.stateSkipped.Load()
 	m.Shards = s.cfg.Shards
 	return m
 }

@@ -11,17 +11,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/runner"
 )
 
@@ -49,15 +50,39 @@ type Config struct {
 	// Log receives one line per accepted/rejected/recovered campaign;
 	// nil discards.
 	Log io.Writer
+	// CampaignTimeout bounds each campaign's execution wall-clock; an
+	// expired campaign fails its remaining experiments fast (points
+	// already running finish) and is flagged TimedOut in the response.
+	// <= 0 disables the deadline.
+	CampaignTimeout time.Duration
+	// FS is the filesystem for the cache and durability layers; nil
+	// means the real one. Fault drills pass chaos.Flaky.
+	FS chaos.FS
+	// Clock paces drain polling; nil means the real clock (tests drive
+	// a chaos.FakeClock).
+	Clock chaos.Clock
+	// BreakerFailLimit / BreakerProbeEvery tune the circuit breaker in
+	// front of the point cache (consecutive failures before tripping;
+	// half-open probe period in operations); <= 0 means the
+	// runner.NewBreaker defaults.
+	BreakerFailLimit  int
+	BreakerProbeEvery int
+	// DegradeAfter is the per-campaign cache-error budget before a
+	// campaign degrades to no-cache mode; <= 0 means
+	// runner.DefaultDegradeAfter.
+	DegradeAfter int
 }
 
 // Server is the campaign daemon. Create with New, serve Handler, and
 // Close when done.
 type Server struct {
 	cfg     Config
+	fs      chaos.FS
+	clock   chaos.Clock
 	pool    *runner.SharedPool
 	flight  *runner.PointFlight
 	cache   *runner.PointCache // nil when CacheDir == ""
+	breaker *runner.Breaker    // guards cache; nil when cache is nil
 	journal *runner.Journal    // nil when StateDir == ""
 
 	queueSlots chan struct{}
@@ -72,13 +97,23 @@ type Server struct {
 	dedups    atomic.Int64 // campaigns served by joining an identical in-flight one
 	recovered atomic.Int64 // campaigns re-run at startup
 
+	draining           atomic.Bool  // shutdown in progress: admission closed
+	drainRejects       atomic.Int64 // submissions refused while draining
+	timeouts           atomic.Int64 // campaigns that blew CampaignTimeout
+	degradedCampaigns  atomic.Int64 // campaigns that switched to no-cache mode
+	durabilityWarnings atomic.Int64 // experiments served without a journal record
+	stateSkipped       atomic.Int64 // corrupt campaign-log records skipped at boot
+
 	cacheTotals runner.CacheStats
 	proto       protoCounters
 	latency     latencyRecorder
 
 	mu         sync.Mutex
 	campFlight map[string]*campaignCall
-	stateLog   *os.File
+	stateLog   chaos.File
+	// stateDirty means the campaign log may end mid-line (failed
+	// append); the next append leads with a newline to isolate it.
+	stateDirty bool
 	closed     bool
 
 	recovery sync.WaitGroup
@@ -117,8 +152,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 2
 	}
+	if cfg.FS == nil {
+		cfg.FS = chaos.OS()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = chaos.Real()
+	}
 	s := &Server{
 		cfg:        cfg,
+		fs:         cfg.FS,
+		clock:      cfg.Clock,
 		flight:     runner.NewPointFlight(),
 		queueSlots: make(chan struct{}, cfg.QueueDepth),
 		runSlots:   make(chan struct{}, cfg.MaxInflight),
@@ -126,18 +169,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.runFn = s.runCampaign
 	if cfg.CacheDir != "" {
-		cache, err := runner.OpenPointCache(cfg.CacheDir)
+		cache, err := runner.OpenPointCacheFS(cfg.CacheDir, s.fs)
 		if err != nil {
 			return nil, err
 		}
 		s.cache = cache
+		s.breaker = runner.NewBreaker(cache, cfg.BreakerFailLimit, cfg.BreakerProbeEvery)
 	}
 	var pending []*campaign
 	if cfg.StateDir != "" {
-		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		if err := s.fs.MkdirAll(cfg.StateDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: creating state dir: %w", err)
 		}
-		j, err := runner.OpenJournal(filepath.Join(cfg.StateDir, "journal.jsonl"))
+		j, err := runner.OpenJournalFS(filepath.Join(cfg.StateDir, "journal.jsonl"), s.fs, s.logf)
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +221,38 @@ func (s *Server) CacheDir() string { return s.cfg.CacheDir }
 func (s *Server) Shards() int      { return s.cfg.Shards }
 func (s *Server) Journal() bool    { return s.journal != nil }
 
+// BeginDrain closes admission: new campaign submissions are refused
+// with 503 while campaigns already admitted keep running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether admission is closed.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until every admitted campaign has finished (the queue
+// and run slots are empty) and the durability layer is flushed, or ctx
+// expires — in which case the unfinished campaigns stay "accepted" in
+// the state log and are recovered by the next New. Call BeginDrain
+// first so the population being waited on cannot grow.
+func (s *Server) Drain(ctx context.Context) error {
+	for {
+		if s.queueDepth.Load() == 0 && s.inflight.Load() == 0 && len(s.queueSlots) == 0 {
+			if s.journal != nil {
+				if err := s.journal.Sync(); err != nil {
+					s.logf("drain: syncing journal: %v", err)
+				}
+			}
+			s.syncStateLog()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain aborted with %d campaigns unfinished: %w",
+				s.queueDepth.Load()+s.inflight.Load(), ctx.Err())
+		case <-s.clock.After(5 * time.Millisecond):
+		}
+	}
+}
+
 // Close releases the daemon: the shard set, the journal, and the state
 // log. Campaigns still executing keep computing on their own request
 // goroutines but can no longer journal results — exactly the state a
@@ -210,9 +286,10 @@ func (s *Server) Close() error {
 //	POST /campaign     submit a campaign spec, respond with its results
 //	GET  /cache/{sum}  fetch a cached point record by content address
 //	PUT  /cache/{sum}  store a point record (sha256-verified)
-//	GET  /metrics      queue/cache/latency counters as JSON
+//	GET  /metrics      queue/cache/latency/robustness counters as JSON
 //	GET  /experiments  the experiment registry
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (503 once draining)
+//	GET  /readyz       readiness probe (503 when draining or the queue is full)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /campaign", s.handleCampaign)
@@ -222,9 +299,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleReadyz reports whether the daemon would accept a submission
+// right now: not draining, and the admission queue has room. Load
+// balancers steer new campaigns away on 503 while /healthz keeps the
+// process alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.Draining():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case len(s.queueSlots) >= cap(s.queueSlots):
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "queue full")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 // handleCampaign is the submission endpoint. Malformed or out-of-bound
@@ -232,6 +333,13 @@ func (s *Server) Handler() http.Handler {
 // else executes (or joins an identical in-flight campaign) and returns
 // the full result set as JSON.
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.drainRejects.Add(1)
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "interfd: draining; submit to another instance or retry after restart",
+			http.StatusServiceUnavailable)
+		return
+	}
 	c, err := parseSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes), s.cfg.MaxRuns)
 	if err != nil {
 		s.badSpecs.Add(1)
@@ -324,15 +432,23 @@ func (s *Server) admit(c *campaign) (*CampaignResponse, *submitError) {
 func (s *Server) runCampaign(c *campaign) *CampaignResponse {
 	stats := &runner.CacheStats{}
 	opts := runner.Options{
-		Workers:    s.cfg.Shards,
-		Format:     c.spec.Format,
-		CacheStats: stats,
-		Flight:     s.flight,
-		SharedPool: s.pool,
+		Workers:      s.cfg.Shards,
+		Format:       c.spec.Format,
+		CacheStats:   stats,
+		Flight:       s.flight,
+		SharedPool:   s.pool,
+		DegradeAfter: s.cfg.DegradeAfter,
 	}
-	if s.cache != nil {
-		opts.Cache = s.cache
+	if s.breaker != nil {
+		opts.Cache = s.breaker
 	}
+	ctx := context.Background()
+	if s.cfg.CampaignTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.CampaignTimeout)
+		defer cancel()
+	}
+	opts.Ctx = ctx
 	var results <-chan runner.Result
 	if s.journal != nil {
 		results = runner.RunResumable(c.env, c.exps, opts, s.journal, c.cluster, true)
@@ -354,10 +470,28 @@ func (s *Server) runCampaign(c *campaign) *CampaignResponse {
 			er.Rendered = ""
 			resp.Errors++
 		}
+		if res.DurabilityErr != nil {
+			// The result is correct; it just is not crash-safe. Serve it
+			// with a warning instead of failing the experiment.
+			er.DurabilityLost = true
+			s.durabilityWarnings.Add(1)
+			s.logf("campaign %s: experiment %s not journaled: %v", c.id[:12], res.Exp.ID, res.DurabilityErr)
+		}
 		resp.Results = append(resp.Results, er)
 	}
 	resp.Cache = summarize(stats)
 	s.cacheTotals.Add(stats)
+	if atomic.LoadInt64(&stats.Degraded) != 0 {
+		resp.Degraded = true
+		s.degradedCampaigns.Add(1)
+		s.logf("campaign %s: cache degraded to no-cache mode after %d errors",
+			c.id[:12], atomic.LoadInt64(&stats.Errors))
+	}
+	if ctx.Err() != nil {
+		resp.TimedOut = true
+		s.timeouts.Add(1)
+		s.logf("campaign %s: exceeded the %v campaign timeout", c.id[:12], s.cfg.CampaignTimeout)
+	}
 	return resp
 }
 

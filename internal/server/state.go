@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -15,8 +14,11 @@ import (
 // with no done marker are the campaigns the previous process was killed
 // inside; New re-runs them so their remaining experiments land in the
 // journal and a re-submitted spec replays byte-identically. The log is
-// append-only across restarts; a torn trailing line (killed mid-append)
-// is skipped, matching the journal's tolerance.
+// append-only across restarts. Recovery is tolerant: a corrupt record
+// anywhere — torn tail of a killed append, a line mangled by a torn
+// write — is skipped, counted and logged; every intact record before
+// and after it still loads (losing a whole boot's worth of state to one
+// bad line would defeat the log's purpose).
 
 const stateSchema = 1
 
@@ -33,25 +35,39 @@ type stateEntry struct {
 // that were accepted but never completed, and opens the file for
 // appending.
 func (s *Server) openStateLog(path string) ([]*campaign, error) {
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("server: reading campaign log: %w", err)
 	}
 	open := map[string]*CampaignSpec{}
 	var order []string
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 64<<10), maxSpecBytes*2)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
+	offset := 0
+	for line := 1; offset < len(data); line++ {
+		end := bytes.IndexByte(data[offset:], '\n')
+		text := data[offset:]
+		next := len(data)
+		terminated := end >= 0
+		if terminated {
+			text = data[offset : offset+end]
+			next = offset + end + 1
+		}
+		offset = next
+		text = bytes.TrimSpace(text)
+		if len(text) == 0 {
 			continue
 		}
 		var e stateEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// Torn tail of a killed append; anything after it would have
-			// been written by a process that survived the tear, which
-			// cannot happen for an append-only log.
-			break
+		if err := json.Unmarshal(text, &e); err != nil {
+			// A torn record (mid-append kill or torn write). Skip it and
+			// keep loading — the campaign it described is simply re-run
+			// (if "accepted" was lost) or re-recovered (if "done" was).
+			s.stateSkipped.Add(1)
+			if terminated {
+				s.logf("campaign log %s: skipping corrupt record at line %d", path, line)
+			} else {
+				s.logf("campaign log %s: dropping torn tail record at line %d", path, line)
+			}
+			continue
 		}
 		if e.Schema != stateSchema {
 			continue
@@ -70,11 +86,11 @@ func (s *Server) openStateLog(path string) ([]*campaign, error) {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("server: scanning campaign log: %w", err)
-	}
+	// A file not ending in '\n' may end mid-record: lead the next
+	// append with a newline so the damage stays on its own line.
+	s.stateDirty = len(data) > 0 && data[len(data)-1] != '\n'
 
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: opening campaign log: %w", err)
 	}
@@ -98,22 +114,46 @@ func (s *Server) openStateLog(path string) ([]*campaign, error) {
 }
 
 // logState appends one entry to the campaign log (single write, torn
-// tails tolerated on load). Best-effort: a failed append costs
-// durability, not correctness, and is surfaced in the daemon log.
+// records tolerated on load). Best-effort: a failed append costs
+// durability, not correctness, and is surfaced in the daemon log; the
+// next append then leads with a newline so a half-written line cannot
+// corrupt it.
 func (s *Server) logState(e stateEntry) {
-	s.mu.Lock()
-	f := s.stateLog
-	s.mu.Unlock()
-	if f == nil {
-		return
-	}
 	e.Schema = stateSchema
 	b, err := json.Marshal(e)
 	if err != nil {
 		s.logf("encoding campaign log entry: %v", err)
 		return
 	}
-	if _, err := f.Write(append(b, '\n')); err != nil {
-		s.logf("appending to campaign log: %v", err)
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stateLog == nil {
+		return
+	}
+	if s.stateDirty {
+		b = append([]byte{'\n'}, b...)
+	}
+	n, werr := s.stateLog.Write(b)
+	if werr != nil || n < len(b) {
+		s.stateDirty = true
+		s.durabilityWarnings.Add(1)
+		s.logf("appending to campaign log: %v (%d of %d bytes)", werr, n, len(b))
+		return
+	}
+	s.stateDirty = false
+}
+
+// syncStateLog flushes the campaign log to stable storage
+// (best-effort; part of a drain's final checkpoint).
+func (s *Server) syncStateLog() {
+	s.mu.Lock()
+	f := s.stateLog
+	s.mu.Unlock()
+	if f == nil {
+		return
+	}
+	if err := f.Sync(); err != nil {
+		s.logf("syncing campaign log: %v", err)
 	}
 }
