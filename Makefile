@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz serve load-test chaos-soak clean
+.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz serve load-test chaos-soak failover-drill clean
 
 all: build vet test test-race bench
 
@@ -111,6 +111,16 @@ load-test:
 # CHAOS_SOAK_PER_CLIENT.
 chaos-soak:
 	$(GO) test -race -run 'TestServerChaosSoak|TestRemoteCacheChaosTransport|TestDaemonGracefulShutdown|TestDaemonChaosDrill' -count=1 -v ./internal/server/ ./cmd/interfd/
+
+# The stampede battery under the race detector: the in-process failover
+# soak (two replicas, one cache dir, a kill switch in the transport),
+# the server overload storm at 2x capacity, and the end-to-end drill —
+# two real interfd processes sharing a -cache-dir, one SIGKILLed
+# mid-storm, byte-identical completion required. Size with
+# REPLICA_SOAK_CLIENTS / REPLICA_SOAK_PER_CLIENT and
+# FAILOVER_DRILL_CLIENTS / FAILOVER_DRILL_PER_CLIENT.
+failover-drill:
+	$(GO) test -race -run 'TestFailoverSoak|TestServerOverloadStorm|TestInterfdFailoverDrill' -count=1 -v ./internal/replica/ ./internal/server/ ./cmd/interfd/
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

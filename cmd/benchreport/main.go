@@ -33,10 +33,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/replica"
 	"repro/internal/runner"
 	"repro/internal/server"
 )
@@ -104,12 +107,28 @@ type ServerRun struct {
 	// (sha256-verified) against the daemon.
 	CacheOps       int64   `json:"cache_ops"`
 	CacheOpsPerSec float64 `json:"cache_ops_per_sec"`
+	// Schema-4 robustness figures. ShedRate and OverloadP99Ms come from
+	// a storm offered at 2x the admission queue's capacity against a
+	// deliberately small daemon: the fraction of submissions shed with
+	// 503 + Retry-After, and the p99 of the campaigns that were served.
+	ShedRate      float64 `json:"shed_rate"`
+	OverloadP99Ms float64 `json:"p99_under_2x_overload_ms"`
+	// FailoverCount is the failovers a two-replica client absorbed while
+	// one replica was killed mid-measurement (every campaign still
+	// completed). HedgeWinFraction is the share of hedged cache reads
+	// where the second replica answered first.
+	FailoverCount    int64   `json:"failover_count"`
+	HedgeWinFraction float64 `json:"hedge_win_fraction"`
 }
 
 // Report is the BENCH_sim.json schema. Schema 2 replaced the single
 // campaign wall with the per-worker-count matrix and the cache run;
 // schema 3 added the campaign-daemon run (server percentiles and remote
-// cache throughput).
+// cache throughput); schema 4 added the robustness figures (shed rate
+// and p99 under a 2x-capacity storm, failover count under a replica
+// kill, hedged-read win fraction). Older schemas stay readable:
+// -totext passes legacy reports through with the missing figures
+// simply absent.
 type Report struct {
 	Schema     int                  `json:"schema"`
 	GoVersion  string               `json:"go_version"`
@@ -154,7 +173,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep := Report{
-		Schema:     3,
+		Schema:     4,
 		GoVersion:  runtime.Version(),
 		Benchmarks: benches,
 		Derived:    derive(benches),
@@ -221,6 +240,8 @@ func main() {
 	if sr := rep.Server; sr != nil {
 		fmt.Printf("  server: %d campaigns from %d clients, p50 %.2fms p99 %.2fms (%d deduped), cache protocol %.0f ops/s\n",
 			sr.Campaigns, sr.Clients, sr.P50Ms, sr.P99Ms, sr.Deduped, sr.CacheOpsPerSec)
+		fmt.Printf("  robustness: 2x-overload shed %.0f%% / p99 %.2fms, %d failover(s) under a replica kill, hedge wins %.0f%%\n",
+			100*sr.ShedRate, sr.OverloadP99Ms, sr.FailoverCount, 100*sr.HedgeWinFraction)
 	}
 }
 
@@ -497,7 +518,7 @@ func timeServer(cluster string, clients int) (*ServerRun, error) {
 	opsWall := time.Since(start).Seconds()
 	ops := int64(clients * opsPerClient)
 
-	return &ServerRun{
+	sr := &ServerRun{
 		Clients:        clients,
 		Campaigns:      int(m.Campaigns.Accepted + m.Campaigns.Deduped),
 		Shards:         srv.Shards(),
@@ -506,7 +527,157 @@ func timeServer(cluster string, clients int) (*ServerRun, error) {
 		Deduped:        m.Campaigns.Deduped,
 		CacheOps:       ops,
 		CacheOpsPerSec: perSec(ops, opsWall),
-	}, nil
+	}
+	if err := measureOverload(dir, specs, clients, sr); err != nil {
+		return nil, err
+	}
+	if err := measureFailoverHedge(dir, specs, sums, sr); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// measureOverload offers a burst at 2x the admission queue's capacity
+// to a deliberately small daemon over the warm cache directory. The
+// campaign singleflight collapses duplicate submissions, so capacity
+// is measured in *distinct* campaigns: the queue is sized at half the
+// distinct spec count, making the burst a genuine 2x overload. Shed
+// submissions (503) are part of the design — the figures are how many
+// were shed and how fast the served ones finished.
+func measureOverload(dir string, specs []server.CampaignSpec, clients int, sr *ServerRun) error {
+	offered := clients * len(specs)
+	queue := len(specs) / 2
+	if queue < 4 {
+		queue = 4
+	}
+	srv, err := server.New(server.Config{
+		CacheDir:    dir,
+		Shards:      runtime.GOMAXPROCS(0),
+		QueueDepth:  queue,
+		MaxInflight: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var shed atomic.Int64
+	errs := make(chan error, offered)
+	for i := 0; i < offered; i++ {
+		i := i
+		go func() {
+			dropped, err := submitSpecOverload(ts.URL, specs[i%len(specs)])
+			if dropped {
+				shed.Add(1)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < offered; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	m := srv.Metrics()
+	sr.ShedRate = float64(shed.Load()) / float64(offered)
+	sr.OverloadP99Ms = m.Latency.P99Ms
+	return nil
+}
+
+// submitSpecOverload posts one campaign, treating a 503 (shed with
+// Retry-After by the overload controller) as a counted outcome rather
+// than a failure.
+func submitSpecOverload(base string, spec server.CampaignSpec) (shed bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false, err
+	}
+	resp, err := http.Post(base+"/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return false, nil
+	case http.StatusServiceUnavailable:
+		return true, nil
+	default:
+		return false, fmt.Errorf("overload campaign %v: %s: %s", spec.Experiments, resp.Status, payload)
+	}
+}
+
+// measureFailoverHedge runs the replica-set client against two daemons
+// over the warm cache directory: one replica is killed after the first
+// submission (counting the failovers the client absorbs while every
+// campaign still completes), then both serve a hedged-read pass over
+// the stored points for the hedge-win fraction.
+func measureFailoverHedge(dir string, specs []server.CampaignSpec, sums []string, sr *ServerRun) error {
+	cfg := server.Config{
+		CacheDir:    dir,
+		Shards:      runtime.GOMAXPROCS(0),
+		QueueDepth:  2 * len(specs),
+		MaxInflight: 2,
+	}
+	boot := func() (*server.Server, *httptest.Server, error) {
+		s, err := server.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, httptest.NewServer(s.Handler()), nil
+	}
+	a, aTS, err := boot()
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	defer aTS.Close()
+	b, bTS, err := boot()
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	defer bTS.Close()
+
+	drill := chaos.NewReplicaDrill()
+	victim := strings.TrimPrefix(aTS.URL, "http://")
+	set := replica.NewSet([]string{aTS.URL, bTS.URL}, replica.Options{Transport: drill, Seed: 1})
+	for i, spec := range specs {
+		if _, err := set.Submit(spec, 0, ""); err != nil {
+			return fmt.Errorf("failover measurement: %w", err)
+		}
+		if i == 0 {
+			drill.Kill(victim)
+		}
+	}
+	sr.FailoverCount = set.Failovers()
+
+	// Hedged reads over both replicas, revived, with a hedge delay short
+	// enough that reads actually race — the win fraction is how often
+	// the second replica's answer arrived first.
+	drill.Revive(victim)
+	hedged := replica.NewCache(replica.NewSet([]string{aTS.URL, bTS.URL},
+		replica.Options{Transport: drill, Seed: 1}), &runner.CacheStats{})
+	hedged.SetHedgeDelay(200 * time.Microsecond)
+	reads := sums
+	if len(reads) > 256 {
+		reads = reads[:256]
+	}
+	for _, sum := range reads {
+		if _, _, _, ioErr := hedged.Load(sum); ioErr {
+			return fmt.Errorf("hedged read of %s failed", sum)
+		}
+	}
+	if h := hedged.Hedges(); h > 0 {
+		sr.HedgeWinFraction = float64(hedged.HedgeWins()) / float64(h)
+	}
+	return nil
 }
 
 // submitSpec posts one campaign and demands a clean 200 with no
@@ -604,6 +775,11 @@ func emitText(path string) error {
 		fmt.Printf("BenchmarkServerCampaignP99 1 %.6g ns/op\n", sr.P99Ms*1e6)
 		if sr.CacheOpsPerSec > 0 {
 			fmt.Printf("BenchmarkServerCacheGet %d %.6g ns/op\n", sr.CacheOps, 1e9/sr.CacheOpsPerSec)
+		}
+		// Schema-4 figure; pre-4 reports simply lack it (legacy
+		// passthrough: nothing is printed, benchstat sees no row).
+		if sr.OverloadP99Ms > 0 {
+			fmt.Printf("BenchmarkServerOverloadP99 1 %.6g ns/op\n", sr.OverloadP99Ms*1e6)
 		}
 	}
 	return nil

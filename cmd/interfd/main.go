@@ -12,6 +12,7 @@
 //	interfd                              # listen on :7077, state under interfd-data/
 //	interfd -addr :9000 -shards 8
 //	interfd -data /var/lib/interfd -queue 128 -inflight 4
+//	interfd -cache-dir /mnt/shared/points        # replicas dedupe via shared storage
 //	interfd -chaos "enospc:p=0.05" -chaos-seed 7   # fault drill
 //
 // The daemon is crash-safe: completed experiments are journaled the
@@ -55,6 +56,7 @@ func run(args []string, stderr io.Writer) int {
 	var (
 		addr      = fs.String("addr", ":7077", "listen address")
 		data      = fs.String("data", "interfd-data", "data directory (point cache + durability state); \"\" disables persistence")
+		cacheDir  = fs.String("cache-dir", "", "point-cache directory override (default <data>/cache); point replicas at shared storage so computed points are deduplicated fleet-wide")
 		shards    = fs.Int("shards", 0, "worker shards executing sweep points; 0 = GOMAXPROCS")
 		queue     = fs.Int("queue", 64, "admission queue depth: campaigns waiting beyond this are rejected with 503")
 		inflight  = fs.Int("inflight", 2, "campaigns executing concurrently (their points share the shard set)")
@@ -86,6 +88,9 @@ func run(args []string, stderr io.Writer) int {
 	if *data != "" {
 		cfg.CacheDir = filepath.Join(*data, "cache")
 		cfg.StateDir = filepath.Join(*data, "state")
+	}
+	if *cacheDir != "" {
+		cfg.CacheDir = *cacheDir
 	}
 	if *chaosSpec != "" {
 		sched, err := chaos.ParseSpec(*chaosSpec)

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fluid"
+	"repro/internal/replica"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/topology"
@@ -77,9 +78,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume   = fs.Bool("resume", false, "replay results already in -journal and run only the missing experiments")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (whole process: with -j>1 all workers share one profile)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit (whole process: with -j>1 all workers share one profile)")
-		cacheDir = fs.String("cache", "results/.cache", "persistent point cache: a directory, or an interfd base URL (http://...) to share a remote cache")
+		cacheDir = fs.String("cache", "results/.cache", "persistent point cache: a directory, or comma-separated interfd base URLs (http://...) to share a remote cache (several replicas hedge reads)")
 		noCache  = fs.Bool("no-cache", false, "disable the persistent point cache (in-memory dedup stays on)")
-		remote   = fs.String("remote", "", "base URL of an interfd daemon (e.g. http://host:7077): submit the campaign there instead of executing locally")
+		remote   = fs.String("remote", "", "comma-separated interfd base URLs (e.g. http://a:7077,http://b:7077): submit the campaign to a healthy replica instead of executing locally, failing over on errors")
+		deadline = fs.Duration("deadline", 0, "client deadline sent with a -remote submission (X-Deadline): the daemon refuses campaigns it predicts cannot finish in time; 0 sends none")
 		chaosStr = fs.String("chaos", "", "chaos schedule injected into daemon HTTP traffic, e.g. \"refuse:p=0.2;http:status=503,p=0.1\" (requires -remote or an http:// -cache)")
 		chaosSd  = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule (-chaos)")
 	)
@@ -125,6 +127,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
+	}
+	if explicit["deadline"] && *remote == "" {
+		fmt.Fprintln(stderr, "interference: -deadline requires -remote (it is sent to the daemon as X-Deadline)")
+		return 2
+	}
+	if *deadline < 0 {
+		fmt.Fprintf(stderr, "interference: -deadline %v is invalid: need a non-negative duration\n", *deadline)
+		return 2
 	}
 	// Chaos only makes sense where there is network traffic to disturb:
 	// a remote submission or a remote point cache. Local simulation is
@@ -300,13 +310,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var results <-chan runner.Result
 	var breaker *runner.Breaker
 	var remoteResp *server.CampaignResponse
+	var replicaSet *replica.Set
+	var hedged *replica.Cache
 	if *remote != "" {
+		urls, err := replica.ParseList(*remote)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		replicaSet = replica.NewSet(urls, replica.Options{Transport: chaosRT})
 		var inline *topology.NodeSpec
 		if *specFile != "" {
 			inline = env.Spec
 		}
-		var err error
-		results, remoteResp, err = submitRemote(*remote, inline, *cluster, todo, *seed, *runs, *format, *faults, stats, chaosRT)
+		results, remoteResp, err = submitRemote(replicaSet, inline, *cluster, todo, *seed, *runs, *format, *faults, *deadline, stats)
 		if err != nil {
 			fmt.Fprintln(stderr, "interference:", err)
 			return 1
@@ -324,13 +341,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 				// remote store retries transient failures with backoff and
 				// sits behind a circuit breaker, so an unreachable daemon
 				// degrades to local recomputation instead of hammering a
-				// dead endpoint once per point.
-				rc := server.NewRemoteCache(*cacheDir)
-				rc.AttachStats(stats)
-				if chaosRT != nil {
-					rc.SetTransport(chaosRT)
+				// dead endpoint once per point. With several replicas the
+				// reads are hedged: a GET that outlives the adaptive hedge
+				// delay races a second replica and the first answer wins.
+				urls, err := replica.ParseList(*cacheDir)
+				if err != nil {
+					fmt.Fprintln(stderr, "interference:", err)
+					return 2
 				}
-				breaker = runner.NewBreaker(rc, 0, 0)
+				var store runner.CacheStore
+				if len(urls) > 1 {
+					cacheSet := replica.NewSet(urls, replica.Options{Transport: chaosRT})
+					hedged = replica.NewCache(cacheSet, stats)
+					store = hedged
+				} else {
+					rc := server.NewRemoteCache(urls[0])
+					rc.AttachStats(stats)
+					if chaosRT != nil {
+						rc.SetTransport(chaosRT)
+					}
+					store = rc
+				}
+				breaker = runner.NewBreaker(store, 0, 0)
 				opts.Cache = breaker
 			} else {
 				cache, err := runner.OpenPointCache(*cacheDir)
@@ -442,6 +474,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if bs := breaker.Stats(); bs.Trips > 0 {
 			fmt.Fprintf(stderr, "cache breaker: %d trip(s), %d recover(ies), %d op(s) suppressed while open (state: %s)\n",
 				bs.Trips, bs.Recoveries, bs.Skipped, bs.StateName)
+		}
+	}
+	if !*quiet && replicaSet != nil {
+		b := replicaSet.Budget()
+		if replicaSet.Failovers() > 0 || replicaSet.Retried() > 0 || b.Denied() > 0 {
+			fmt.Fprintf(stderr, "replica set: %d failover(s), %d retried submission(s); retry budget granted %d, refused %d\n",
+				replicaSet.Failovers(), replicaSet.Retried(), b.Allowed(), b.Denied())
+		}
+	}
+	if !*quiet && hedged != nil {
+		if hedged.Hedges() > 0 || hedged.Failovers() > 0 {
+			fmt.Fprintf(stderr, "hedged cache: %d hedged read(s), %d won by the hedge, %d failover(s)\n",
+				hedged.Hedges(), hedged.HedgeWins(), hedged.Failovers())
 		}
 	}
 	if atomic.LoadInt64(&stats.Degraded) > 0 || (remoteResp != nil && remoteResp.Degraded) {

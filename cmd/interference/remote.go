@@ -1,16 +1,13 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replica"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/topology"
@@ -22,15 +19,17 @@ import (
 // the stdout bytes are identical either way, so goldens, -verify and
 // downstream tooling cannot tell where a campaign ran.
 
-// submitRemote sends one campaign to the daemon at base and converts
-// the response into the runner.Result stream the output loop consumes.
-// The returned stats mirror the daemon's per-campaign cache accounting;
-// the raw response rides along so the caller can surface campaign-level
-// degradation (no-cache mode, expired deadline). A non-nil transport
-// (chaos drills) replaces the submission client's.
-func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []core.Experiment,
-	seed int64, runs int, format, faults string, stats *runner.CacheStats,
-	rt http.RoundTripper) (<-chan runner.Result, *server.CampaignResponse, error) {
+// submitRemote sends one campaign through a replica set — health-gated
+// failover across every -remote URL, server Retry-After honored,
+// retries budget-bounded — and converts the response into the
+// runner.Result stream the output loop consumes. The returned stats
+// mirror the daemon's per-campaign cache accounting; the raw response
+// rides along so the caller can surface campaign-level degradation
+// (no-cache mode, expired deadline). deadline > 0 is forwarded as
+// X-Deadline so an overloaded daemon refuses infeasible work up front.
+func submitRemote(set *replica.Set, spec *topology.NodeSpec, cluster string, todo []core.Experiment,
+	seed int64, runs int, format, faults string, deadline time.Duration,
+	stats *runner.CacheStats) (<-chan runner.Result, *server.CampaignResponse, error) {
 
 	req := server.CampaignSpec{
 		Cluster: cluster,
@@ -46,31 +45,9 @@ func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []c
 	for _, e := range todo {
 		req.Experiments = append(req.Experiments, e.ID)
 	}
-	body, err := json.Marshal(req)
+	cr, err := set.Submit(req, deadline, "")
 	if err != nil {
 		return nil, nil, err
-	}
-
-	for len(base) > 0 && base[len(base)-1] == '/' {
-		base = base[:len(base)-1]
-	}
-	client := &http.Client{Timeout: 30 * time.Minute, Transport: rt}
-	resp, err := client.Post(base+"/campaign", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, nil, fmt.Errorf("submitting campaign to %s: %w", base, err)
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, nil, fmt.Errorf("reading campaign response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, nil, fmt.Errorf("daemon rejected the campaign: %s: %s",
-			resp.Status, bytes.TrimSpace(payload))
-	}
-	var cr server.CampaignResponse
-	if err := json.Unmarshal(payload, &cr); err != nil {
-		return nil, nil, fmt.Errorf("decoding campaign response: %w", err)
 	}
 	if len(cr.Results) != len(todo) {
 		return nil, nil, fmt.Errorf("daemon returned %d results for %d experiments", len(cr.Results), len(todo))
@@ -119,5 +96,5 @@ func submitRemote(base string, spec *topology.NodeSpec, cluster string, todo []c
 			out <- res
 		}
 	}()
-	return out, &cr, nil
+	return out, cr, nil
 }

@@ -260,7 +260,11 @@ func TestChaosRefusalOnSubmission(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1: %s", code, stderr.String())
 	}
-	if !strings.Contains(stderr.String(), "submitting campaign") {
+	// With the failover layer the refusal surfaces either at the health
+	// gate ("no replica ... is healthy") or at submission; both name the
+	// daemon and neither falls back to local execution.
+	if !strings.Contains(stderr.String(), "submitting campaign") &&
+		!strings.Contains(stderr.String(), "is healthy") {
 		t.Fatalf("refusal not surfaced as a submission error:\n%s", stderr.String())
 	}
 	if stdout.Len() != 0 {

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// ReplicaDrill is an http.RoundTripper that simulates killing one
+// replica of a fleet: every request whose URL host matches a killed
+// host fails with ECONNREFUSED — the exact shape a SIGKILLed daemon
+// leaves behind — while traffic to the survivors passes through
+// untouched. Unlike the probabilistic Injector faults, the drill is a
+// switch: Kill drops a replica mid-storm, Revive brings it back, and
+// KillAfter arms a delayed kill that fires on the n-th request to the
+// host, so a test can take a replica down at a precise point in the
+// traffic rather than at a wall-clock instant.
+type ReplicaDrill struct {
+	// Base performs the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	dead  map[string]bool
+	armed map[string]int64 // remaining requests until the kill fires
+
+	refused atomic.Int64 // requests refused against killed hosts
+}
+
+// NewReplicaDrill builds a drill with every replica alive.
+func NewReplicaDrill() *ReplicaDrill {
+	return &ReplicaDrill{dead: map[string]bool{}, armed: map[string]int64{}}
+}
+
+// Kill takes a replica down: requests to host (as it appears in the
+// URL, e.g. "127.0.0.1:7077") are refused until Revive.
+func (d *ReplicaDrill) Kill(host string) {
+	d.mu.Lock()
+	d.dead[host] = true
+	delete(d.armed, host)
+	d.mu.Unlock()
+}
+
+// Revive brings a replica back.
+func (d *ReplicaDrill) Revive(host string) {
+	d.mu.Lock()
+	delete(d.dead, host)
+	delete(d.armed, host)
+	d.mu.Unlock()
+}
+
+// KillAfter arms a delayed kill: the host dies when it has served n
+// more requests through this transport (n <= 0 kills immediately).
+// This pins the failure to a position in the request stream — "die
+// mid-campaign" — which a timer cannot express deterministically.
+func (d *ReplicaDrill) KillAfter(host string, n int) {
+	if n <= 0 {
+		d.Kill(host)
+		return
+	}
+	d.mu.Lock()
+	d.armed[host] = int64(n)
+	d.mu.Unlock()
+}
+
+// Refused counts requests refused against killed hosts.
+func (d *ReplicaDrill) Refused() int64 { return d.refused.Load() }
+
+func (d *ReplicaDrill) base() http.RoundTripper {
+	if d.Base != nil {
+		return d.Base
+	}
+	return http.DefaultTransport
+}
+
+func (d *ReplicaDrill) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	d.mu.Lock()
+	lastBreath := false
+	if n, ok := d.armed[host]; ok {
+		if n <= 1 {
+			delete(d.armed, host)
+			d.dead[host] = true
+			// This request is the n-th: it still passes, the next is
+			// refused — the daemon died right after answering.
+			lastBreath = true
+		} else {
+			d.armed[host] = n - 1
+		}
+	}
+	dead := d.dead[host] && !lastBreath
+	d.mu.Unlock()
+	if dead {
+		d.refused.Add(1)
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: nil,
+			Err: syscall.ECONNREFUSED}
+	}
+	return d.base().RoundTrip(req)
+}

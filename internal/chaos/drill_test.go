@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestReplicaDrillKillReviveKillAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	host := strings.TrimPrefix(ts.URL, "http://")
+	d := NewReplicaDrill()
+	client := &http.Client{Transport: d}
+
+	get := func() error {
+		resp, err := client.Get(ts.URL + "/x")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	}
+
+	if err := get(); err != nil {
+		t.Fatalf("alive replica refused: %v", err)
+	}
+	d.Kill(host)
+	if err := get(); err == nil {
+		t.Fatal("killed replica answered")
+	} else if !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("kill shape = %v, want a refused connection", err)
+	}
+	if d.Refused() != 1 {
+		t.Fatalf("Refused = %d, want 1", d.Refused())
+	}
+	d.Revive(host)
+	if err := get(); err != nil {
+		t.Fatalf("revived replica refused: %v", err)
+	}
+
+	// KillAfter(2): two more answers, then the host is down.
+	d.KillAfter(host, 2)
+	for i := 0; i < 2; i++ {
+		if err := get(); err != nil {
+			t.Fatalf("request %d before the armed kill refused: %v", i+1, err)
+		}
+	}
+	if err := get(); err == nil {
+		t.Fatal("armed kill never fired")
+	}
+
+	// Other hosts are untouched by a kill.
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer other.Close()
+	if resp, err := client.Get(other.URL); err != nil {
+		t.Fatalf("surviving replica refused: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,231 @@
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+// Cache is a hedged, failover runner.CacheStore over a replica Set:
+// every replica serves the same content-addressed records, so any
+// healthy one is as good as another. Loads go to one replica first;
+// when no answer arrives within the hedge delay — an EWMA-p95 estimate
+// of recent load latency — a second replica is raced and the first
+// good answer wins. A replica that fails fast (refused connection) is
+// quarantined and the load fails over sequentially. All hedges and
+// failovers consume the Set's shared retry budget, so tail-latency
+// insurance can never amplify into a storm against a struggling fleet.
+type Cache struct {
+	set    *Set
+	stores []*server.RemoteCache
+	clock  chaos.Clock
+
+	mu     sync.Mutex
+	meanMs float64 // EWMA of successful load latency
+	devMs  float64 // EWMA of absolute deviation
+	forced time.Duration
+
+	minHedge, maxHedge time.Duration
+
+	hedges    atomic.Int64 // hedged loads launched
+	hedgeWins atomic.Int64 // hedge answered first (with a good answer)
+	failovers atomic.Int64 // sequential failovers after a fast failure
+}
+
+// NewCache builds the hedged store over set, mirroring retry counters
+// into stats (optional). Per-replica transports, clocks and the shared
+// budget come from the set; per-replica retries are kept low (1)
+// because failover and hedging already provide the second chance.
+func NewCache(set *Set, stats *runner.CacheStats) *Cache {
+	c := &Cache{
+		set:      set,
+		clock:    set.clock,
+		minHedge: 2 * time.Millisecond,
+		maxHedge: 250 * time.Millisecond,
+	}
+	for _, u := range set.urls {
+		rc := server.NewRemoteCache(u)
+		rc.SetRetries(1, 0, 0)
+		rc.SetClock(set.clock)
+		rc.SetBudget(set.budget)
+		if set.rt != nil {
+			rc.SetTransport(set.rt)
+		}
+		if stats != nil {
+			rc.AttachStats(stats)
+		}
+		c.stores = append(c.stores, rc)
+	}
+	return c
+}
+
+// SetRequestTimeout propagates a per-request deadline to every
+// replica's store.
+func (c *Cache) SetRequestTimeout(d time.Duration) {
+	for _, rc := range c.stores {
+		rc.SetRequestTimeout(d)
+	}
+}
+
+// SetHedgeDelay forces a fixed hedge delay (tests and measurements);
+// 0 restores the adaptive EWMA-p95 delay.
+func (c *Cache) SetHedgeDelay(d time.Duration) {
+	c.mu.Lock()
+	c.forced = d
+	c.mu.Unlock()
+}
+
+// Hedges, HedgeWins and Failovers report the tail-insurance counters.
+func (c *Cache) Hedges() int64    { return c.hedges.Load() }
+func (c *Cache) HedgeWins() int64 { return c.hedgeWins.Load() }
+func (c *Cache) Failovers() int64 { return c.failovers.Load() }
+
+// hedgeDelay estimates when a load has gone tail: EWMA mean plus three
+// absolute deviations (≈p95 for the latency shapes cache GETs show),
+// clamped. With no history the hedge waits the maximum — hedging early
+// on a cold estimator would double traffic for nothing.
+func (c *Cache) hedgeDelay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.forced > 0 {
+		return c.forced
+	}
+	if c.meanMs == 0 {
+		return c.maxHedge
+	}
+	d := time.Duration((c.meanMs + 3*c.devMs) * float64(time.Millisecond))
+	if d < c.minHedge {
+		d = c.minHedge
+	}
+	if d > c.maxHedge {
+		d = c.maxHedge
+	}
+	return d
+}
+
+// observe feeds one successful load's latency into the estimator.
+func (c *Cache) observe(elapsed time.Duration) {
+	ms := float64(elapsed.Microseconds()) / 1e3
+	c.mu.Lock()
+	if c.meanMs == 0 {
+		c.meanMs = ms
+	} else {
+		c.meanMs += ewmaAlphaHedge * (ms - c.meanMs)
+	}
+	dev := ms - c.meanMs
+	if dev < 0 {
+		dev = -dev
+	}
+	c.devMs += ewmaAlphaHedge * (dev - c.devMs)
+	c.mu.Unlock()
+}
+
+const ewmaAlphaHedge = 0.2
+
+type loadResult struct {
+	rec          bench.PointRecord
+	ok, mismatch bool
+	ioErr        bool
+	from         int
+	elapsed      time.Duration
+}
+
+func (c *Cache) launch(i int, key string, ch chan<- loadResult) {
+	start := c.clock.Now()
+	go func() {
+		rec, ok, mismatch, ioErr := c.stores[i].Load(key)
+		ch <- loadResult{rec: rec, ok: ok, mismatch: mismatch, ioErr: ioErr,
+			from: i, elapsed: c.clock.Now().Sub(start)}
+	}()
+}
+
+// Load implements runner.CacheStore with hedging and failover. At most
+// two attempts ever run: the primary plus either a hedge (slow
+// primary) or a sequential failover (fast-failing primary).
+func (c *Cache) Load(key string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+	primary, found := c.set.pick()
+	if !found {
+		// No healthy replica: an I/O error, so breaker/degrade machinery
+		// upstairs reacts instead of treating the fleet as an empty cache.
+		return bench.PointRecord{}, false, false, true
+	}
+	ch := make(chan loadResult, 2)
+	c.launch(primary, key, ch)
+	timer := c.clock.After(c.hedgeDelay())
+	launched, second := 1, -1
+	inflight := 1
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if !r.ioErr {
+				if r.from == second && second >= 0 {
+					c.hedgeWins.Add(1)
+				}
+				c.observe(r.elapsed)
+				return r.rec, r.ok, r.mismatch, false
+			}
+			c.set.markDown(r.from)
+			if inflight > 0 {
+				continue // the race partner may still answer
+			}
+			if launched < 2 {
+				// Fast failure with no hedge out yet: sequential failover.
+				if j, okOther := c.set.pickOther(r.from); okOther && c.set.budget.Allow() {
+					c.failovers.Add(1)
+					c.launch(j, key, ch)
+					launched, inflight = launched+1, inflight+1
+					timer = nil // the failover IS the second attempt
+					continue
+				}
+			}
+			return bench.PointRecord{}, false, false, true
+		case <-timer:
+			timer = nil
+			if launched >= 2 {
+				continue
+			}
+			if j, okOther := c.set.pickOther(primary); okOther && c.set.budget.Allow() {
+				c.hedges.Add(1)
+				second = j
+				c.launch(j, key, ch)
+				launched, inflight = launched+1, inflight+1
+			}
+		}
+	}
+}
+
+// Store implements runner.CacheStore: write to one healthy replica,
+// failing over once on error. Every replica shares the content
+// address space, so one durable copy is enough — the next reader of a
+// replica that missed the write recomputes or hedges.
+func (c *Cache) Store(key string, rec bench.PointRecord) error {
+	primary, found := c.set.pick()
+	if !found {
+		return errNoHealthyReplica
+	}
+	err := c.stores[primary].Store(key, rec)
+	if err == nil {
+		return nil
+	}
+	c.set.markDown(primary)
+	if j, ok := c.set.pickOther(primary); ok && c.set.budget.Allow() {
+		c.failovers.Add(1)
+		if err2 := c.stores[j].Store(key, rec); err2 == nil {
+			return nil
+		}
+		c.set.markDown(j)
+	}
+	return err
+}
+
+var errNoHealthyReplica = &noReplicaError{}
+
+type noReplicaError struct{}
+
+func (*noReplicaError) Error() string { return "replica: no healthy replica" }

@@ -268,3 +268,52 @@ func TestSharedPoolShardRestart(t *testing.T) {
 		t.Fatalf("campaign after shard restart failed: %v", res[0].Err)
 	}
 }
+
+// TestBreakerHalfOpenProbeRace drives an open breaker from two
+// goroutines at once and asserts the probe admission stays exact: per
+// probeEvery-window of operations, exactly one touches the store, no
+// matter how the goroutines interleave. Run under -race this also
+// proves the half-open bookkeeping is free of data races.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	store := newFaultyStore()
+	store.setFailing(true)
+	const probeEvery = 16
+	b := NewBreaker(store, 1, probeEvery)
+	// Trip the circuit, then freeze the store in failure so every probe
+	// fails and the breaker stays open for the whole race.
+	b.Load("trip")
+	if b.Stats().State != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	opsBefore := store.ops()
+
+	const goroutines = 2
+	const perG = 8 * probeEvery // 2×8×16 = 16 windows in total
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				b.Load("race")
+			}
+		}()
+	}
+	wg.Wait()
+
+	wantProbes := goroutines * perG / probeEvery
+	if got := store.ops() - opsBefore; got != wantProbes {
+		t.Fatalf("store saw %d probes for %d ops, want exactly %d",
+			got, goroutines*perG, wantProbes)
+	}
+	st := b.Stats()
+	if st.Probes != int64(wantProbes) { // the tripping Load ran closed, so it is not a probe
+		t.Fatalf("Probes = %d, want %d", st.Probes, wantProbes)
+	}
+	if st.Skipped != int64(goroutines*perG-wantProbes) {
+		t.Fatalf("Skipped = %d, want %d", st.Skipped, goroutines*perG-wantProbes)
+	}
+	if st.State != BreakerOpen {
+		t.Fatal("failed probes must leave the circuit open")
+	}
+}

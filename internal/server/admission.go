@@ -1,0 +1,247 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// Adaptive overload control. The fixed-size admission queue from PR 6
+// answered every overload the same way: 503 with a hardcoded
+// Retry-After. Under a 2x-capacity storm that is the worst possible
+// policy — every client retries on the same schedule, queue sojourns
+// grow without bound for the campaigns that *are* admitted, and one
+// greedy client can occupy the whole queue. The overload controller
+// replaces it with three cooperating mechanisms, all fed by what the
+// daemon actually observes:
+//
+//   - Deadline-aware admission: the daemon keeps EWMAs of per-point
+//     execution cost and points-per-experiment, so a submission's cost
+//     is estimated as exps x E[points/exp] x E[ms/point]. A client that
+//     sends X-Deadline is refused up front when estimated queue wait +
+//     estimated cost cannot fit the deadline — a fast, honest "no"
+//     instead of a slow failure that wastes a queue slot.
+//
+//   - Per-client fair queueing: outstanding campaigns are counted per
+//     client (X-API-Key, falling back to the remote address) and each
+//     client is capped at its share of the queue, QueueDepth over the
+//     number of active clients. One stampeding client saturates its
+//     share and gets 503s while everyone else's campaigns keep flowing.
+//
+//   - CoDel-style staleness drop: at dequeue the controller tracks how
+//     long campaigns sat queued. While the sojourn stays above target
+//     for a full interval the queue has collapsed into a standing
+//     buffer, and the controller sheds the dequeued campaign (the
+//     client resubmits against a live Retry-After) on the CoDel control
+//     law — successive drops accelerate by 1/sqrt(dropCount) until
+//     sojourns fall back under target.
+//
+// Every 503 carries a Retry-After computed from the observed drain
+// rate: (queued+1) / drain campaigns-per-second, clamped — so backoff
+// scales with real congestion instead of a constant that is wrong in
+// both directions.
+type overload struct {
+	clock      chaos.Clock
+	queueDepth int
+
+	codelTarget   time.Duration
+	codelInterval time.Duration
+	fairShare     int // fixed per-client cap; 0 = dynamic queueDepth/activeClients
+
+	mu           sync.Mutex
+	pointMs      float64 // EWMA ms per executed point
+	pointsPerExp float64 // EWMA points per experiment
+	drainPerSec  float64 // EWMA campaign completions per second
+	lastDone     time.Time
+	perClient    map[string]int
+	firstAbove   time.Time // CoDel: when the above-target interval expires
+	dropCount    int       // CoDel: drops in the current collapse episode
+
+	shedDeadline atomic.Int64 // refused: deadline cannot be met
+	shedFair     atomic.Int64 // refused: client over its fair share
+	shedCodel    atomic.Int64 // dropped at dequeue: standing-queue collapse
+}
+
+// ewmaAlpha weights new observations; ~0.2 keeps estimates responsive
+// to regime changes without tracking single-campaign noise.
+const ewmaAlpha = 0.2
+
+func newOverload(clock chaos.Clock, queueDepth int, target, interval time.Duration, fairShare int) *overload {
+	if target <= 0 {
+		target = 2 * time.Second
+	}
+	if interval <= 0 {
+		interval = 2 * target
+	}
+	return &overload{
+		clock:         clock,
+		queueDepth:    queueDepth,
+		codelTarget:   target,
+		codelInterval: interval,
+		fairShare:     fairShare,
+		perClient:     map[string]int{},
+	}
+}
+
+func ewma(old, sample float64) float64 {
+	if old == 0 {
+		return sample
+	}
+	return old + ewmaAlpha*(sample-old)
+}
+
+// reserve admits one outstanding campaign for a client, or refuses it
+// when the client already holds its fair share of the queue. The share
+// is dynamic: queueDepth divided by the number of currently active
+// clients (clients with zero outstanding work stop counting), never
+// below 1 — a lone client may use the whole queue, two rivals get half
+// each.
+func (o *overload) reserve(client string) bool {
+	if client == "" {
+		return true
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	share := o.fairShare
+	if share <= 0 {
+		active := len(o.perClient)
+		if o.perClient[client] == 0 {
+			active++
+		}
+		share = o.queueDepth / active
+		if share < 1 {
+			share = 1
+		}
+	}
+	if o.perClient[client] >= share {
+		o.shedFair.Add(1)
+		return false
+	}
+	o.perClient[client]++
+	return true
+}
+
+// release returns a client's reservation (campaign finished or shed).
+func (o *overload) release(client string) {
+	if client == "" {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.perClient[client] <= 1 {
+		delete(o.perClient, client)
+	} else {
+		o.perClient[client]--
+	}
+}
+
+// estimateMs predicts one campaign's execution cost from the cost
+// EWMAs; 0 means "no history yet" and admission stays optimistic.
+func (o *overload) estimateMs(exps int) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return float64(exps) * o.pointsPerExp * o.pointMs
+}
+
+// waitMs predicts the queue wait ahead of a new submission from the
+// observed drain rate.
+func (o *overload) waitMs(queued int64) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.drainPerSec <= 0 {
+		return 0
+	}
+	return float64(queued) / o.drainPerSec * 1e3
+}
+
+// overDeadline reports whether a campaign with the given client
+// deadline is predicted to miss it (estimated wait + estimated cost),
+// in which case admission refuses it immediately.
+func (o *overload) overDeadline(exps int, queued int64, deadline time.Duration) bool {
+	if deadline <= 0 {
+		return false
+	}
+	est := o.estimateMs(exps) + o.waitMs(queued)
+	if est <= 0 {
+		return false
+	}
+	if est > float64(deadline.Milliseconds()) {
+		o.shedDeadline.Add(1)
+		return true
+	}
+	return false
+}
+
+// dequeue applies the CoDel control law to one campaign leaving the
+// queue after sojourn. It returns true when the campaign should be
+// shed: sojourns have stayed above target for a full interval, so the
+// queue is a standing buffer and draining it by serving ever-staler
+// work only makes every client slower.
+func (o *overload) dequeue(sojourn time.Duration) (drop bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.clock.Now()
+	if sojourn < o.codelTarget {
+		o.firstAbove = time.Time{}
+		o.dropCount = 0
+		return false
+	}
+	if o.firstAbove.IsZero() {
+		o.firstAbove = now.Add(o.codelInterval)
+		return false
+	}
+	if now.Before(o.firstAbove) {
+		return false
+	}
+	o.dropCount++
+	o.firstAbove = now.Add(time.Duration(float64(o.codelInterval) / math.Sqrt(float64(o.dropCount))))
+	o.shedCodel.Add(1)
+	return true
+}
+
+// observe feeds one completed campaign back into the estimators.
+func (o *overload) observe(points int64, exps int, execMs float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if exps > 0 && points > 0 {
+		o.pointsPerExp = ewma(o.pointsPerExp, float64(points)/float64(exps))
+		o.pointMs = ewma(o.pointMs, execMs/float64(points))
+	}
+	now := o.clock.Now()
+	if !o.lastDone.IsZero() {
+		if dt := now.Sub(o.lastDone).Seconds(); dt > 0 {
+			o.drainPerSec = ewma(o.drainPerSec, 1/dt)
+		}
+	}
+	o.lastDone = now
+}
+
+// retryAfterSecs computes the Retry-After for a 503: how long until the
+// queue ahead of the client has drained at the observed rate, clamped
+// to [1, 60] seconds. With no drain history it answers 1 — optimistic,
+// but the next rejection will know better.
+func (o *overload) retryAfterSecs(queued int64) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.drainPerSec <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(queued+1) / o.drainPerSec))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// snapshot reports the controller's state for /metrics.
+func (o *overload) snapshot() (pointMs, pointsPerExp, drainPerSec float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pointMs, o.pointsPerExp, o.drainPerSec
+}

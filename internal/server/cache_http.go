@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,14 +157,48 @@ type RemoteCache struct {
 	base   string
 	client *http.Client
 
-	retries   int
-	baseDelay time.Duration
-	maxDelay  time.Duration
-	clock     chaos.Clock
-	retried   atomic.Int64
-	stats     *runner.CacheStats // optional; Retries flows into it
-	rngMu     sync.Mutex
-	rng       *rand.Rand
+	retries    int
+	baseDelay  time.Duration
+	maxDelay   time.Duration
+	reqTimeout time.Duration // per-request deadline; a hung daemon cannot stall a worker shard
+	clock      chaos.Clock
+	retried    atomic.Int64
+	stats      *runner.CacheStats // optional; Retries flows into it
+	budget     RetryBudget        // optional; gates every retry when set
+	rngMu      sync.Mutex
+	rng        *rand.Rand
+}
+
+// RetryBudget gates retry traffic. Allow consumes one retry token and
+// reports whether the retry may proceed; a shared token bucket (see
+// internal/replica) bounds the total retry volume a fleet of clients
+// can aim at a struggling daemon, across submission and cache traffic.
+type RetryBudget interface {
+	Allow() bool
+}
+
+// retryAfterCap bounds how long a server-sent Retry-After may park a
+// client: an absurd or hostile value must not stall a worker for
+// minutes when recomputing the point locally is always available.
+const retryAfterCap = 5 * time.Second
+
+// ParseRetryAfter interprets a Retry-After header as delay seconds.
+// Absent, non-numeric (HTTP-dates are not produced by interfd) or
+// negative values report ok=false — the caller falls back to its own
+// jittered exponential backoff. Huge values are capped to max.
+func ParseRetryAfter(v string, max time.Duration) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs * float64(time.Second))
+	if max > 0 && (d > max || d < 0) { // < 0: float overflow into the sign bit
+		d = max
+	}
+	return d, true
 }
 
 // NewRemoteCache builds a store talking to the daemon at baseURL (e.g.
@@ -172,13 +208,14 @@ func NewRemoteCache(baseURL string) *RemoteCache {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
 	return &RemoteCache{
-		base:      baseURL,
-		client:    &http.Client{},
-		retries:   3,
-		baseDelay: 25 * time.Millisecond,
-		maxDelay:  time.Second,
-		clock:     chaos.Real(),
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		base:       baseURL,
+		client:     &http.Client{},
+		retries:    3,
+		baseDelay:  25 * time.Millisecond,
+		maxDelay:   time.Second,
+		reqTimeout: 10 * time.Second,
+		clock:      chaos.Real(),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
@@ -200,8 +237,25 @@ func (rc *RemoteCache) SetRetries(retries int, base, max time.Duration) {
 	}
 }
 
+// SetRequestTimeout bounds each individual cache round trip (default
+// 10s); d <= 0 keeps the current value. Without it a daemon that
+// accepts the connection and then hangs would stall a worker shard
+// forever — invisibly to the circuit breaker, which only sees
+// operations that return.
+func (rc *RemoteCache) SetRequestTimeout(d time.Duration) {
+	if d > 0 {
+		rc.reqTimeout = d
+	}
+}
+
 // SetClock substitutes the backoff clock (tests pass chaos.FakeClock).
 func (rc *RemoteCache) SetClock(c chaos.Clock) { rc.clock = c }
+
+// SetBudget installs a shared retry budget: every retry must first win
+// a token, so a dying daemon cannot trigger an unbounded retry storm
+// across submission and cache traffic. nil (the default) leaves
+// retries bounded only by the per-operation retry count.
+func (rc *RemoteCache) SetBudget(b RetryBudget) { rc.budget = b }
 
 // AttachStats mirrors the retry counter into a campaign's CacheStats
 // so recaps and responses report it.
@@ -222,13 +276,19 @@ func retryable(status int) bool {
 	return false
 }
 
-// noteRetry counts one retried attempt and sleeps the backoff for it:
-// exponential in the attempt number, capped, with ±50% jitter so a
-// fleet of clients recovering together does not stampede the daemon.
-func (rc *RemoteCache) noteRetry(attempt int) {
+// noteRetry counts one retried attempt and sleeps before it: the
+// server's Retry-After when it sent one (capped — the server knows its
+// own drain rate better than our guess), otherwise exponential in the
+// attempt number, capped, with ±50% jitter so a fleet of clients
+// recovering together does not stampede the daemon.
+func (rc *RemoteCache) noteRetry(attempt int, retryAfter time.Duration) {
 	rc.retried.Add(1)
 	if rc.stats != nil {
 		atomic.AddInt64(&rc.stats.Retries, 1)
+	}
+	if retryAfter > 0 {
+		rc.clock.Sleep(retryAfter)
+		return
 	}
 	d := rc.baseDelay << attempt
 	if d > rc.maxDelay || d <= 0 {
@@ -240,55 +300,73 @@ func (rc *RemoteCache) noteRetry(attempt int) {
 	rc.clock.Sleep(time.Duration(float64(d) * jitter))
 }
 
+// allowRetry consults the shared retry budget, if any.
+func (rc *RemoteCache) allowRetry() bool {
+	return rc.budget == nil || rc.budget.Allow()
+}
+
 // Load implements runner.CacheStore over GET /cache/{sum}, retrying
 // transient failures.
 func (rc *RemoteCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
 	for attempt := 0; ; attempt++ {
 		var transient bool
-		rec, ok, mismatch, ioErr, transient = rc.loadOnce(fullKey)
-		if !transient || attempt >= rc.retries {
+		var retryAfter time.Duration
+		rec, ok, mismatch, ioErr, transient, retryAfter = rc.loadOnce(fullKey)
+		if !transient || attempt >= rc.retries || !rc.allowRetry() {
 			return rec, ok, mismatch, ioErr
 		}
-		rc.noteRetry(attempt)
+		rc.noteRetry(attempt, retryAfter)
 	}
 }
 
-func (rc *RemoteCache) loadOnce(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr, transient bool) {
-	resp, err := rc.client.Get(rc.base + "/cache/" + runner.CacheKeySum(fullKey))
+func (rc *RemoteCache) loadOnce(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr, transient bool, retryAfter time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), rc.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		rc.base+"/cache/"+runner.CacheKeySum(fullKey), nil)
 	if err != nil {
-		return bench.PointRecord{}, false, false, true, true
+		return bench.PointRecord{}, false, false, true, false, 0
+	}
+	resp, err := rc.client.Do(req)
+	if err != nil {
+		return bench.PointRecord{}, false, false, true, true, 0
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
 	case resp.StatusCode == http.StatusNotFound:
-		io.Copy(io.Discard, resp.Body)
-		return bench.PointRecord{}, false, false, false, false
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			// The connection died mid-response: the miss answer itself is
+			// suspect, so treat it as a transport fault, not a clean miss.
+			return bench.PointRecord{}, false, false, true, true, 0
+		}
+		return bench.PointRecord{}, false, false, false, false, 0
 	default:
 		io.Copy(io.Discard, resp.Body)
-		return bench.PointRecord{}, false, false, true, retryable(resp.StatusCode)
+		retryAfter, _ = ParseRetryAfter(resp.Header.Get("Retry-After"), retryAfterCap)
+		return bench.PointRecord{}, false, false, true, retryable(resp.StatusCode), retryAfter
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes+1))
 	if err != nil || len(body) > maxSpecBytes {
 		// A cut connection mid-body; the next attempt gets fresh bytes.
-		return bench.PointRecord{}, false, false, true, true
+		return bench.PointRecord{}, false, false, true, true, 0
 	}
 	if want := resp.Header.Get(shaHeader); want != "" && bodySum(body) != want {
 		// Transport corruption: the bytes do not match the digest the
 		// server computed over what it stored.
-		return bench.PointRecord{}, false, false, true, true
+		return bench.PointRecord{}, false, false, true, true, 0
 	}
 	if err := json.Unmarshal(body, &rec); err != nil {
-		return bench.PointRecord{}, false, false, true, true
+		return bench.PointRecord{}, false, false, true, true, 0
 	}
 	if rec.Schema != bench.PointSchema {
-		return bench.PointRecord{}, false, false, false, false
+		return bench.PointRecord{}, false, false, false, false, 0
 	}
 	if rec.Key != fullKey {
 		// Poisoned entry: retrying would fetch the same bytes.
-		return bench.PointRecord{}, false, true, false, false
+		return bench.PointRecord{}, false, true, false, false, 0
 	}
-	return rec, true, false, false, false
+	return rec, true, false, false, false, 0
 }
 
 // Store implements runner.CacheStore over PUT /cache/{sum}, retrying
@@ -300,30 +378,38 @@ func (rc *RemoteCache) Store(fullKey string, rec bench.PointRecord) error {
 		return err
 	}
 	for attempt := 0; ; attempt++ {
-		err, transient := rc.storeOnce(fullKey, body)
-		if !transient || attempt >= rc.retries {
+		err, transient, retryAfter := rc.storeOnce(fullKey, body)
+		if !transient || attempt >= rc.retries || !rc.allowRetry() {
 			return err
 		}
-		rc.noteRetry(attempt)
+		rc.noteRetry(attempt, retryAfter)
 	}
 }
 
-func (rc *RemoteCache) storeOnce(fullKey string, body []byte) (err error, transient bool) {
-	req, err := http.NewRequest(http.MethodPut,
+func (rc *RemoteCache) storeOnce(fullKey string, body []byte) (err error, transient bool, retryAfter time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), rc.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
 		rc.base+"/cache/"+runner.CacheKeySum(fullKey), bytes.NewReader(body))
 	if err != nil {
-		return err, false
+		return err, false, 0
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(shaHeader, bodySum(body))
 	resp, err := rc.client.Do(req)
 	if err != nil {
-		return err, true
+		return err, true, 0
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	_, copyErr := io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: cache PUT rejected: %s", resp.Status), retryable(resp.StatusCode)
+		retryAfter, _ = ParseRetryAfter(resp.Header.Get("Retry-After"), retryAfterCap)
+		return fmt.Errorf("server: cache PUT rejected: %s", resp.Status), retryable(resp.StatusCode), retryAfter
 	}
-	return nil, false
+	if copyErr != nil {
+		// Ack status arrived but the connection died under it; the store
+		// may or may not have landed. PUTs are idempotent — retry.
+		return fmt.Errorf("server: cache PUT ack truncated: %w", copyErr), true, 0
+	}
+	return nil, false, 0
 }

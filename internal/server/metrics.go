@@ -165,6 +165,20 @@ type Metrics struct {
 	// cache or deadline-expired, results served without durability,
 	// worker shards restarted after panics, and corrupt durability
 	// records skipped at boot.
+	// Overload reports the adaptive admission controller: the cost and
+	// drain estimators behind deadline-aware admission and Retry-After,
+	// plus the shed counters by cause (fair-share refusal, hopeless
+	// deadline, CoDel queue-collapse drop; queue-full rejections stay
+	// under Campaigns.Rejected).
+	Overload struct {
+		EstPointMs      float64 `json:"est_point_ms"`
+		EstPointsPerExp float64 `json:"est_points_per_exp"`
+		DrainPerSec     float64 `json:"drain_per_sec"`
+		RetryAfterS     int     `json:"retry_after_s"`
+		ShedFairShare   int64   `json:"shed_fair_share"`
+		ShedDeadline    int64   `json:"shed_deadline"`
+		ShedCodel       int64   `json:"shed_codel"`
+	} `json:"overload"`
 	Robustness struct {
 		Draining           bool                `json:"draining"`
 		Breaker            runner.BreakerStats `json:"breaker"`
@@ -196,6 +210,11 @@ func (s *Server) Metrics() Metrics {
 	m.CacheProtocol.Puts = s.proto.puts.Load()
 	m.CacheProtocol.Rejected = s.proto.rejected.Load()
 	m.Latency.P50Ms, m.Latency.P99Ms, m.Latency.Count = percentilesOf(&s.latency)
+	m.Overload.EstPointMs, m.Overload.EstPointsPerExp, m.Overload.DrainPerSec = s.ov.snapshot()
+	m.Overload.RetryAfterS = s.ov.retryAfterSecs(s.queueDepth.Load())
+	m.Overload.ShedFairShare = s.ov.shedFair.Load()
+	m.Overload.ShedDeadline = s.ov.shedDeadline.Load()
+	m.Overload.ShedCodel = s.ov.shedCodel.Load()
 	m.Robustness.Draining = s.Draining()
 	if s.breaker != nil {
 		m.Robustness.Breaker = s.breaker.Stats()

@@ -15,9 +15,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +73,15 @@ type Config struct {
 	// campaign degrades to no-cache mode; <= 0 means
 	// runner.DefaultDegradeAfter.
 	DegradeAfter int
+	// CoDelTarget / CoDelInterval tune the staleness controller: when
+	// queue sojourns stay above Target for a full Interval, dequeued
+	// campaigns are shed until sojourns recover (see internal/server
+	// admission.go). <= 0 means 2s / 4s.
+	CoDelTarget   time.Duration
+	CoDelInterval time.Duration
+	// FairShare caps each client's outstanding campaigns. <= 0 means
+	// dynamic: QueueDepth divided by the number of active clients.
+	FairShare int
 }
 
 // Server is the campaign daemon. Create with New, serve Handler, and
@@ -107,6 +118,7 @@ type Server struct {
 	cacheTotals runner.CacheStats
 	proto       protoCounters
 	latency     latencyRecorder
+	ov          *overload
 
 	mu         sync.Mutex
 	campFlight map[string]*campaignCall
@@ -130,10 +142,12 @@ type campaignCall struct {
 }
 
 // submitError is a client-visible submission failure with its HTTP
-// status.
+// status; retryAfter (seconds, 0 = none) rides along so 503s carry the
+// adaptive backoff hint computed from the observed drain rate.
 type submitError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *submitError) Error() string { return e.msg }
@@ -167,6 +181,7 @@ func New(cfg Config) (*Server, error) {
 		runSlots:   make(chan struct{}, cfg.MaxInflight),
 		campFlight: make(map[string]*campaignCall),
 	}
+	s.ov = newOverload(s.clock, cfg.QueueDepth, cfg.CoDelTarget, cfg.CoDelInterval, cfg.FairShare)
 	s.runFn = s.runCampaign
 	if cfg.CacheDir != "" {
 		cache, err := runner.OpenPointCacheFS(cfg.CacheDir, s.fs)
@@ -200,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 	// any overlap with a client re-submitting the same spec.
 	for _, c := range pending {
 		c := c
+		c.internal = true // recovery must not be shed by overload control
 		s.recovered.Add(1)
 		s.recovery.Add(1)
 		go func() {
@@ -335,7 +351,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		s.drainRejects.Add(1)
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", strconv.Itoa(s.ov.retryAfterSecs(s.queueDepth.Load())))
 		http.Error(w, "interfd: draining; submit to another instance or retry after restart",
 			http.StatusServiceUnavailable)
 		return
@@ -346,10 +362,25 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "interfd: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	c.client = clientKey(r)
+	if h := r.Header.Get("X-Deadline"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d < 0 {
+			s.badSpecs.Add(1)
+			http.Error(w, "interfd: X-Deadline must be a non-negative Go duration (e.g. 30s)",
+				http.StatusBadRequest)
+			return
+		}
+		c.deadline = d
+	}
 	resp, serr := s.submit(c)
 	if serr != nil {
 		if serr.status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			ra := serr.retryAfter
+			if ra <= 0 {
+				ra = s.ov.retryAfterSecs(s.queueDepth.Load())
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
 		}
 		http.Error(w, "interfd: "+serr.msg, serr.status)
 		return
@@ -391,24 +422,66 @@ func (s *Server) submit(c *campaign) (*CampaignResponse, *submitError) {
 	return call.resp, call.err
 }
 
-// admit applies the Slurm-style bounded queue: reject when the queue is
-// full, otherwise wait for one of the MaxInflight run slots and
-// execute.
+// admit applies the Slurm-style bounded queue plus the adaptive
+// overload controller: a client over its fair share or a deadline that
+// provably cannot be met is refused before consuming a queue slot, a
+// full queue rejects with a drain-rate-derived Retry-After, and a
+// campaign that sat queued past the CoDel collapse threshold is shed at
+// dequeue instead of serving stale work. Internal submissions (startup
+// recovery) bypass the shedding paths — they are already-accepted work.
 func (s *Server) admit(c *campaign) (*CampaignResponse, *submitError) {
+	shed := func(counterMsg string) *submitError {
+		return &submitError{http.StatusServiceUnavailable, counterMsg,
+			s.ov.retryAfterSecs(s.queueDepth.Load())}
+	}
+	if !c.internal {
+		// A full queue outranks the softer gates: "queue is full" is the
+		// truthful rejection whoever submitted, and fair-share/deadline
+		// shedding should only ever explain a refusal the queue itself
+		// would have admitted. Racy reads are fine — the non-blocking
+		// slot acquire below is the authoritative check.
+		if len(s.queueSlots) >= cap(s.queueSlots) {
+			s.rejected.Add(1)
+			s.logf("rejected campaign %s: queue full (%d waiting)", c.id[:12], s.queueDepth.Load())
+			return nil, shed(fmt.Sprintf("admission queue is full (%d campaigns waiting); retry later", s.queueDepth.Load()))
+		}
+		if !s.ov.reserve(c.client) {
+			s.logf("shed campaign %s: client %s over its fair share", c.id[:12], c.client)
+			return nil, shed("client is over its fair share of the admission queue; retry later")
+		}
+		defer s.ov.release(c.client)
+		if s.ov.overDeadline(len(c.exps), s.queueDepth.Load(), c.deadline) {
+			s.logf("shed campaign %s: estimated cost exceeds the %v deadline", c.id[:12], c.deadline)
+			return nil, shed(fmt.Sprintf("estimated completion exceeds the %v deadline; raise it or retry later", c.deadline))
+		}
+	}
 	select {
 	case s.queueSlots <- struct{}{}:
 	default:
 		s.rejected.Add(1)
 		s.logf("rejected campaign %s: queue full (%d waiting)", c.id[:12], s.queueDepth.Load())
-		return nil, &submitError{http.StatusServiceUnavailable,
-			fmt.Sprintf("admission queue is full (%d campaigns waiting); retry later", s.queueDepth.Load())}
+		return nil, shed(fmt.Sprintf("admission queue is full (%d campaigns waiting); retry later", s.queueDepth.Load()))
 	}
 	defer func() { <-s.queueSlots }()
 
+	enqueued := s.clock.Now()
 	s.queueDepth.Add(1)
 	s.runSlots <- struct{}{}
 	s.queueDepth.Add(-1)
 	defer func() { <-s.runSlots }()
+
+	if !c.internal {
+		sojourn := s.clock.Now().Sub(enqueued)
+		if c.deadline > 0 && sojourn > c.deadline {
+			s.ov.shedDeadline.Add(1)
+			s.logf("shed campaign %s: %v queued exceeds its %v deadline", c.id[:12], sojourn, c.deadline)
+			return nil, shed(fmt.Sprintf("queued %v, past the %v deadline; retry later", sojourn.Round(time.Millisecond), c.deadline))
+		}
+		if s.ov.dequeue(sojourn) {
+			s.logf("shed campaign %s: queue collapsed (%v sojourn)", c.id[:12], sojourn)
+			return nil, shed(fmt.Sprintf("queue collapsed (%v sojourn); shedding to recover, retry later", sojourn.Round(time.Millisecond)))
+		}
+	}
 
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -419,12 +492,26 @@ func (s *Server) admit(c *campaign) (*CampaignResponse, *submitError) {
 	resp := s.runFn(c)
 	resp.WallMs = float64(time.Since(start).Microseconds()) / 1e3
 	s.latency.add(resp.WallMs)
+	s.ov.observe(resp.Cache.Points, len(c.exps), resp.WallMs)
 	s.logState(stateEntry{ID: c.id, Status: "done"})
 	s.completed.Add(1)
 	s.logf("campaign %s: %d experiments on %s in %.0fms (%d/%d points cached, %d errors)",
 		c.id[:12], len(c.exps), c.cluster, resp.WallMs,
 		resp.Cache.Hits+resp.Cache.MemoHits+resp.Cache.FlightHits, resp.Cache.Points, resp.Errors)
 	return resp, nil
+}
+
+// clientKey identifies the submitting client for fair queueing: the
+// X-API-Key header when present, otherwise the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
 }
 
 // runCampaign executes a campaign on the shared shard set, replaying

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -58,6 +59,14 @@ type campaign struct {
 	cluster string       // journal cluster label (preset name or inline spec name)
 	exps    []core.Experiment
 	env     bench.Env
+
+	// Admission metadata (not part of the campaign identity): the
+	// fair-queueing client key, the client's X-Deadline, and whether
+	// this is an internal submission (startup recovery) that must not
+	// be shed by the overload controller.
+	client   string
+	deadline time.Duration
+	internal bool
 }
 
 // parseSpec decodes and validates one submission. Every error is a
