@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz serve load-test chaos-soak failover-drill clean
+.PHONY: all build test test-race verify bench cover cover-check results faults crash examples fuzz fabric serve load-test chaos-soak failover-drill clean
 
 all: build vet test test-race bench
 
@@ -81,12 +81,22 @@ examples:
 	$(GO) run ./examples/faults
 
 # Short fuzz passes: fluid solver invariants, machine-spec JSON
-# parsing, fault-schedule spec parsing, campaign-spec submissions.
+# parsing, fabric-spec JSON parsing, fault-schedule spec parsing,
+# campaign-spec submissions.
 fuzz:
 	$(GO) test ./internal/fluid/ -fuzz FuzzSolverInvariants -fuzztime 30s
 	$(GO) test ./internal/topology/ -fuzz FuzzReadSpec -fuzztime 30s
+	$(GO) test ./internal/topology/ -fuzz FuzzFabricSpec -fuzztime 30s
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzSubmitSpec -fuzztime 30s
+
+# The switched-fabric battery: topology shape/routing invariants, the
+# max-min property storm over random fabrics, the two-node degeneracy
+# differential (fabric vs legacy network, byte-identical), the fabric
+# experiment determinism sweep, and the 1k-host solve budget — all
+# under the race detector.
+fabric:
+	$(GO) test -race -count=1 -run 'Fabric' ./internal/topology/ ./internal/net/ ./internal/bench/ ./internal/runner/ ./internal/server/
 
 # Boot the campaign daemon on :7077 with its cache and durability state
 # under interfd-data/ (clients: `interference -remote http://host:7077`

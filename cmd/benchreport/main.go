@@ -42,6 +42,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/topology"
 )
 
 // Benchmark is one benchmark's measured costs.
@@ -121,14 +122,38 @@ type ServerRun struct {
 	HedgeWinFraction float64 `json:"hedge_win_fraction"`
 }
 
+// FabricRun is the schema-5 switched-fabric measurement: the scale and
+// per-step incremental solve cost of the 1k-host fat-tree benchmark
+// (the CI fabric job ratchets solve_ns_per_op against the sub-second
+// acceptance bar), plus the multi-job interference figure — the mean
+// shared/solo slowdown of three striped jobs on the fat-tree k=4 under
+// both routing policies, run in-process at the golden configuration.
+type FabricRun struct {
+	// SolvePreset/Nodes/Links describe the benchmarked fabric
+	// (fattree-k16: 1024 hosts, 6144 directed links).
+	SolvePreset string `json:"solve_preset"`
+	Nodes       int    `json:"nodes"`
+	Links       int    `json:"links"`
+	// SolveNsPerOp is BenchmarkFabricSolve1k: one start+cancel churn
+	// step (two incremental component re-solves) under 512 routed flows.
+	SolveNsPerOp float64 `json:"solve_ns_per_op"`
+	// SlowdownPreset/SlowdownJobs identify the interference cell;
+	// the two ratios are the mean per-job shared/solo slowdowns.
+	SlowdownPreset           string  `json:"slowdown_preset"`
+	SlowdownJobs             int     `json:"slowdown_jobs"`
+	MultiJobSlowdownMinimal  float64 `json:"multi_job_slowdown_minimal"`
+	MultiJobSlowdownAdaptive float64 `json:"multi_job_slowdown_adaptive"`
+}
+
 // Report is the BENCH_sim.json schema. Schema 2 replaced the single
 // campaign wall with the per-worker-count matrix and the cache run;
 // schema 3 added the campaign-daemon run (server percentiles and remote
 // cache throughput); schema 4 added the robustness figures (shed rate
 // and p99 under a 2x-capacity storm, failover count under a replica
-// kill, hedged-read win fraction). Older schemas stay readable:
-// -totext passes legacy reports through with the missing figures
-// simply absent.
+// kill, hedged-read win fraction); schema 5 added the fabric block
+// (1k-host fat-tree solve cost and the multi-job slowdown ratios).
+// Older schemas stay readable: -totext passes legacy reports through
+// with the missing figures simply absent.
 type Report struct {
 	Schema     int                  `json:"schema"`
 	GoVersion  string               `json:"go_version"`
@@ -139,6 +164,7 @@ type Report struct {
 	Derived  map[string]float64 `json:"derived"`
 	Campaign *Campaign          `json:"campaign,omitempty"`
 	Server   *ServerRun         `json:"server,omitempty"`
+	Fabric   *FabricRun         `json:"fabric,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, with or without
@@ -151,6 +177,7 @@ func main() {
 		out        = flag.String("out", "BENCH_sim.json", "report destination")
 		campaign   = flag.Bool("campaign", true, "also run and time the full golden campaign in-process")
 		withServer = flag.Bool("server", true, "also boot an in-process campaign daemon and measure service latency and cache-protocol throughput")
+		withFabric = flag.Bool("fabric", true, "also record the fabric block: 1k-host solve cost and the in-process multi-job slowdown")
 		clients    = flag.Int("clients", 8, "concurrent clients for the daemon measurement")
 		cluster    = flag.String("cluster", "henri", "campaign cluster preset")
 		jobsList   = flag.String("jobs", "1,4,8", "comma-separated worker counts for the cold cache-disabled walls")
@@ -173,7 +200,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep := Report{
-		Schema:     4,
+		Schema:     5,
 		GoVersion:  runtime.Version(),
 		Benchmarks: benches,
 		Derived:    derive(benches),
@@ -198,6 +225,14 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Server = sr
+	}
+	if *withFabric {
+		fr, err := timeFabric(*cluster, benches)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		rep.Fabric = fr
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -243,6 +278,48 @@ func main() {
 		fmt.Printf("  robustness: 2x-overload shed %.0f%% / p99 %.2fms, %d failover(s) under a replica kill, hedge wins %.0f%%\n",
 			100*sr.ShedRate, sr.OverloadP99Ms, sr.FailoverCount, 100*sr.HedgeWinFraction)
 	}
+	if f := rep.Fabric; f != nil {
+		fmt.Printf("  fabric: %s (%d hosts, %d links) solve %.0f ns/step; %s j=%d slowdown minimal %.2fx adaptive %.2fx\n",
+			f.SolvePreset, f.Nodes, f.Links, f.SolveNsPerOp,
+			f.SlowdownPreset, f.SlowdownJobs, f.MultiJobSlowdownMinimal, f.MultiJobSlowdownAdaptive)
+	}
+}
+
+// timeFabric assembles the schema-5 fabric block: shape and solve cost
+// of the benchmarked 1k-host fat-tree (the ns/op comes from the parsed
+// BenchmarkFabricSolve1k line) plus the in-process multi-job slowdown
+// of three striped jobs on the fat-tree k=4, the golden interference
+// cell, under both routing policies.
+func timeFabric(cluster string, benches map[string]Benchmark) (*FabricRun, error) {
+	spec := topology.FabricPreset("fattree-k16")
+	if spec == nil {
+		return nil, fmt.Errorf("fabric: fattree-k16 preset missing")
+	}
+	fab, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	fr := &FabricRun{
+		SolvePreset:    "fattree-k16",
+		Nodes:          fab.NHosts,
+		Links:          len(fab.Links),
+		SolveNsPerOp:   benches["BenchmarkFabricSolve1k"].NsPerOp,
+		SlowdownPreset: "fattree-k4",
+		SlowdownJobs:   3,
+	}
+	env, err := core.Env(cluster, 1, 3)
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range bench.FabricInterference(env, fr.SlowdownPreset, []int{fr.SlowdownJobs}) {
+		switch cell.Routing {
+		case "minimal":
+			fr.MultiJobSlowdownMinimal = cell.SlowdownMean
+		case "adaptive":
+			fr.MultiJobSlowdownAdaptive = cell.SlowdownMean
+		}
+	}
+	return fr, nil
 }
 
 // parseJobs parses the -jobs list ("1,4,8") into worker counts.
@@ -780,6 +857,18 @@ func emitText(path string) error {
 		// passthrough: nothing is printed, benchstat sees no row).
 		if sr.OverloadP99Ms > 0 {
 			fmt.Printf("BenchmarkServerOverloadP99 1 %.6g ns/op\n", sr.OverloadP99Ms*1e6)
+		}
+	}
+	if f := rep.Fabric; f != nil {
+		// Schema-5 figures (BenchmarkFabricSolve1k itself already rides in
+		// the benchmarks map). The slowdown rows carry dimensionless
+		// ratios in the ns/op column so benchstat tracks them too; pre-5
+		// reports simply lack the block and print nothing.
+		if f.MultiJobSlowdownMinimal > 0 {
+			fmt.Printf("BenchmarkFabricSlowdownMinimalJ%d 1 %.6g ns/op\n", f.SlowdownJobs, f.MultiJobSlowdownMinimal)
+		}
+		if f.MultiJobSlowdownAdaptive > 0 {
+			fmt.Printf("BenchmarkFabricSlowdownAdaptiveJ%d 1 %.6g ns/op\n", f.SlowdownJobs, f.MultiJobSlowdownAdaptive)
 		}
 	}
 	return nil

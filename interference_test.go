@@ -106,8 +106,8 @@ func TestInterfereValidation(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	es := Experiments()
-	if len(es) != 23 {
-		t.Fatalf("%d experiments, want 23", len(es))
+	if len(es) != 26 {
+		t.Fatalf("%d experiments, want 26", len(es))
 	}
 	ids := map[string]bool{}
 	for _, e := range es {

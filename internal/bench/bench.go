@@ -47,6 +47,13 @@ type Env struct {
 	// cache. Nil runs sweep points inline, serially, with identical
 	// output.
 	Sched PointRunner
+	// Fabric, when non-nil, replaces the legacy two-node full mesh with
+	// a routed fabric (internal/topology) in every world the drivers
+	// build. The paper's experiments are two-ranked, so the fabric must
+	// have exactly two hosts (the "two-node" preset degenerates
+	// byte-identically to the legacy network); the fabric-* experiment
+	// family sizes its own clusters and ignores this field.
+	Fabric *topology.FabricSpec
 }
 
 // Isolated returns a copy of the environment that shares no mutable
@@ -56,6 +63,10 @@ type Env struct {
 func (e Env) Isolated() Env {
 	e.Spec = e.Spec.Clone()
 	e.Meter = &Meter{}
+	if e.Fabric != nil {
+		fab := *e.Fabric
+		e.Fabric = &fab
+	}
 	return e
 }
 
@@ -171,7 +182,14 @@ func computeCores(spec *topology.NodeSpec, n, commCore int) []int {
 func newWorld(env Env, seed int64) (*machine.Cluster, *mpi.World) {
 	c := machine.NewCluster(env.Spec, 2, seed)
 	env.track(c.K)
-	nw := net.New(c)
+	var nw *net.Network
+	if env.Fabric != nil {
+		// NewFabric rejects a fabric whose host count differs from the
+		// cluster's two ranks.
+		nw = net.NewFabric(c, env.Fabric, false)
+	} else {
+		nw = net.New(c)
+	}
 	if env.Faults != nil {
 		nw.InstallFaults(fault.NewInjector(c, env.Faults, seed))
 	}

@@ -330,6 +330,35 @@ func init() {
 		},
 	})
 	register(Experiment{
+		ID:    "fabric-pingpong",
+		Title: "FABRIC: diameter ping on idle fat-tree and dragonfly+ (minimal ≡ adaptive routing)",
+		Sweep: "points: 2 presets x 2 routing policies",
+		Run: func(env bench.Env) []*trace.Table {
+			cells := bench.FabricPingPong(env, []string{"fattree-k4", "dflyplus-small"})
+			return []*trace.Table{bench.FabricPingTable(cells)}
+		},
+	})
+	register(Experiment{
+		ID:    "fabric-interference",
+		Title: "FABRIC: inter-job slowdown of striped jobs sharing a fat-tree (Kang-style)",
+		Sweep: "points: 3 job counts x 2 routing policies",
+		Run: func(env bench.Env) []*trace.Table {
+			cells := bench.FabricInterference(env, "fattree-k4", []int{1, 2, 3})
+			return []*trace.Table{bench.FabricInterferenceTable(
+				"Fabric — inter-job interference on fat-tree k=4 (16 hosts, striped placement)", cells)}
+		},
+	})
+	register(Experiment{
+		ID:    "fabric-dfly",
+		Title: "FABRIC: inter-job slowdown of striped jobs sharing a dragonfly+",
+		Sweep: "points: 3 job counts x 2 routing policies",
+		Run: func(env bench.Env) []*trace.Table {
+			cells := bench.FabricInterference(env, "dflyplus-small", []int{1, 2, 3})
+			return []*trace.Table{bench.FabricInterferenceTable(
+				"Fabric — inter-job interference on dragonfly+ 4x2x2 (16 hosts, striped placement)", cells)}
+		},
+	})
+	register(Experiment{
 		ID:    "sec5.2",
 		Title: "Latency overhead of the task-based runtime (§5.2)",
 		Run: func(env bench.Env) []*trace.Table {

@@ -11,6 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "ext-collectives", "ext-energy", "ext-overlap", "ext-sched", "ext-throttle", "ext-tuner",
+		"fabric-dfly", "fabric-interference", "fabric-pingpong",
 		"faults-crash-cg", "faults-crash-pingpong", "faults-overlap", "faults-pingpong",
 		"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "sec5.2", "tab1"}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Network connects the nodes of a cluster with point-to-point
@@ -35,6 +36,16 @@ type Network struct {
 	// the Start that consumes it). The exported DMAUses keeps allocating
 	// because callers may retain its result.
 	useBuf []fluid.Use
+
+	// Fabric mode (NewFabric): transfers route over an explicit
+	// switched topology instead of the dedicated per-pair wires above.
+	fab      *topology.Fabric
+	links    []*fluid.Resource // one per directed fabric link
+	adaptive bool
+	loadFn   topology.LoadFunc // links[i].Utilization, for adaptive routing
+	routeBuf []int             // scratch for Route (same discipline as useBuf)
+	linkBase float64           // healthy per-link capacity, B/s
+	hopLat   float64           // per-switch-hop latency, ns
 }
 
 // New builds the interconnect for a cluster.
@@ -59,6 +70,10 @@ func New(c *machine.Cluster) *Network {
 // corruption and comm-thread hangs.
 func (nw *Network) InstallFaults(inj *fault.Injector) {
 	nw.inj = inj
+	if nw.fab != nil {
+		inj.BindWires(nw.scaleFabricLinks)
+		return
+	}
 	base := nw.cluster.Spec.NIC.WireGBs * 1e9
 	inj.BindWires(func(from, to int, factor float64) {
 		if from < 0 { // every wire, in deterministic order
@@ -207,9 +222,9 @@ func (nw *Network) dmaUses(buf []fluid.Use, src *machine.Node, srcNUMA int, dst 
 	if srcNUMA != src.Spec.NIC.NUMA {
 		uses = append(uses, fluid.Use{Resource: src.Link(srcNUMA, src.Spec.NIC.NUMA), Weight: 1})
 	}
+	uses = append(uses, fluid.Use{Resource: src.PCIeTx, Weight: 1})
+	uses = nw.pathUses(uses, src.ID, dst.ID)
 	uses = append(uses,
-		fluid.Use{Resource: src.PCIeTx, Weight: 1},
-		fluid.Use{Resource: nw.Wire(src.ID, dst.ID), Weight: 1},
 		fluid.Use{Resource: dst.PCIeRx, Weight: 1},
 		fluid.Use{Resource: dst.NUMA(dstNUMA).Ctrl, Weight: 1},
 	)
@@ -314,7 +329,9 @@ func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int6
 	nw.useBuf = append(nw.useBuf[:0],
 		fluid.Use{Resource: src.NUMA(src.Spec.NIC.NUMA).Ctrl, Weight: 1},
 		fluid.Use{Resource: src.PCIeTx, Weight: 1},
-		fluid.Use{Resource: nw.Wire(src.ID, dst.ID), Weight: 1},
+	)
+	nw.useBuf = nw.pathUses(nw.useBuf, src.ID, dst.ID)
+	nw.useBuf = append(nw.useBuf,
 		fluid.Use{Resource: dst.PCIeRx, Weight: 1},
 		fluid.Use{Resource: dst.NUMA(dst.Spec.NIC.NUMA).Ctrl, Weight: 1},
 	)

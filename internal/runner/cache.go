@@ -223,9 +223,17 @@ func pointBaseKey(env bench.Env) string {
 	if env.Faults != nil {
 		faults = env.Faults.String()
 	}
+	fabric := ""
+	if env.Fabric != nil {
+		if b, err := json.Marshal(env.Fabric); err == nil {
+			fabric = string(b)
+		} else {
+			fabric = err.Error()
+		}
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "schema=%d|sweep=%d|fluid=%d|%s|seed=%d|runs=%d|faults=%s",
-		bench.PointSchema, bench.SweepVersion, fluid.Version, spec, env.Seed, env.Runs, faults)
+	fmt.Fprintf(h, "schema=%d|sweep=%d|fluid=%d|%s|seed=%d|runs=%d|faults=%s|fabric=%s",
+		bench.PointSchema, bench.SweepVersion, fluid.Version, spec, env.Seed, env.Runs, faults, fabric)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+)
+
+// TestServerFabricMatchesLocal completes the multi-job determinism
+// lock: the fabric-interference campaign (3 concurrent jobs on one
+// shared fat-tree) served by the daemon — cold cache, then fully
+// replayed warm — must render byte-identically to the in-process run.
+// Together with the runner-level worker-count and cache-state sweeps
+// this covers every execution mode the harness offers.
+func TestServerFabricMatchesLocal(t *testing.T) {
+	want := localRendered(t, "henri", 1, 1, "fabric-interference", "fabric-pingpong")
+	_, ts := newTestServer(t, Config{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	spec := CampaignSpec{Experiments: []string{"fabric-interference", "fabric-pingpong"}, Seed: 1, Runs: 1}
+	for _, phase := range []string{"cold", "warm"} {
+		code, body, cr := postSpec(t, ts.URL, spec)
+		if code != http.StatusOK {
+			t.Fatalf("%s submit: %d: %s", phase, code, body)
+		}
+		if cr.Errors != 0 || len(cr.Results) != 2 {
+			t.Fatalf("%s response: %d errors, %d results", phase, cr.Errors, len(cr.Results))
+		}
+		for i, er := range cr.Results {
+			if er.Rendered != want[i] {
+				t.Errorf("%s %s differs from the local run:\n got %q\nwant %q", phase, er.ID, er.Rendered, want[i])
+			}
+		}
+	}
+}

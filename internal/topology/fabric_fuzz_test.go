@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFabricSpec feeds arbitrary bytes through the fabric-spec JSON
+// loading path. Malformed specs must be rejected with an error — never
+// a panic — and every accepted spec must satisfy the Validate bounds,
+// build a routable fabric, and survive a marshal/parse round-trip
+// unchanged.
+func FuzzFabricSpec(f *testing.F) {
+	for _, name := range FabricPresetNames() {
+		data, err := json.Marshal(FabricPreset(name))
+		if err != nil {
+			f.Fatalf("marshal preset %s: %v", name, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"kind":"direct","hosts":-2}`))
+	f.Add([]byte(`{"kind":"direct","hosts":99999999}`))
+	f.Add([]byte(`{"kind":"fat-tree","k":3}`))
+	f.Add([]byte(`{"kind":"fat-tree","k":4,"groups":7}`))
+	f.Add([]byte(`{"kind":"dragonfly+","groups":64,"routersPerGroup":32,"hostsPerRouter":64}`))
+	f.Add([]byte(`{"kind":"fat-tree","k":4,"linkGBs":-5}`))
+	f.Add([]byte(`{"kind":"fat-tree","k":4,"hopLatencyNs":1e308}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadFabricSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted specs must be inside the Validate bounds and build a
+		// fabric with a sane shape.
+		fab, err := s.Build()
+		if err != nil {
+			t.Fatalf("validated spec %+v failed to build: %v", *s, err)
+		}
+		if fab.NHosts < 2 || fab.NHosts > maxFabricHosts {
+			t.Fatalf("spec %+v built %d hosts", *s, fab.NHosts)
+		}
+		if len(fab.Links) == 0 {
+			t.Fatalf("spec %+v built no links", *s)
+		}
+		total := fab.NHosts + fab.NSwitches
+		for i, l := range fab.Links {
+			if l.From < 0 || l.From >= total || l.To < 0 || l.To >= total || l.From == l.To {
+				t.Fatalf("spec %+v link %d = %+v out of range", *s, i, l)
+			}
+		}
+		// Spot-check routability: corner pair plus a mid pair.
+		var buf []int
+		for _, pair := range [][2]int{{0, fab.NHosts - 1}, {fab.NHosts / 2, 0}} {
+			src, dst := pair[0], pair[1]
+			if src == dst {
+				continue
+			}
+			buf = fab.Route(src, dst, nil, buf)
+			at := src
+			for _, li := range buf {
+				if fab.Links[li].From != at {
+					t.Fatalf("spec %+v: disconnected route %d→%d: %v", *s, src, dst, buf)
+				}
+				at = fab.Links[li].To
+			}
+			if at != dst || len(buf) > fab.Diameter() {
+				t.Fatalf("spec %+v: bad route %d→%d: %v", *s, src, dst, buf)
+			}
+		}
+		// Round-trip stability.
+		var out bytes.Buffer
+		if err := WriteFabricSpec(&out, s); err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		s2, err := ReadFabricSpec(&out)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if *s2 != *s {
+			t.Fatalf("round trip changed spec: %+v → %+v", *s, *s2)
+		}
+	})
+}
