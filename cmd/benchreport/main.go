@@ -27,7 +27,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -145,15 +144,33 @@ type FabricRun struct {
 	MultiJobSlowdownAdaptive float64 `json:"multi_job_slowdown_adaptive"`
 }
 
+// PointRun is the schema-6 per-point cost block the CI ratchet tracks:
+// the steady-state cost of executing one sweep point (from
+// BenchmarkExecutePoint, which runs the pingpong kernel through the
+// pooled-environment path) and the end-to-end cold/warm campaign walls
+// against a fresh pack-segment point cache.
+type PointRun struct {
+	NsPerPoint     float64 `json:"ns_per_point"`
+	BytesPerPoint  float64 `json:"bytes_per_point"`
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	// ColdCampaignSeconds duplicates campaign.cache.cold_wall_seconds
+	// (and warm likewise) under a stable ratchet-friendly name: CI
+	// greps these two fields and allocs_per_point.
+	ColdCampaignSeconds float64 `json:"cold_campaign_seconds"`
+	WarmCampaignSeconds float64 `json:"warm_campaign_seconds"`
+}
+
 // Report is the BENCH_sim.json schema. Schema 2 replaced the single
 // campaign wall with the per-worker-count matrix and the cache run;
 // schema 3 added the campaign-daemon run (server percentiles and remote
 // cache throughput); schema 4 added the robustness figures (shed rate
 // and p99 under a 2x-capacity storm, failover count under a replica
 // kill, hedged-read win fraction); schema 5 added the fabric block
-// (1k-host fat-tree solve cost and the multi-job slowdown ratios).
-// Older schemas stay readable: -totext passes legacy reports through
-// with the missing figures simply absent.
+// (1k-host fat-tree solve cost and the multi-job slowdown ratios);
+// schema 6 added the point block (per-point execution cost and the
+// cold/warm campaign walls, both CI-ratcheted). Older schemas stay
+// readable: -totext passes legacy reports through with the missing
+// figures simply absent.
 type Report struct {
 	Schema     int                  `json:"schema"`
 	GoVersion  string               `json:"go_version"`
@@ -165,6 +182,7 @@ type Report struct {
 	Campaign *Campaign          `json:"campaign,omitempty"`
 	Server   *ServerRun         `json:"server,omitempty"`
 	Fabric   *FabricRun         `json:"fabric,omitempty"`
+	Point    *PointRun          `json:"point,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, with or without
@@ -200,10 +218,17 @@ func main() {
 		os.Exit(1)
 	}
 	rep := Report{
-		Schema:     5,
+		Schema:     6,
 		GoVersion:  runtime.Version(),
 		Benchmarks: benches,
 		Derived:    derive(benches),
+	}
+	if ep, ok := benches["BenchmarkExecutePoint"]; ok {
+		rep.Point = &PointRun{
+			NsPerPoint:     ep.NsPerOp,
+			BytesPerPoint:  ep.BytesPerOp,
+			AllocsPerPoint: ep.AllocsPerOp,
+		}
 	}
 	if *campaign {
 		counts, err := parseJobs(*jobsList)
@@ -217,6 +242,10 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Campaign = c
+		if rep.Point != nil && c.Cache != nil {
+			rep.Point.ColdCampaignSeconds = c.Cache.ColdWallSeconds
+			rep.Point.WarmCampaignSeconds = c.Cache.WarmWallSeconds
+		}
 	}
 	if *withServer {
 		sr, err := timeServer(*cluster, *clients)
@@ -282,6 +311,11 @@ func main() {
 		fmt.Printf("  fabric: %s (%d hosts, %d links) solve %.0f ns/step; %s j=%d slowdown minimal %.2fx adaptive %.2fx\n",
 			f.SolvePreset, f.Nodes, f.Links, f.SolveNsPerOp,
 			f.SlowdownPreset, f.SlowdownJobs, f.MultiJobSlowdownMinimal, f.MultiJobSlowdownAdaptive)
+	}
+	if p := rep.Point; p != nil {
+		fmt.Printf("  point: %.0f ns, %.0f B, %.0f allocs per executed point; campaign cold %.2fs warm %.2fs\n",
+			p.NsPerPoint, p.BytesPerPoint, p.AllocsPerPoint,
+			p.ColdCampaignSeconds, p.WarmCampaignSeconds)
 	}
 }
 
@@ -786,20 +820,24 @@ func submitSpec(base string, spec server.CampaignSpec) error {
 	return nil
 }
 
-// cacheSums harvests every stored content address (file name minus
-// .json) from a point-cache directory.
+// cacheSums harvests every stored content address from a point-cache
+// directory — pack segments and legacy loose files alike — sorted so
+// the read storms hit addresses in a deterministic order.
 func cacheSums(dir string) ([]string, error) {
+	cache, err := runner.OpenPointCache(dir)
+	if err != nil {
+		return nil, err
+	}
 	var sums []string
-	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() {
-			return err
-		}
-		if name, ok := strings.CutSuffix(filepath.Base(path), ".json"); ok {
-			sums = append(sums, name)
-		}
+	err = cache.Entries(func(sum string, _ []byte) error {
+		sums = append(sums, sum)
 		return nil
 	})
-	return sums, err
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(sums)
+	return sums, nil
 }
 
 // emitText converts a BENCH_sim.json back into Go benchmark text

@@ -22,6 +22,8 @@
 //	interference -all -j 8 -verify      # diff against results/ goldens
 //	interference -all -update           # regenerate results/ goldens
 //	interference -all -no-cache         # force recomputation of all points
+//	interference -all -cache-stats      # campaign + cache occupancy/hit-rate recap
+//	interference -compact -cache-stats  # migrate legacy loose entries into a pack
 package main
 
 import (
@@ -80,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit (whole process: with -j>1 all workers share one profile)")
 		cacheDir = fs.String("cache", "results/.cache", "persistent point cache: a directory, or comma-separated interfd base URLs (http://...) to share a remote cache (several replicas hedge reads)")
 		noCache  = fs.Bool("no-cache", false, "disable the persistent point cache (in-memory dedup stays on)")
+		cacheTop = fs.Bool("cache-stats", false, "print the point cache's disk occupancy (pack segments, pending writes, loose shards) and hit rate after the campaign (requires a local directory -cache)")
+		compact  = fs.Bool("compact", false, "migrate the cache's legacy loose JSON entries into a pack segment and exit (combine with -cache-stats to print the resulting occupancy)")
 		remote   = fs.String("remote", "", "comma-separated interfd base URLs (e.g. http://a:7077,http://b:7077): submit the campaign to a healthy replica instead of executing locally, failing over on errors")
 		deadline = fs.Duration("deadline", 0, "client deadline sent with a -remote submission (X-Deadline): the daemon refuses campaigns it predicts cannot finish in time; 0 sends none")
 		chaosStr = fs.String("chaos", "", "chaos schedule injected into daemon HTTP traffic, e.g. \"refuse:p=0.2;http:status=503,p=0.1\" (requires -remote or an http:// -cache)")
@@ -114,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			{"j", "the daemon sizes its own worker shards"},
 			{"cache", "the daemon owns the point cache"},
 			{"no-cache", "the daemon owns the point cache"},
+			{"cache-stats", "the daemon owns the point cache"},
+			{"compact", "the daemon owns the point cache"},
 			{"journal", "the daemon journals campaigns itself"},
 			{"resume", "the daemon journals campaigns itself"},
 			{"timeout", "attempt deadlines are a daemon-side setting"},
@@ -142,6 +148,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// was chaos-free" an invariant rather than a hope.
 	remoteCacheURL := !*noCache &&
 		(strings.HasPrefix(*cacheDir, "http://") || strings.HasPrefix(*cacheDir, "https://"))
+	if *cacheTop && (*noCache || remoteCacheURL) {
+		fmt.Fprintln(stderr, "interference: -cache-stats requires a local directory -cache (disk occupancy is a local-cache concept)")
+		return 2
+	}
+	if *compact {
+		if *noCache || remoteCacheURL {
+			fmt.Fprintln(stderr, "interference: -compact requires a local directory -cache (there are no loose files to migrate elsewhere)")
+			return 2
+		}
+		cache, err := runner.OpenPointCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 2
+		}
+		n, err := cache.Compact()
+		if err != nil {
+			fmt.Fprintln(stderr, "interference:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "compacted %d loose entr%s into a pack segment [%s]\n",
+			n, map[bool]string{true: "y", false: "ies"}[n == 1], *cacheDir)
+		if *cacheTop {
+			ds := cache.DiskStats()
+			fmt.Fprintf(stderr, "cache disk: %d pack segment(s) holding %d record(s), %d pending write(s), %d loose JSON file(s) across %d shard dir(s)\n",
+				ds.Packs, ds.PackedEntries, ds.PendingEntries, ds.LooseEntries, ds.LooseShards)
+		}
+		return 0
+	}
 	var chaosRT http.RoundTripper
 	if *chaosStr != "" {
 		if *remote == "" && !remoteCacheURL {
@@ -309,6 +343,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheLabel := "persistent cache disabled"
 	var results <-chan runner.Result
 	var breaker *runner.Breaker
+	var localCache *runner.PointCache
 	var remoteResp *server.CampaignResponse
 	var replicaSet *replica.Set
 	var hedged *replica.Cache
@@ -371,6 +406,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return 2
 				}
 				opts.Cache = cache
+				localCache = cache
 			}
 			cacheLabel = *cacheDir
 		}
@@ -446,6 +482,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, line)
 		}
 	}
+	if localCache != nil {
+		// The cache is write-behind: stored points sit in a pending
+		// buffer until a pack segment flushes. Close here so this
+		// campaign's records survive into the next invocation. A flush
+		// failure forfeits future hits, never correctness — warn, keep
+		// the exit code.
+		if err := localCache.Close(); err != nil {
+			fmt.Fprintf(stderr, "interference: cache flush warning: %v\n", err)
+		}
+	}
 	if !*quiet && len(done) > 1 {
 		fmt.Fprintln(stderr)
 		if err := core.WriteTables(stderr, "ascii", []*trace.Table{runner.Summary(done)}); err != nil {
@@ -469,6 +515,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		line += " [" + cacheLabel + "]"
 		fmt.Fprintln(stderr, line)
+	}
+	if *cacheTop && localCache != nil {
+		// Explicitly requested, so it prints even under -q. Runs after
+		// Close: the occupancy shown is what the next invocation finds.
+		ds := localCache.DiskStats()
+		fmt.Fprintf(stderr, "cache disk: %d pack segment(s) holding %d record(s), %d pending write(s), %d loose JSON file(s) across %d shard dir(s)\n",
+			ds.Packs, ds.PackedEntries, ds.PendingEntries, ds.LooseEntries, ds.LooseShards)
+		fmt.Fprintf(stderr, "cache hit rate: %.0f%% (%d of %d points served without executing)\n",
+			stats.HitRate()*100,
+			atomic.LoadInt64(&stats.Hits)+atomic.LoadInt64(&stats.MemoHits), stats.Points())
 	}
 	if !*quiet && breaker != nil {
 		if bs := breaker.Stats(); bs.Trips > 0 {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // runCLI drives run() and returns exit code, stdout, stderr. The
@@ -160,6 +164,138 @@ func TestCacheWarmRunIdenticalAndRecapped(t *testing.T) {
 	}
 	if !strings.Contains(warmErr, "0 computed (100% served without executing)") {
 		t.Fatalf("warm recap does not show a fully served run:\n%s", warmErr)
+	}
+}
+
+// TestCacheStatsFlag: -cache-stats prints disk occupancy (pack
+// segments, pending writes, loose shards) and the hit rate, even under
+// -q. A cold run flushes one pack at exit; a warm run is fully served.
+func TestCacheStatsFlag(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-exp", "fig3", "-runs", "1", "-q", "-cache", cacheDir, "-cache-stats"}
+	runCached := func() (int, string) {
+		var stdout, stderr strings.Builder
+		code := run(args, &stdout, &stderr)
+		return code, stderr.String()
+	}
+
+	code, cold := runCached()
+	if code != 0 {
+		t.Fatalf("cold run exit %d: %s", code, cold)
+	}
+	if !strings.Contains(cold, "cache disk: 1 pack segment(s)") {
+		t.Fatalf("cold run did not report the flushed pack:\n%s", cold)
+	}
+	if !strings.Contains(cold, "0 pending write(s)") {
+		t.Fatalf("cold run reports unflushed pending writes:\n%s", cold)
+	}
+
+	code, warm := runCached()
+	if code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, warm)
+	}
+	if !strings.Contains(warm, "cache hit rate: 100%") {
+		t.Fatalf("warm run not fully served:\n%s", warm)
+	}
+}
+
+// TestCacheStatsNeedsLocalCache: disk occupancy is a local-cache
+// concept; -cache-stats with -no-cache or a remote cache URL is a
+// usage error.
+func TestCacheStatsNeedsLocalCache(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-no-cache"},
+		{"-cache", "http://localhost:1"},
+	} {
+		var stdout, stderr strings.Builder
+		args := append([]string{"-exp", "fig3", "-cache-stats"}, extra...)
+		code := run(args, &stdout, &stderr)
+		if code != 2 || !strings.Contains(stderr.String(), "-cache-stats") {
+			t.Fatalf("%v: exit %d, stderr %q", extra, code, stderr.String())
+		}
+	}
+}
+
+// TestCompactFlag walks the whole legacy-migration loop through the
+// CLI: a campaign populates a pack cache, the packs are rewritten as
+// legacy loose JSON files (what a pre-pack cache directory looks
+// like), a warm campaign serves fully from the loose tier and renders
+// the same bytes, -compact migrates the loose files into a pack, and
+// a final warm campaign still serves fully and byte-identically.
+func TestCompactFlag(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	campaign := func(extra ...string) (int, string, string) {
+		var stdout, stderr strings.Builder
+		args := append([]string{"-exp", "fig3", "-runs", "1", "-cache", cacheDir}, extra...)
+		code := run(args, &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+	code, cold, stderr := campaign()
+	if code != 0 {
+		t.Fatalf("cold run exit %d: %s", code, stderr)
+	}
+
+	// Downgrade the cache to the legacy layout: every packed record
+	// becomes one JSON file under its two-hex shard, and the packs go.
+	cache, err := runner.OpenPointCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := 0
+	err = cache.Entries(func(sum string, data []byte) error {
+		var rec bench.PointRecord
+		if err := rec.DecodeBinary(data); err != nil {
+			return err
+		}
+		buf, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		loose++
+		return os.WriteFile(filepath.Join(cacheDir, sum[:2], sum+".json"), buf, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose == 0 {
+		t.Fatal("cold run stored no cache entries")
+	}
+	if err := os.RemoveAll(filepath.Join(cacheDir, "packs")); err != nil {
+		t.Fatal(err)
+	}
+
+	code, warm, warmErr := campaign()
+	if code != 0 {
+		t.Fatalf("legacy warm run exit %d: %s", code, warmErr)
+	}
+	if warm != cold {
+		t.Fatalf("legacy warm stdout differs from cold:\n%q\n%q", cold, warm)
+	}
+	if !strings.Contains(warmErr, "0 computed (100% served without executing)") {
+		t.Fatalf("legacy layout not fully served:\n%s", warmErr)
+	}
+
+	var stdoutB, stderrB strings.Builder
+	code = run([]string{"-compact", "-cache-stats", "-cache", cacheDir}, &stdoutB, &stderrB)
+	if code != 0 {
+		t.Fatalf("-compact exit %d: %s", code, stderrB.String())
+	}
+	if !strings.Contains(stdoutB.String(), "compacted") {
+		t.Fatalf("-compact did not report a count: %q", stdoutB.String())
+	}
+	if !strings.Contains(stderrB.String(), "0 loose JSON file(s)") {
+		t.Fatalf("loose files survived compaction:\n%s", stderrB.String())
+	}
+
+	code, packed, packedErr := campaign()
+	if code != 0 {
+		t.Fatalf("post-compact warm run exit %d: %s", code, packedErr)
+	}
+	if packed != cold {
+		t.Fatalf("post-compact stdout differs from cold:\n%q\n%q", cold, packed)
+	}
+	if !strings.Contains(packedErr, "0 computed (100% served without executing)") {
+		t.Fatalf("compacted cache not fully served:\n%s", packedErr)
 	}
 }
 

@@ -54,6 +54,17 @@ type Env struct {
 	// byte-identically to the legacy network); the fabric-* experiment
 	// family sizes its own clusters and ignores this field.
 	Fabric *topology.FabricSpec
+	// NoPool disables world recycling for points run under this
+	// environment: every newWorld builds from scratch even when the
+	// arena holds a compatible drained world. The differential tests use
+	// it to check that pooled and fresh execution produce byte-identical
+	// records; production campaigns leave it false.
+	NoPool bool
+
+	// keeper, set by ExecutePoint on the point's isolated clone,
+	// collects the worlds the point builds so they can be recycled once
+	// its record is sealed. Nil outside point execution (no pooling).
+	keeper *worldKeeper
 }
 
 // Isolated returns a copy of the environment that shares no mutable
@@ -67,6 +78,10 @@ func (e Env) Isolated() Env {
 		fab := *e.Fabric
 		e.Fabric = &fab
 	}
+	// World recycling is scoped to one point execution; an isolated
+	// clone starts outside any such scope (ExecutePoint installs its
+	// own keeper explicitly).
+	e.keeper = nil
 	return e
 }
 
@@ -180,6 +195,26 @@ func computeCores(spec *topology.NodeSpec, n, commCore int) []int {
 // carries a fault schedule, a fresh injector (seeded from this world's
 // seed) is installed on the network before the MPI world binds to it.
 func newWorld(env Env, seed int64) (*machine.Cluster, *mpi.World) {
+	// Healthy legacy-network worlds built inside a point execution are
+	// recycled through the arena: a pooled world is rewound to exactly
+	// the state a fresh build would have, so the event sequence — and
+	// therefore every golden — is unchanged.
+	poolable := env.keeper != nil && !env.NoPool && env.Faults == nil && env.Fabric == nil
+	if poolable {
+		if pw, ok := arena.get(machine.ShapeOf(env.Spec)); ok {
+			pw.c.Reset(env.Spec, seed)
+			pw.w.Network().Reset()
+			pw.w.Reset()
+			env.track(pw.c.K)
+			if env.Meter != nil {
+				for _, n := range pw.c.Nodes {
+					env.Meter.TrackCounters(n.Counters)
+				}
+			}
+			env.keeper.worlds = append(env.keeper.worlds, pw)
+			return pw.c, pw.w
+		}
+	}
 	c := machine.NewCluster(env.Spec, 2, seed)
 	env.track(c.K)
 	var nw *net.Network
@@ -198,11 +233,15 @@ func newWorld(env Env, seed int64) (*machine.Cluster, *mpi.World) {
 			env.Meter.TrackCounters(n.Counters)
 		}
 	}
+	w := mpi.NewWorld(c, nw)
+	if poolable {
+		env.keeper.worlds = append(env.keeper.worlds, pooledWorld{c: c, w: w})
+	}
 	// Note: node-crash schedules additionally need the heartbeat failure
 	// detector, but arming it here would keep every kernel alive forever
 	// (the monitors tick until stopped, so Run() would never drain). The
 	// crash-aware drivers arm it themselves and Stop() it when done.
-	return c, mpi.NewWorld(c, nw)
+	return c, w
 }
 
 // applyComm binds the communication threads and builds the ping-pong.

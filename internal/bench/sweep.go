@@ -95,6 +95,10 @@ func ExecutePoint(env Env, p Point) PointRecord {
 	// unit of scheduling, and re-entering the pool from inside a worker
 	// would only add queueing overhead.
 	iso.Sched = nil
+	// Worlds built for this point are recycled through the arena once
+	// the record below is sealed (see arena.go).
+	iso.keeper = &worldKeeper{}
+	defer releaseWorlds(iso.keeper)
 	rec := PointRecord{Schema: PointSchema, Key: p.Key}
 	var v any
 	func() {

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/kernels"
 )
 
 // TestExecutePointIsolation: a point mutating its spec must not leak the
@@ -170,11 +172,33 @@ func BenchmarkInterferencePoint(b *testing.B) {
 // BenchmarkExecutePoint measures the full point envelope: isolation,
 // execution, and JSON canonicalisation of the record.
 func BenchmarkExecutePoint(b *testing.B) {
+	benchExecutePoint(b, ComputeConfig{})
+}
+
+// The per-kernel-family variants run the same envelope with each family
+// of compute kernel alongside the ping-pong, so an allocation
+// regression in one kernel's exec path (roofline accounting, stream
+// census, placement) is attributed to its family instead of vanishing
+// into the aggregate.
+func BenchmarkExecutePointPingpong(b *testing.B) {
+	benchExecutePoint(b, ComputeConfig{})
+}
+
+func BenchmarkExecutePointCG(b *testing.B) {
+	benchExecutePoint(b, ComputeConfig{Slice: kernels.CGBlock(64, 64, -1), Cores: 3, MinIters: 2})
+}
+
+func BenchmarkExecutePointTriad(b *testing.B) {
+	benchExecutePoint(b, ComputeConfig{Slice: kernels.StreamTriad(1<<14, 0), Cores: 2, MinIters: 2})
+}
+
+func benchExecutePoint(b *testing.B, comp ComputeConfig) {
+	b.Helper()
 	env := quietEnv()
 	comm := LatencyConfig()
 	comm.Iters, comm.Warmup = 10, 2
 	p := Point{Key: "bench/interference", Fn: func(e Env) any {
-		return Interference(e, comm, ComputeConfig{})
+		return Interference(e, comm, comp)
 	}}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -15,6 +15,7 @@ import (
 type FS interface {
 	MkdirAll(path string, perm fs.FileMode) error
 	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
 	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
 	CreateTemp(dir, pattern string) (File, error)
 	Rename(oldpath, newpath string) error
@@ -37,6 +38,7 @@ type osFS struct{}
 
 func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                     { return os.Remove(name) }
 func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
@@ -72,6 +74,10 @@ type flakyFS struct {
 func label(name string) string { return filepath.Base(name) }
 
 func (f *flakyFS) MkdirAll(path string, perm fs.FileMode) error { return f.base.MkdirAll(path, perm) }
+
+// ReadDir passes through: directory listings are metadata (the cache's
+// segment discovery); content faults are injected on the files.
+func (f *flakyFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.base.ReadDir(name) }
 func (f *flakyFS) Rename(oldpath, newpath string) error         { return f.base.Rename(oldpath, newpath) }
 func (f *flakyFS) Remove(name string) error                     { return f.base.Remove(name) }
 func (f *flakyFS) Truncate(name string, size int64) error       { return f.base.Truncate(name, size) }

@@ -114,6 +114,7 @@ type Flow struct {
 	onDone    func()
 	started   sim.Time
 	finished  bool
+	pooled    bool   // parked on the model's flow free list
 	index     int    // position in model.flows, -1 when removed
 	mark      uint64 // component-traversal epoch stamp
 }
@@ -196,9 +197,11 @@ type Model struct {
 	done      []*Flow
 
 	// Free lists for the model-owned per-flow bookkeeping arrays,
-	// recycled when a flow is removed.
-	freeUses [][]Use
-	freePos  [][]int
+	// recycled when a flow is removed, and for Flow structs explicitly
+	// returned with Recycle.
+	freeUses  [][]Use
+	freePos   [][]int
+	freeFlows []*Flow
 }
 
 // NewModel returns an empty fluid model driven by kernel k.
@@ -300,17 +303,26 @@ func (m *Model) Start(spec FlowSpec) *Flow {
 		pri = 1
 	}
 	m.advance()
-	f := &Flow{
-		model:     m,
-		name:      spec.Name,
-		remaining: spec.Work,
-		total:     spec.Work,
-		cap:       spec.Cap,
-		priority:  pri,
-		onDone:    spec.OnDone,
-		started:   m.k.Now(),
-		index:     len(m.flows),
+	var f *Flow
+	if n := len(m.freeFlows); n > 0 {
+		f = m.freeFlows[n-1]
+		m.freeFlows[n-1] = nil
+		m.freeFlows = m.freeFlows[:n-1]
+	} else {
+		f = &Flow{model: m}
 	}
+	f.name = spec.Name
+	f.remaining = spec.Work
+	f.total = spec.Work
+	f.rate = 0
+	f.cap = spec.Cap
+	f.priority = pri
+	f.onDone = spec.OnDone
+	f.started = m.k.Now()
+	f.finished = false
+	f.pooled = false
+	f.index = len(m.flows)
+	f.mark = 0
 	f.uses, f.usePos = m.newFlowArrays(spec.Uses)
 	for i, u := range f.uses {
 		r := u.Resource
@@ -358,6 +370,40 @@ func (m *Model) SetCap(f *Flow, cap float64) {
 	f.cap = cap
 	m.dirtyFlows = append(m.dirtyFlows, f)
 	m.resolve()
+}
+
+// Recycle returns a finished (completed or cancelled) flow's storage to
+// the model, to be handed out again by a later Start. Only the flow's
+// owner may recycle it, and only once nothing else — completion hooks,
+// frequency-rescaling bookkeeping, a crash-path waiter — can still
+// reach it: the next Start reincarnates the struct as a different flow.
+// Recycling an unfinished or already-recycled flow is a no-op.
+func (m *Model) Recycle(f *Flow) {
+	if f == nil || f.model != m || !f.finished || f.index >= 0 || f.pooled {
+		return
+	}
+	f.pooled = true
+	f.onDone = nil
+	f.name = ""
+	m.freeFlows = append(m.freeFlows, f)
+}
+
+// Reset rewinds an idle model (no active flows) to its initial clock
+// state, keeping its resources — with their dense ids and creation
+// order, which the solver's arithmetic order depends on — and all
+// recycled storage. Resource capacities are NOT restored: the caller
+// re-applies them from its spec (frequency scaling may have moved
+// them). Must be called before the (reset) kernel schedules anything.
+func (m *Model) Reset() {
+	if len(m.flows) != 0 {
+		panic("fluid: Reset with active flows")
+	}
+	m.next.Stop()
+	m.lastUpdate = 0
+	m.dirtyFlows = m.dirtyFlows[:0]
+	m.dirtyRes = m.dirtyRes[:0]
+	m.done = m.done[:0]
+	m.solves = 0
 }
 
 // Cancel removes a flow without running its completion callback.

@@ -100,6 +100,33 @@ func NewModel(k *sim.Kernel, spec *topology.NodeSpec) *Model {
 // Spec returns the node spec the model was built from.
 func (m *Model) Spec() *topology.NodeSpec { return m.spec }
 
+// Reset rewinds the model to the state NewModel(k, spec) returns,
+// rebinding it to spec — which must have the same core count —
+// while keeping its registered listeners. The final recompute notifies
+// them, so capacity bookkeeping downstream is rebuilt against spec.
+func (m *Model) Reset(spec *topology.NodeSpec) {
+	if spec.Cores() != len(m.active) {
+		panic(fmt.Sprintf("freq: Reset with %d cores, model has %d", spec.Cores(), len(m.active)))
+	}
+	m.spec = spec
+	m.governor = Performance
+	m.userspaceGHz = 0
+	m.turboEnabled = true
+	m.uncoreFixed = false
+	m.uncoreFixedV = 0
+	for i := range m.active {
+		m.active[i] = false
+		m.class[i] = 0
+		m.coreGHz[i] = 0
+	}
+	m.uncoreGHz = 0
+	m.activeByClass = [3]int{}
+	m.trace = m.trace[:0]
+	m.tracing = false
+	m.energy = nil
+	m.recompute()
+}
+
 // OnChange registers fn to run after any frequency changes. Listeners
 // must not mutate the model.
 func (m *Model) OnChange(fn func()) { m.listeners = append(m.listeners, fn) }

@@ -112,7 +112,7 @@ func (n *Node) ExecCompute(p *sim.Proc, core int, spec ComputeSpec) sim.Duration
 	}
 	name := spec.Name
 	if name == "" {
-		name = fmt.Sprintf("n%d.c%d.compute", n.ID, core)
+		name = n.computeName(core)
 	}
 	coreNUMA := n.Spec.NUMAOfCore(core)
 	memNUMA := spec.MemNUMA
@@ -123,47 +123,55 @@ func (n *Node) ExecCompute(p *sim.Proc, core int, spec ComputeSpec) sim.Duration
 	defer n.Freq.SetIdle(core)
 
 	start := p.Now()
-	done := sim.NewSignal(n.cluster.K)
+	done := n.cluster.K.GetSignal()
 
+	rk := &n.coreFlow[core]
+	rk.class = spec.Class
 	var flow *fluid.Flow
 	if spec.Bytes == 0 {
 		// Pure CPU: the flow is denominated in flops, capped by the
 		// core's flop ceiling (which tracks frequency changes).
-		capOf := func() float64 { return n.Freq.FlopsRate(core, spec.Class) / n.CoreSlowdown(core) }
-		flow = n.cluster.Fluid.StartFlow(name, spec.Flops, capOf(), nil, done.Broadcast)
-		n.coreFlow[core] = &runningKernel{flow: flow, class: spec.Class, capOf: capOf}
+		rk.mem = false
+		rk.ai = 0
+		flow = n.cluster.Fluid.StartFlow(name, spec.Flops, rk.cap(), nil, done.BroadcastFn())
 	} else {
 		// Roofline: the flow is denominated in bytes; its rate is capped
 		// by the compute ceiling translated through the arithmetic
 		// intensity, and it shares the memory path fairly.
-		ai := spec.Flops / spec.Bytes
-		capOf := func() float64 {
-			slow := n.CoreSlowdown(core)
-			if ai == 0 {
-				return n.Spec.Mem.StreamPerCoreGBs * 1e9 / slow
-			}
-			byteRate := n.Freq.FlopsRate(core, spec.Class) / ai
-			if limit := n.Spec.Mem.StreamPerCoreGBs * 1e9; byteRate > limit {
-				byteRate = limit
-			}
-			return byteRate / slow
-		}
+		rk.mem = true
+		rk.ai = spec.Flops / spec.Bytes
 		n.addStream(memNUMA)
 		defer n.removeStream(memNUMA)
-		flow = n.cluster.Fluid.StartFlow(name, spec.Bytes, capOf(),
-			n.memPath(coreNUMA, memNUMA), done.Broadcast)
-		n.coreFlow[core] = &runningKernel{flow: flow, class: spec.Class, capOf: capOf}
+		flow = n.cluster.Fluid.StartFlow(name, spec.Bytes, rk.cap(),
+			n.memPath(coreNUMA, memNUMA), done.BroadcastFn())
 	}
+	rk.flow = flow
 	rhoStart := 0.0
 	if spec.Bytes > 0 {
 		rhoStart = n.NUMA(memNUMA).Ctrl.Utilization()
 	}
 	done.Wait(p)
-	n.coreFlow[core] = nil
+	rk.flow = nil
+	n.cluster.K.PutSignal(done)
+	// Nothing can reach the finished flow any more (the rescaling hooks
+	// check rk.flow), so its storage goes back to the model.
+	n.cluster.Fluid.Recycle(flow)
 
 	elapsed := p.Now().Sub(start)
 	n.accountExec(core, spec, memNUMA, exposure, rhoStart, elapsed)
 	return elapsed
+}
+
+// computeName returns the cached default flow name of a core's compute
+// slice.
+func (n *Node) computeName(core int) string {
+	if n.computeNames == nil {
+		n.computeNames = make([]string, len(n.coreFlow))
+	}
+	if n.computeNames[core] == "" {
+		n.computeNames[core] = fmt.Sprintf("n%d.c%d.compute", n.ID, core)
+	}
+	return n.computeNames[core]
 }
 
 // accountExec updates the PMU model for a completed slice: total busy

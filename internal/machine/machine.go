@@ -40,6 +40,77 @@ func NewCluster(spec *topology.NodeSpec, n int, seed int64) *Cluster {
 	return c
 }
 
+// Reset rewinds an idle cluster to the state NewCluster(spec, n, seed)
+// returns, reusing every piece of simulation storage: the kernel (with
+// its parked process goroutines), the fluid model (resources keep their
+// dense ids and creation order, so solver arithmetic is bit-identical
+// to a fresh cluster's), and the nodes. The spec must be reset-
+// compatible with the one the cluster was built from (same core, NUMA
+// and socket shape — see ShapeKey); capacities and frequency state are
+// rebuilt from the new spec. The caller guarantees the cluster is
+// quiescent: kernel idle, no live processes, no active flows.
+func (c *Cluster) Reset(spec *topology.NodeSpec, seed int64) {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: invalid spec %q: %v", spec.Name, err))
+	}
+	c.K.Reset(seed)
+	c.Fluid.Reset()
+	c.Spec = spec
+	for _, n := range c.Nodes {
+		n.reset(spec)
+	}
+}
+
+// ShapeKey summarises the structural parameters that must match for a
+// spec to be reset-compatible with an existing cluster: every resource,
+// link and per-core slot is keyed by them.
+type ShapeKey struct {
+	Sockets, NUMAPerSocket, CoresPerNUMA int
+}
+
+// Shape returns the cluster's structural key.
+func (c *Cluster) Shape() ShapeKey {
+	return ShapeKey{c.Spec.Sockets, c.Spec.NUMAPerSocket, c.Spec.CoresPerNUMA}
+}
+
+// ShapeOf returns the structural key of a spec.
+func ShapeOf(spec *topology.NodeSpec) ShapeKey {
+	return ShapeKey{spec.Sockets, spec.NUMAPerSocket, spec.CoresPerNUMA}
+}
+
+// reset rewinds one node against a (possibly different but
+// shape-compatible) spec: counters, stream census, straggler and crash
+// state are cleared, the frequency model restarts from its defaults,
+// and every resource capacity is re-derived from spec.
+func (n *Node) reset(spec *topology.NodeSpec) {
+	n.Spec = spec
+	n.Counters.Reset()
+	for _, nm := range n.numa {
+		nm.streams = 0
+	}
+	for i := range n.coreFlow {
+		n.coreFlow[i].flow = nil
+	}
+	n.slow = nil
+	n.down = false
+	// Freq.Reset notifies the node's listener, which re-derives the
+	// controller capacities from the new spec and the cleared census.
+	n.Freq.Reset(spec)
+	n.updateCtrlCapacities()
+	for a := 0; a < spec.NUMANodes(); a++ {
+		for b := a + 1; b < spec.NUMANodes(); b++ {
+			r := n.links[linkKey{a, b}]
+			if spec.SocketOfNUMA(a) == spec.SocketOfNUMA(b) {
+				n.cluster.Fluid.SetCapacity(r, spec.Mem.MeshGBs*1e9)
+			} else {
+				n.cluster.Fluid.SetCapacity(r, spec.Mem.LinkGBs*1e9)
+			}
+		}
+	}
+	n.cluster.Fluid.SetCapacity(n.PCIeTx, spec.NIC.PCIeGBs*1e9)
+	n.cluster.Fluid.SetCapacity(n.PCIeRx, spec.NIC.PCIeGBs*1e9)
+}
+
 // linkKey identifies an unordered NUMA pair.
 type linkKey struct{ a, b int }
 
@@ -72,8 +143,13 @@ type Node struct {
 	PCIeTx, PCIeRx *fluid.Resource
 
 	// coreFlow tracks the active compute flow per core so frequency
-	// changes can rescale its rate cap.
-	coreFlow []*runningKernel
+	// changes can rescale its rate cap. One preallocated slot per core;
+	// a slot is live while its flow field is non-nil.
+	coreFlow []runningKernel
+
+	// computeNames caches the default per-core compute-flow names
+	// ("n0.c3.compute"), built lazily so idle cores cost nothing.
+	computeNames []string
 
 	// slow holds per-core slowdown multipliers (straggler model: a
 	// throttled or faulty core retires work slower by this factor);
@@ -94,13 +170,38 @@ type Node struct {
 	pathBuf [2]fluid.Use
 }
 
-// runningKernel is the bookkeeping for an in-flight compute flow.
+// runningKernel is the bookkeeping for an in-flight compute flow. The
+// node keeps one slot per core (see coreFlow), so running a slice
+// allocates neither the bookkeeping nor a cap closure: cap is a method
+// over the stored roofline parameters.
 type runningKernel struct {
-	flow  *fluid.Flow
+	node  *Node
+	core  int
+	flow  *fluid.Flow // nil when the core runs no slice
 	class topology.VecClass
-	// capOf recomputes the flow's rate cap at the core's current
-	// frequency.
-	capOf func() float64
+	// Roofline parameters of the current slice: mem says whether the
+	// flow is denominated in bytes (memory-bound) or flops (pure CPU);
+	// ai is flops/byte for the memory case.
+	mem bool
+	ai  float64
+}
+
+// cap recomputes the flow's rate cap at the core's current frequency
+// and straggler slowdown.
+func (rk *runningKernel) cap() float64 {
+	n := rk.node
+	slow := n.CoreSlowdown(rk.core)
+	if !rk.mem {
+		return n.Freq.FlopsRate(rk.core, rk.class) / slow
+	}
+	if rk.ai == 0 {
+		return n.Spec.Mem.StreamPerCoreGBs * 1e9 / slow
+	}
+	byteRate := n.Freq.FlopsRate(rk.core, rk.class) / rk.ai
+	if limit := n.Spec.Mem.StreamPerCoreGBs * 1e9; byteRate > limit {
+		byteRate = limit
+	}
+	return byteRate / slow
 }
 
 func newNode(c *Cluster, id int, spec *topology.NodeSpec) *Node {
@@ -111,8 +212,12 @@ func newNode(c *Cluster, id int, spec *topology.NodeSpec) *Node {
 		Counters: counters.NewSet(spec.Cores()),
 		cluster:  c,
 		links:    make(map[linkKey]*fluid.Resource),
-		coreFlow: make([]*runningKernel, spec.Cores()),
+		coreFlow: make([]runningKernel, spec.Cores()),
 		upSig:    sim.NewSignal(c.K),
+	}
+	for i := range n.coreFlow {
+		n.coreFlow[i].node = n
+		n.coreFlow[i].core = i
 	}
 	for i := 0; i < spec.NUMANodes(); i++ {
 		name := fmt.Sprintf("n%d.ctrl%d", id, i)
@@ -173,9 +278,10 @@ func (n *Node) Link(a, b int) *fluid.Resource {
 // rate caps of running compute flows.
 func (n *Node) onFreqChange() {
 	n.updateCtrlCapacities()
-	for _, rk := range n.coreFlow {
-		if rk != nil && !rk.flow.Finished() {
-			n.cluster.Fluid.SetCap(rk.flow, rk.capOf())
+	for i := range n.coreFlow {
+		rk := &n.coreFlow[i]
+		if rk.flow != nil && !rk.flow.Finished() {
+			n.cluster.Fluid.SetCap(rk.flow, rk.cap())
 		}
 	}
 }
@@ -319,8 +425,8 @@ func (n *Node) SetCoreSlowdown(core int, f float64) {
 		}
 	}
 	n.slow[core] = f
-	if rk := n.coreFlow[core]; rk != nil && !rk.flow.Finished() {
-		n.cluster.Fluid.SetCap(rk.flow, rk.capOf())
+	if rk := &n.coreFlow[core]; rk.flow != nil && !rk.flow.Finished() {
+		n.cluster.Fluid.SetCap(rk.flow, rk.cap())
 	}
 }
 

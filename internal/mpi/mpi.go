@@ -36,6 +36,11 @@ type World struct {
 	// det is the heartbeat failure detector, armed by StartHeartbeat on
 	// worlds whose fault schedule contains node crashes; nil otherwise.
 	det *Detector
+	// freeMsgs recycles message structs (with their embedded signals and
+	// bound-method callbacks) on healthy worlds. Lossy/crashy worlds
+	// never pool: retransmission timers and detector watchers can hold a
+	// message past its normal release point.
+	freeMsgs []*message
 }
 
 // NewWorld creates one rank per node of the cluster. Each rank's
@@ -69,6 +74,29 @@ func (w *World) Rank(i int) *Rank {
 
 // Network returns the underlying interconnect.
 func (w *World) Network() *net.Network { return w.nw }
+
+// Reset rewinds the communicator for reuse after the underlying cluster
+// and network have been reset: it re-reads the (cleared) fault injector,
+// disarms the failure detector, and restores every rank's default
+// comm-thread placement. It panics if any rank still has queued or
+// posted messages — a world must be drained before it is recycled.
+func (w *World) Reset() {
+	w.inj = w.nw.Faults()
+	w.det = nil
+	for _, r := range w.ranks {
+		for key, q := range r.pending {
+			if len(q) != 0 {
+				panic(fmt.Sprintf("mpi: Reset with %d pending receives on rank %d key %+v", len(q), r.ID, key))
+			}
+		}
+		for key, q := range r.unexp {
+			if len(q) != 0 {
+				panic(fmt.Sprintf("mpi: Reset with %d unexpected messages on rank %d key %+v", len(q), r.ID, key))
+			}
+		}
+		r.CommCore = r.Node.Spec.LastCoreOfNUMA(r.Node.Spec.NUMANodes() - 1)
+	}
+}
 
 // matchKey matches messages by source rank and tag.
 type matchKey struct{ src, tag int }
@@ -104,6 +132,86 @@ type message struct {
 	// duplicate RTS reveals the previous CTS was lost.
 	delivered bool
 	resendCTS func()
+
+	// peer is the destination rank, read by the cached wire-arrival
+	// callbacks below. They are bound once per message lifetime so the
+	// healthy hot paths schedule arrivals without per-send closures.
+	peer      *Rank
+	deliverFn func()          // eagerWireArrival
+	payloadFn func(*sim.Proc) // eagerPayload
+	rtsFn     func()          // rtsArrive
+	ctsFn     func()          // ctsArrive
+}
+
+// eagerWireArrival runs when an eager message's first packet crosses
+// the wire: the payload streams in on its own process while the
+// envelope is delivered for matching.
+func (m *message) eagerWireArrival() {
+	if m.size == 0 {
+		m.arrived = true
+		m.arrivedSig.Broadcast()
+		m.peer.deliver(m)
+		return
+	}
+	m.srcRank.world.cluster.K.Spawn("eager-payload", m.payloadFn)
+	m.peer.deliver(m)
+}
+
+// eagerPayload streams the eager payload into the receiver's internal
+// buffers.
+func (m *message) eagerPayload(tp *sim.Proc) {
+	// A payload dropped by a node crash never arrives; the
+	// fault-tolerant receive path detects the dead sender instead.
+	if !m.srcRank.world.nw.TransferEager(tp, m.srcRank.Node, m.peer.Node, m.size) {
+		return
+	}
+	m.arrived = true
+	m.arrivedSig.Broadcast()
+}
+
+// rtsArrive delivers a rendezvous RTS on the healthy path.
+func (m *message) rtsArrive() { m.peer.deliver(m) }
+
+// ctsArrive completes the receiver's CTS control message.
+func (m *message) ctsArrive() { m.ctsOK = true; m.cts.Broadcast() }
+
+// getMsg returns a message with fresh protocol state, recycled from the
+// world's free list when possible.
+func (w *World) getMsg() *message {
+	if n := len(w.freeMsgs); n > 0 {
+		m := w.freeMsgs[n-1]
+		w.freeMsgs[n-1] = nil
+		w.freeMsgs = w.freeMsgs[:n-1]
+		m.eager = false
+		m.arrived = false
+		m.srcRank = nil
+		m.srcBuf = nil
+		m.rbuf = nil
+		m.ctsOK = false
+		m.dmaOK = false
+		m.delivered = false
+		m.resendCTS = nil
+		m.peer = nil
+		return m
+	}
+	k := w.cluster.K
+	m := &message{
+		arrivedSig: sim.NewSignal(k),
+		cts:        sim.NewSignal(k),
+		dmaDone:    sim.NewSignal(k),
+	}
+	m.deliverFn = m.eagerWireArrival
+	m.payloadFn = m.eagerPayload
+	m.rtsFn = m.rtsArrive
+	m.ctsFn = m.ctsArrive
+	return m
+}
+
+// putMsg recycles a fully completed message. Only the healthy paths
+// call it: under fault injection a message can outlive its receive
+// through retransmission timers and crash watchers.
+func (w *World) putMsg(m *message) {
+	w.freeMsgs = append(w.freeMsgs, m)
 }
 
 // pendingRecv is a posted receive awaiting its message.
@@ -123,6 +231,28 @@ type Rank struct {
 
 	pending map[matchKey][]*pendingRecv
 	unexp   map[matchKey][]*message
+
+	// freePRs recycles posted-receive slots. A pendingRecv is only ever
+	// referenced by its waiter and the pending queue, and WaitTimeout
+	// cancels its timer on wake, so recycling is safe on every world.
+	freePRs []*pendingRecv
+}
+
+// getPR returns an empty posted-receive slot, recycled when possible.
+func (r *Rank) getPR() *pendingRecv {
+	if n := len(r.freePRs); n > 0 {
+		pr := r.freePRs[n-1]
+		r.freePRs[n-1] = nil
+		r.freePRs = r.freePRs[:n-1]
+		return pr
+	}
+	return &pendingRecv{sig: sim.NewSignal(r.world.cluster.K)}
+}
+
+// putPR recycles a posted-receive slot once its waiter has read msg.
+func (r *Rank) putPR(pr *pendingRecv) {
+	pr.msg = nil
+	r.freePRs = append(r.freePRs, pr)
 }
 
 // SetCommCore rebinds the communication thread to a core.
@@ -143,7 +273,9 @@ func (r *Rank) deliver(m *message) {
 	key := matchKey{m.src, m.tag}
 	if q := r.pending[key]; len(q) > 0 {
 		pr := q[0]
-		r.pending[key] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		r.pending[key] = q[:len(q)-1]
 		pr.msg = m
 		pr.sig.Broadcast()
 		return
@@ -182,10 +314,12 @@ func (r *Rank) match(p *sim.Proc, key matchKey) *message {
 func (r *Rank) matchTimeout(p *sim.Proc, key matchKey, d sim.Duration) (*message, bool) {
 	if q := r.unexp[key]; len(q) > 0 {
 		m := q[0]
-		r.unexp[key] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		r.unexp[key] = q[:len(q)-1]
 		return m, true
 	}
-	pr := &pendingRecv{sig: sim.NewSignal(r.world.cluster.K)}
+	pr := r.getPR()
 	r.pending[key] = append(r.pending[key], pr)
 	if !pr.sig.WaitTimeout(p, d) {
 		q := r.pending[key]
@@ -195,9 +329,12 @@ func (r *Rank) matchTimeout(p *sim.Proc, key matchKey, d sim.Duration) (*message
 				break
 			}
 		}
+		r.putPR(pr)
 		return nil, false
 	}
-	return pr.msg, true
+	m := pr.msg
+	r.putPR(pr)
+	return m, true
 }
 
 // gateComm blocks p while a comm-thread hang fault is active on this
@@ -277,12 +414,10 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 	// Rendezvous: register the buffer (pin-down cache), send RTS, wait
 	// for CTS, then RDMA straight from the user buffer.
 	r.register(p, buf)
-	m := &message{
-		src: r.ID, tag: tag, size: size,
-		srcRank: r, srcBuf: buf,
-		cts:     sim.NewSignal(k),
-		dmaDone: sim.NewSignal(k),
-	}
+	m := r.world.getMsg()
+	m.src, m.tag, m.size = r.ID, tag, size
+	m.srcRank, m.srcBuf = r, buf
+	m.peer = peer
 	if inj != nil && inj.Lossy() {
 		// RTS/CTS recovery: retransmit the RTS with exponential backoff
 		// until the CTS arrives. The receiver dedups duplicate RTS (see
@@ -309,7 +444,7 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, buf *machine.Buffer, size int64) 
 		}
 	} else {
 		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-		k.After(lat, func() { peer.deliver(m) })
+		k.After(lat, m.rtsFn)
 		m.cts.Wait(p)
 	}
 	// Process the CTS before programming the RDMA engine.
@@ -327,29 +462,13 @@ func (r *Rank) injectEager(p *sim.Proc, peer *Rank, tag int, size int64, dataNUM
 	node := r.Node
 	nw := r.world.nw
 	k := r.world.cluster.K
-	m := &message{
-		src: r.ID, tag: tag, size: size, eager: true,
-		arrivedSig: sim.NewSignal(k),
-	}
+	m := r.world.getMsg()
+	m.src, m.tag, m.size = r.ID, tag, size
+	m.eager = true
+	m.srcRank = r
+	m.peer = peer
 	lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-	k.After(lat, func() {
-		if size == 0 {
-			m.arrived = true
-			m.arrivedSig.Broadcast()
-			peer.deliver(m)
-			return
-		}
-		k.Spawn("eager-payload", func(tp *sim.Proc) {
-			// A payload dropped by a node crash never arrives; the
-			// fault-tolerant receive path detects the dead sender instead.
-			if !nw.TransferEager(tp, node, peer.Node, size) {
-				return
-			}
-			m.arrived = true
-			m.arrivedSig.Broadcast()
-		})
-		peer.deliver(m)
-	})
+	k.After(lat, m.deliverFn)
 	nw.Memcpy(p, node, r.CommCore, dataNUMA, node.Spec.NIC.NUMA, size)
 }
 
@@ -419,6 +538,12 @@ func (r *Rank) complete(p *sim.Proc, m *message, buf *machine.Buffer, size int64
 		}
 		nw.Memcpy(p, node, r.CommCore, node.Spec.NIC.NUMA, dstNUMA, m.size)
 		r.Node.Counters.BytesReceived += float64(m.size)
+		if inj == nil {
+			// The receiver is the last toucher on the healthy path: the
+			// payload process has broadcast and exited before the wait
+			// above returned.
+			r.world.putMsg(m)
+		}
 		return
 	}
 
@@ -448,7 +573,7 @@ func (r *Rank) complete(p *sim.Proc, m *message, buf *machine.Buffer, size int64
 		sendCTS()
 	} else {
 		lat := node.Jitter(nw.WireLatency(), node.Spec.NIC.NoiseFrac)
-		k.After(lat, func() { m.ctsOK = true; m.cts.Broadcast() })
+		k.After(lat, m.ctsFn)
 	}
 	m.dmaDone.Wait(p)
 	rNUMA := node.Spec.NIC.NUMA
@@ -457,6 +582,11 @@ func (r *Rank) complete(p *sim.Proc, m *message, buf *machine.Buffer, size int64
 	}
 	nw.RecvOverhead(p, node, r.CommCore, rNUMA)
 	r.Node.Counters.BytesReceived += float64(m.size)
+	if inj == nil {
+		// The sender's last touch is the dmaDone broadcast that released
+		// the wait above; from here only the receiver sees m.
+		r.world.putMsg(m)
+	}
 }
 
 // register pays the memory-registration cost for a rendezvous buffer

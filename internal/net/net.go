@@ -37,6 +37,12 @@ type Network struct {
 	// because callers may retain its result.
 	useBuf []fluid.Use
 
+	// Lazily cached flow names for the transfer hot paths, so repeated
+	// transfers between the same endpoints don't re-Sprintf.
+	memcpyNames []string
+	dmaNames    map[[2]int]string
+	eagerNames  map[[2]int]string
+
 	// Fabric mode (NewFabric): transfers route over an explicit
 	// switched topology instead of the dedicated per-pair wires above.
 	fab      *topology.Fabric
@@ -61,6 +67,62 @@ func New(c *machine.Cluster) *Network {
 		}
 	}
 	return nw
+}
+
+// Reset rewinds the network to its freshly built state against the
+// cluster's (possibly re-bound) spec: the fault injector is unbound and
+// every wire or fabric link gets its healthy capacity back. Cached flow
+// names survive — they depend only on node ids.
+func (nw *Network) Reset() {
+	nw.inj = nil
+	if nw.fab != nil {
+		for _, r := range nw.links {
+			nw.cluster.Fluid.SetCapacity(r, nw.linkBase)
+		}
+		return
+	}
+	base := nw.cluster.Spec.NIC.WireGBs * 1e9
+	for _, r := range nw.wires {
+		nw.cluster.Fluid.SetCapacity(r, base)
+	}
+}
+
+// memcpyName / dmaName / eagerName return the cached flow names of the
+// transfer hot paths.
+func (nw *Network) memcpyName(id int) string {
+	for len(nw.memcpyNames) <= id {
+		nw.memcpyNames = append(nw.memcpyNames, "")
+	}
+	if nw.memcpyNames[id] == "" {
+		nw.memcpyNames[id] = fmt.Sprintf("memcpy.n%d", id)
+	}
+	return nw.memcpyNames[id]
+}
+
+func (nw *Network) dmaName(src, dst int) string {
+	if nw.dmaNames == nil {
+		nw.dmaNames = make(map[[2]int]string)
+	}
+	key := [2]int{src, dst}
+	name, ok := nw.dmaNames[key]
+	if !ok {
+		name = fmt.Sprintf("dma.n%d->n%d", src, dst)
+		nw.dmaNames[key] = name
+	}
+	return name
+}
+
+func (nw *Network) eagerName(src, dst int) string {
+	if nw.eagerNames == nil {
+		nw.eagerNames = make(map[[2]int]string)
+	}
+	key := [2]int{src, dst}
+	name, ok := nw.eagerNames[key]
+	if !ok {
+		name = fmt.Sprintf("eager.n%d->n%d", src, dst)
+		nw.eagerNames[key] = name
+	}
+	return name
 }
 
 // InstallFaults binds a fault injector to the network: LinkDegrade
@@ -268,17 +330,25 @@ func (nw *Network) TransferDMA(p *sim.Proc, src *machine.Node, srcBuf *machine.B
 	nw.gateNIC(p, dst.ID)
 	pri := (src.DMAPriority(srcBuf.NUMA) + dst.DMAPriority(dstBuf.NUMA)) / 2
 	cap := nw.cluster.Spec.NIC.WireGBs * 1e9 * min(ioScale(src), ioScale(dst))
-	done := sim.NewSignal(nw.cluster.K)
+	done := nw.cluster.K.GetSignal()
 	nw.useBuf = nw.dmaUses(nw.useBuf[:0], src, srcBuf.NUMA, dst, dstBuf.NUMA)
 	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
-		Name:     fmt.Sprintf("dma.n%d->n%d", src.ID, dst.ID),
+		Name:     nw.dmaName(src.ID, dst.ID),
 		Work:     float64(bytes),
 		Cap:      cap,
 		Priority: pri,
 		Uses:     nw.useBuf,
-		OnDone:   done.Broadcast,
+		OnDone:   done.BroadcastFn(),
 	})
-	return nw.waitFlow(p, flow, done, src.ID, dst.ID)
+	ok := nw.waitFlow(p, flow, done, src.ID, dst.ID)
+	if nw.inj == nil {
+		// Healthy worlds: nothing else can reach the finished flow or its
+		// completion signal (crashy worlds may still hold both through
+		// watchers and frozen-wire bookkeeping, so they keep allocating).
+		nw.cluster.K.PutSignal(done)
+		nw.cluster.Fluid.Recycle(flow)
+	}
+	return ok
 }
 
 // Memcpy moves `bytes` on node n from srcNUMA to dstNUMA through the
@@ -300,15 +370,17 @@ func (nw *Network) Memcpy(p *sim.Proc, n *machine.Node, core int, srcNUMA, dstNU
 			fluid.Use{Resource: n.Link(srcNUMA, dstNUMA), Weight: 1},
 		)
 	}
-	done := sim.NewSignal(nw.cluster.K)
-	nw.cluster.Fluid.Start(fluid.FlowSpec{
-		Name:   fmt.Sprintf("memcpy.n%d", n.ID),
+	done := nw.cluster.K.GetSignal()
+	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
+		Name:   nw.memcpyName(n.ID),
 		Work:   float64(bytes),
 		Cap:    2 * n.Spec.Mem.StreamPerCoreGBs * 1e9,
 		Uses:   nw.useBuf,
-		OnDone: done.Broadcast,
+		OnDone: done.BroadcastFn(),
 	})
 	done.Wait(p)
+	nw.cluster.K.PutSignal(done)
+	nw.cluster.Fluid.Recycle(flow)
 }
 
 // TransferEager moves `bytes` over the wire into the receiver's
@@ -335,14 +407,19 @@ func (nw *Network) TransferEager(p *sim.Proc, src, dst *machine.Node, bytes int6
 		fluid.Use{Resource: dst.PCIeRx, Weight: 1},
 		fluid.Use{Resource: dst.NUMA(dst.Spec.NIC.NUMA).Ctrl, Weight: 1},
 	)
-	done := sim.NewSignal(nw.cluster.K)
+	done := nw.cluster.K.GetSignal()
 	flow := nw.cluster.Fluid.Start(fluid.FlowSpec{
-		Name:     fmt.Sprintf("eager.n%d->n%d", src.ID, dst.ID),
+		Name:     nw.eagerName(src.ID, dst.ID),
 		Work:     float64(bytes),
 		Cap:      cap,
 		Priority: pri,
 		Uses:     nw.useBuf,
-		OnDone:   done.Broadcast,
+		OnDone:   done.BroadcastFn(),
 	})
-	return nw.waitFlow(p, flow, done, src.ID, dst.ID)
+	ok := nw.waitFlow(p, flow, done, src.ID, dst.ID)
+	if nw.inj == nil {
+		nw.cluster.K.PutSignal(done)
+		nw.cluster.Fluid.Recycle(flow)
+	}
+	return ok
 }

@@ -50,6 +50,14 @@ type BreakerStats struct {
 // Cache semantics make this safe: a suppressed Load is
 // indistinguishable from a miss (the point is recomputed), and a
 // dropped Store only forfeits future hits.
+//
+// Only Load outcomes and Store *failures* move the state machine. A
+// successful Store against a write-behind cache is just a buffer
+// append — it proves nothing about the disk — so counting it as
+// health would let alternating failed-read/buffered-write traffic
+// reset the failure streak forever and keep a dead cache's circuit
+// closed. Recovery therefore rides on load probes, which every point
+// issues before it would store anything.
 type Breaker struct {
 	store CacheStore
 
@@ -144,11 +152,14 @@ func (b *Breaker) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioE
 
 // Store implements CacheStore. While open (and not probing) the write
 // is dropped without error — the record simply won't be a future hit.
+// Only a failure is observed (see the type comment).
 func (b *Breaker) Store(fullKey string, rec bench.PointRecord) error {
 	if !b.admit() {
 		return nil
 	}
 	err := b.store.Store(fullKey, rec)
-	b.observe(err != nil)
+	if err != nil {
+		b.observe(true)
+	}
 	return err
 }

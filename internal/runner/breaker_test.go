@@ -208,6 +208,9 @@ func TestCampaignDegradeViaFlakyFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Force a pack flush per Store so every write hits the full disk;
+	// at the default batching a 16-point campaign never flushes.
+	cache.flushEvery = 1
 	var stats CacheStats
 	res := Collect(Run(testEnv(t), exps, Options{
 		Workers: 1, Cache: cache, CacheStats: &stats, DegradeAfter: 3,

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/chaos"
@@ -113,13 +115,46 @@ func CacheKeySum(fullKey string) string {
 }
 
 // PointCache is a persistent, content-addressed store of computed sweep
-// points, safe for concurrent use (entries are written atomically via
-// rename; concurrent campaigns over the same directory at worst
-// recompute a point both could have shared).
+// points, safe for concurrent use. Writes are batched: Store appends to
+// an in-memory write-behind buffer (visible immediately to this
+// process's Loads) and the buffer is flushed as one immutable pack
+// segment — written atomically via temp + rename — once it reaches the
+// entry or byte threshold, or on Flush/Close. Reads resolve pending →
+// pack index → legacy loose files, with a throttled rescan of the packs
+// directory so concurrent processes sharing a cache directory pick up
+// each other's flushed segments. Callers that want durability before
+// process exit must Flush (cmd/interference and the cache daemon do).
 type PointCache struct {
-	dir string
-	fs  chaos.FS
+	dir   string
+	packs string
+	fs    chaos.FS
+
+	mu           sync.Mutex
+	pending      map[string][]byte // sum → binary record awaiting a flush
+	pendingBytes int
+	index        map[string]packRef // sum → extent in a pack segment
+	packData     map[string][]byte  // pack path → bytes (lazy page-in)
+	scanned      map[string]bool    // pack paths already indexed
+	lastScan     time.Time
+
+	// flushEvery/flushBytes are the write-behind thresholds; tests
+	// shrink them to force per-Store flushes.
+	flushEvery int
+	flushBytes int
 }
+
+const (
+	defaultFlushEvery = 64
+	defaultFlushBytes = 1 << 20
+	// packRescanEvery throttles packs-directory rescans on misses, so a
+	// cold campaign pounding an empty shared cache doesn't pay a
+	// directory listing per point.
+	packRescanEvery = 100 * time.Millisecond
+	// cacheShards is the loose-layout fan-out: one directory per first
+	// address byte, all precreated at open so no write path ever stats
+	// or creates a directory.
+	cacheShards = 256
+)
 
 // OpenPointCache opens (creating if needed) a cache rooted at dir.
 func OpenPointCache(dir string) (*PointCache, error) {
@@ -132,45 +167,199 @@ func OpenPointCacheFS(dir string, fsys chaos.FS) (*PointCache, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: creating point cache: %w", err)
 	}
-	return &PointCache{dir: dir, fs: fsys}, nil
+	packs := filepath.Join(dir, "packs")
+	if err := fsys.MkdirAll(packs, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: creating point cache: %w", err)
+	}
+	// Precreate every shard directory once; the last shard's existence
+	// marks a fully-initialised layout, so reopening is two stats.
+	if _, err := fsys.ReadDir(filepath.Join(dir, "ff")); err != nil {
+		for i := 0; i < cacheShards; i++ {
+			if err := fsys.MkdirAll(filepath.Join(dir, fmt.Sprintf("%02x", i)), 0o755); err != nil {
+				return nil, fmt.Errorf("runner: creating point cache shards: %w", err)
+			}
+		}
+	}
+	c := &PointCache{
+		dir:        dir,
+		packs:      packs,
+		fs:         fsys,
+		pending:    make(map[string][]byte),
+		index:      make(map[string]packRef),
+		packData:   make(map[string][]byte),
+		scanned:    make(map[string]bool),
+		flushEvery: defaultFlushEvery,
+		flushBytes: defaultFlushBytes,
+	}
+	c.mu.Lock()
+	c.rescanLocked() // index segments left by earlier processes
+	c.mu.Unlock()
+	return c, nil
 }
 
 // Dir returns the cache root.
 func (c *PointCache) Dir() string { return c.dir }
 
-// path maps a full point key to its file: two-level fan-out on the
-// key's sha256 keeps directories small on big campaigns.
+// path maps a full point key to its legacy loose file: two-level
+// fan-out on the key's sha256 keeps directories small on big campaigns.
 func (c *PointCache) path(fullKey string) string {
 	return c.sumPath(CacheKeySum(fullKey))
 }
 
-// sumPath maps an already-hashed key (see CacheKeySum) to its file.
+// sumPath maps an already-hashed key (see CacheKeySum) to its loose file.
 func (c *PointCache) sumPath(sum string) string {
 	return filepath.Join(c.dir, sum[:2], sum+".json")
 }
 
 // LoadSum returns the raw stored bytes for a content address, as the
-// remote cache protocol serves them; os.IsNotExist(err) distinguishes
-// absence from read failures. No validation happens here — callers must
-// verify the decoded record's key hashes back to sum before trusting it.
+// remote cache protocol serves them — binary records from the pending
+// buffer or a pack, legacy JSON from a loose file. os.IsNotExist(err)
+// distinguishes absence from read failures. No validation happens here —
+// callers must verify the decoded record's key hashes back to sum
+// before trusting it.
 func (c *PointCache) LoadSum(sum string) ([]byte, error) {
 	if len(sum) < 2 {
 		return nil, os.ErrNotExist
 	}
-	return c.fs.ReadFile(c.sumPath(sum))
+	data, found, err := c.lookup(sum)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, os.ErrNotExist
+	}
+	return data, nil
+}
+
+// lookup resolves a content address to its raw stored bytes: pending
+// buffer, then pack index, then legacy loose file, then (on a clean
+// miss) a throttled rescan of the packs directory for segments flushed
+// by other processes.
+func (c *PointCache) lookup(sum string) (data []byte, found bool, err error) {
+	c.mu.Lock()
+	if data, ok := c.pending[sum]; ok {
+		c.mu.Unlock()
+		return data, true, nil
+	}
+	if ref, ok := c.index[sum]; ok {
+		data, err := c.packSliceLocked(ref)
+		c.mu.Unlock()
+		return data, err == nil, err
+	}
+	c.mu.Unlock()
+
+	data, err = c.fs.ReadFile(c.sumPath(sum))
+	if err == nil {
+		return data, true, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.lastScan) >= packRescanEvery {
+		c.rescanLocked()
+		if ref, ok := c.index[sum]; ok {
+			data, err := c.packSliceLocked(ref)
+			return data, err == nil, err
+		}
+	}
+	return nil, false, nil
+}
+
+// packSliceLocked returns the record bytes a ref points at, paging the
+// pack file into memory on first touch.
+func (c *PointCache) packSliceLocked(ref packRef) ([]byte, error) {
+	data, ok := c.packData[ref.path]
+	if !ok {
+		var err error
+		data, err = c.fs.ReadFile(ref.path)
+		if err != nil {
+			return nil, err
+		}
+		c.packData[ref.path] = data
+	}
+	if ref.off < 0 || ref.n < 0 || ref.off+ref.n > len(data) {
+		return nil, fmt.Errorf("runner: pack ref %s@%d+%d out of range (%d bytes)",
+			filepath.Base(ref.path), ref.off, ref.n, len(data))
+	}
+	return data[ref.off : ref.off+ref.n], nil
+}
+
+// rescanLocked indexes pack segments not yet seen. Best-effort: a
+// segment whose read fails is retried on the next rescan; a segment
+// that parses as garbage is skipped for good.
+func (c *PointCache) rescanLocked() {
+	c.lastScan = time.Now()
+	ents, err := c.fs.ReadDir(c.packs)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".pack") {
+			continue
+		}
+		path := filepath.Join(c.packs, name)
+		if c.scanned[path] {
+			continue
+		}
+		c.scanPackLocked(path)
+	}
+}
+
+// scanPackLocked indexes one segment, preferring its sidecar index and
+// falling back to scanning the pack bytes.
+func (c *PointCache) scanPackLocked(path string) {
+	var refs []idxEntry
+	if data, err := c.fs.ReadFile(strings.TrimSuffix(path, ".pack") + ".idx"); err == nil {
+		refs, _ = parseIdx(data)
+	}
+	if refs == nil {
+		data, err := c.fs.ReadFile(path)
+		if err != nil {
+			return // transient: retry on the next rescan
+		}
+		refs, err = scanPackRefs(data)
+		if err != nil {
+			c.scanned[path] = true // not a pack: never rescan it
+			return
+		}
+		c.packData[path] = data
+	}
+	for _, e := range refs {
+		if _, dup := c.index[e.sum]; !dup {
+			c.index[e.sum] = packRef{path: path, off: e.off, n: e.n}
+		}
+	}
+	c.scanned[path] = true
 }
 
 // Load retrieves the record stored under fullKey. ok is false on any
-// miss: absent file, unreadable entry, schema drift, or a stored key
+// miss: absent entry, unreadable bytes, schema drift, or a stored key
 // that does not match the requested one (mismatch=true; a poisoned
 // entry is never served). ioErr marks read failures distinct from
 // ordinary absence.
 func (c *PointCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
-	data, err := c.fs.ReadFile(c.path(fullKey))
+	data, found, err := c.lookup(CacheKeySum(fullKey))
 	if err != nil {
-		return bench.PointRecord{}, false, false, !os.IsNotExist(err)
+		return bench.PointRecord{}, false, false, true
 	}
-	if err := json.Unmarshal(data, &rec); err != nil {
+	if !found {
+		return bench.PointRecord{}, false, false, false
+	}
+	return decodeStored(data, fullKey)
+}
+
+// decodeStored parses raw cache bytes — binary record or legacy JSON —
+// and applies the cache's trust checks.
+func decodeStored(data []byte, fullKey string) (rec bench.PointRecord, ok, mismatch, ioErr bool) {
+	if bench.IsBinaryRecord(data) {
+		if err := rec.DecodeBinary(data); err != nil {
+			return bench.PointRecord{}, false, false, true
+		}
+	} else if err := json.Unmarshal(data, &rec); err != nil {
 		return bench.PointRecord{}, false, false, true
 	}
 	if rec.Schema != bench.PointSchema {
@@ -182,23 +371,67 @@ func (c *PointCache) Load(fullKey string) (rec bench.PointRecord, ok, mismatch, 
 	return rec, true, false, false
 }
 
-// Store writes the record under fullKey, atomically (temp + rename) so
-// readers never observe a torn entry.
+// Store records the point under fullKey in the write-behind buffer; the
+// buffer is flushed as a pack segment when it reaches the entry or byte
+// threshold. A failed flush is reported to the Store that triggered it,
+// but the batch is *retained*: the records stay readable in the pending
+// buffer and the next threshold crossing (or explicit Flush) retries,
+// so a transient disk fault costs one error per attempt, never a
+// silently lost batch. Only process exit loses an unflushable buffer —
+// and that surfaces on Close.
 func (c *PointCache) Store(fullKey string, rec bench.PointRecord) error {
 	rec.Key = fullKey
-	data, err := json.Marshal(rec)
+	data := rec.EncodeBinary()
+	sum := CacheKeySum(fullKey)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, dup := c.pending[sum]; dup {
+		c.pendingBytes -= len(old)
+	}
+	c.pending[sum] = data
+	c.pendingBytes += len(data)
+	if len(c.pending) >= c.flushEvery || c.pendingBytes >= c.flushBytes {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the pending buffer out as a pack segment.
+func (c *PointCache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// Close flushes the pending buffer; the cache remains usable after.
+func (c *PointCache) Close() error { return c.Flush() }
+
+func (c *PointCache) flushLocked() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	if err := c.writePackLocked(c.pending); err != nil {
+		return err
+	}
+	c.pending = make(map[string][]byte)
+	c.pendingBytes = 0
+	return nil
+}
+
+// writePackLocked persists one batch as an immutable segment pair
+// (seg-*.pack + seg-*.idx) and indexes it. The pack write is atomic
+// (temp + rename); the sidecar index is best-effort — a pack without
+// one is re-indexed by scanning.
+func (c *PointCache) writePackLocked(batch map[string][]byte) error {
+	pack, refs, err := buildPack(batch)
 	if err != nil {
 		return err
 	}
-	path := c.path(fullKey)
-	if err := c.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := c.fs.CreateTemp(filepath.Dir(path), ".tmp-*")
+	tmp, err := c.fs.CreateTemp(c.packs, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(pack); err != nil {
 		tmp.Close()
 		c.fs.Remove(tmp.Name())
 		return err
@@ -207,7 +440,186 @@ func (c *PointCache) Store(fullKey string, rec bench.PointRecord) error {
 		c.fs.Remove(tmp.Name())
 		return err
 	}
-	return c.fs.Rename(tmp.Name(), path)
+	seg := "seg-" + strings.TrimPrefix(filepath.Base(tmp.Name()), ".tmp-")
+	path := filepath.Join(c.packs, seg+".pack")
+	if err := c.fs.Rename(tmp.Name(), path); err != nil {
+		c.fs.Remove(tmp.Name())
+		return err
+	}
+	for _, e := range refs {
+		c.index[e.sum] = packRef{path: path, off: e.off, n: e.n}
+	}
+	c.packData[path] = pack
+	c.scanned[path] = true
+	c.writeIdx(seg, refs)
+	return nil
+}
+
+// writeIdx writes a segment's sidecar index; failures are swallowed
+// (the pack is self-describing).
+func (c *PointCache) writeIdx(seg string, refs []idxEntry) {
+	tmp, err := c.fs.CreateTemp(c.packs, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(encodeIdx(refs)); err != nil {
+		tmp.Close()
+		c.fs.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		c.fs.Remove(tmp.Name())
+		return
+	}
+	if err := c.fs.Rename(tmp.Name(), filepath.Join(c.packs, seg+".idx")); err != nil {
+		c.fs.Remove(tmp.Name())
+	}
+}
+
+// Compact migrates legacy loose entries (one JSON file per point) into
+// a single pack segment and removes the loose files, returning how many
+// entries moved. Entries that fail validation — unparseable, stale
+// schema, or filed under the wrong address — are left in place.
+func (c *PointCache) Compact() (int, error) {
+	migrated := make(map[string][]byte)
+	var loose []string
+	for i := 0; i < cacheShards; i++ {
+		shard := filepath.Join(c.dir, fmt.Sprintf("%02x", i))
+		ents, err := c.fs.ReadDir(shard)
+		if err != nil {
+			continue
+		}
+		for _, de := range ents {
+			name := de.Name()
+			if !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			path := filepath.Join(shard, name)
+			data, err := c.fs.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var rec bench.PointRecord
+			if err := json.Unmarshal(data, &rec); err != nil || rec.Schema != bench.PointSchema {
+				continue
+			}
+			sum := CacheKeySum(rec.Key)
+			if sum+".json" != name {
+				continue // misfiled: migrating would launder a poisoned entry
+			}
+			migrated[sum] = rec.EncodeBinary()
+			loose = append(loose, path)
+		}
+	}
+	if len(migrated) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	err := c.writePackLocked(migrated)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	for _, path := range loose {
+		c.fs.Remove(path)
+	}
+	return len(migrated), nil
+}
+
+// Entries invokes fn for every record the cache can serve, passing the
+// content address and the raw stored bytes (binary records from the
+// pending buffer and packs, legacy JSON from loose files). Pending
+// entries shadow packed ones, which shadow loose ones. Iteration order
+// is unspecified. fn's first error aborts the walk.
+func (c *PointCache) Entries(fn func(sum string, data []byte) error) error {
+	c.mu.Lock()
+	c.rescanLocked()
+	snap := make(map[string][]byte, len(c.pending)+len(c.index))
+	for sum, data := range c.pending {
+		snap[sum] = data
+	}
+	for sum, ref := range c.index {
+		if _, dup := snap[sum]; dup {
+			continue
+		}
+		if data, err := c.packSliceLocked(ref); err == nil {
+			snap[sum] = data
+		}
+	}
+	c.mu.Unlock()
+	for sum, data := range snap {
+		if err := fn(sum, data); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cacheShards; i++ {
+		shard := filepath.Join(c.dir, fmt.Sprintf("%02x", i))
+		ents, err := c.fs.ReadDir(shard)
+		if err != nil {
+			continue
+		}
+		for _, de := range ents {
+			name := de.Name()
+			if !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			sum := strings.TrimSuffix(name, ".json")
+			if _, dup := snap[sum]; dup {
+				continue
+			}
+			data, err := c.fs.ReadFile(filepath.Join(shard, name))
+			if err != nil {
+				continue
+			}
+			if err := fn(sum, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DiskStats describes the cache's on-disk occupancy for -cache-stats.
+type DiskStats struct {
+	// Packs / PackedEntries count indexed segments and the records they
+	// hold; PendingEntries are buffered writes not yet flushed.
+	Packs, PackedEntries, PendingEntries int
+	// LooseEntries / LooseShards count legacy one-file-per-point
+	// records and the shard directories occupied by them (Compact
+	// drains both to zero).
+	LooseEntries, LooseShards int
+}
+
+// DiskStats scans the cache layout and reports its occupancy.
+func (c *PointCache) DiskStats() DiskStats {
+	var st DiskStats
+	c.mu.Lock()
+	c.rescanLocked()
+	st.PendingEntries = len(c.pending)
+	st.PackedEntries = len(c.index)
+	packs := make(map[string]bool)
+	for _, ref := range c.index {
+		packs[ref.path] = true
+	}
+	st.Packs = len(packs)
+	c.mu.Unlock()
+	for i := 0; i < cacheShards; i++ {
+		ents, err := c.fs.ReadDir(filepath.Join(c.dir, fmt.Sprintf("%02x", i)))
+		if err != nil {
+			continue
+		}
+		n := 0
+		for _, de := range ents {
+			if strings.HasSuffix(de.Name(), ".json") {
+				n++
+			}
+		}
+		if n > 0 {
+			st.LooseShards++
+			st.LooseEntries += n
+		}
+	}
+	return st
 }
 
 // pointBaseKey fingerprints everything outside the point's own key that

@@ -1,10 +1,10 @@
 package runner
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -160,9 +160,12 @@ func TestCampaignMemoDedupsSharedPoints(t *testing.T) {
 
 // TestPoisonedCacheEntryDetected: an entry whose stored key does not
 // match the requested one (misfiled or tampered) is never served — the
-// point is recomputed and the mismatch counted.
+// point is recomputed and the mismatch counted. The tampering happens
+// inside a flushed pack segment and the cache is reopened afterwards,
+// so this also locks the cross-process warm path (scan → index → load).
 func TestPoisonedCacheEntryDetected(t *testing.T) {
-	cache, err := OpenPointCache(t.TempDir())
+	dir := t.TempDir()
+	cache, err := OpenPointCache(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,33 +177,62 @@ func TestPoisonedCacheEntryDetected(t *testing.T) {
 	if cold.Misses != 3 {
 		t.Fatalf("cold misses %d, want 3", cold.Misses)
 	}
+	if err := cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
-	// Poison one entry: rewrite its stored key in place.
+	// Poison one entry: rewrite its stored key inside the pack segment.
 	fullKey := pointBaseKey(env) + "/p/cell=1"
-	path := cache.path(fullKey)
-	data, err := os.ReadFile(path)
+	sum := CacheKeySum(fullKey)
+	packs, err := os.ReadDir(filepath.Join(dir, "packs"))
 	if err != nil {
+		t.Fatal(err)
+	}
+	var packPath string
+	for _, de := range packs {
+		if strings.HasSuffix(de.Name(), ".pack") {
+			packPath = filepath.Join(dir, "packs", de.Name())
+		}
+	}
+	if packPath == "" {
+		t.Fatal("flush produced no pack segment")
+	}
+	packBytes, err := os.ReadFile(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := parsePackEntries(packBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec bench.PointRecord
+	if err := rec.DecodeBinary(entries[sum]); err != nil {
 		t.Fatalf("cache entry not where the key maps it: %v", err)
 	}
-	var entry map[string]any
-	if err := json.Unmarshal(data, &entry); err != nil {
-		t.Fatal(err)
-	}
-	entry["key"] = "someone-elses-key"
-	poisoned, err := json.Marshal(entry)
+	rec.Key = "someone-elses-key"
+	entries[sum] = rec.EncodeBinary()
+	poisoned, refs, err := buildPack(entries)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, poisoned, 0o644); err != nil {
+	if err := os.WriteFile(packPath, poisoned, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, mismatch, _ := cache.Load(fullKey); ok || !mismatch {
+	if err := os.WriteFile(strings.TrimSuffix(packPath, ".pack")+".idx", encodeIdx(refs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenPointCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, mismatch, _ := reopened.Load(fullKey); ok || !mismatch {
 		t.Fatalf("poisoned entry: ok=%v mismatch=%v, want miss+mismatch", ok, mismatch)
 	}
 
 	want := Collect(Run(env, exps, Options{Workers: 1}))
 	var warm CacheStats
-	got := Collect(Run(env, exps, Options{Workers: 1, Cache: cache, CacheStats: &warm}))
+	got := Collect(Run(env, exps, Options{Workers: 1, Cache: reopened, CacheStats: &warm}))
 	if got[0].Rendered != want[0].Rendered {
 		t.Errorf("output corrupted by poisoned cache:\n%s",
 			trace.UnifiedDiff("want", "got", want[0].Rendered, got[0].Rendered))
@@ -227,13 +259,12 @@ func TestCacheSchemaDriftIsMiss(t *testing.T) {
 }
 
 // TestCacheCorruptEntryIsIOError: unparseable bytes are reported as an
-// I/O-level error and the point recomputed.
+// I/O-level error and the point recomputed. The corrupt bytes sit in a
+// legacy loose file — the shard directories are precreated at open, so
+// the write needs no mkdir.
 func TestCacheCorruptEntryIsIOError(t *testing.T) {
 	cache, err := OpenPointCache(t.TempDir())
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cache.Store("k", bench.PointRecord{Schema: bench.PointSchema, Payload: []byte(`{}`)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(cache.path("k"), []byte("not json"), 0o644); err != nil {

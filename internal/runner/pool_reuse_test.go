@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestCampaignPooledWorldsMatchFreshSerial is the reuse-storm property
+// test for the world arena: the full experiment registry runs once with
+// world pooling disabled (every simulated world built from scratch,
+// serial), then twice through one shared 8-worker pool with pooling on
+// — so the second pass executes almost entirely on rewound worlds
+// recycled by racing workers. Every rendered byte must match the fresh
+// serial baseline. Run under -race this is also the arena's
+// thread-safety lock.
+func TestCampaignPooledWorldsMatchFreshSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry triple campaign; skipped with -short")
+	}
+	exps := core.Experiments()
+
+	freshEnv := testEnv(t)
+	freshEnv.NoPool = true
+	fresh := Collect(Run(freshEnv, exps, Options{Workers: 1}))
+	if len(fresh) != len(exps) {
+		t.Fatalf("fresh run: got %d results, want %d", len(fresh), len(exps))
+	}
+
+	sp := NewSharedPool(8)
+	defer sp.Close()
+	for iter := 0; iter < 2; iter++ {
+		res := Collect(Run(testEnv(t), exps, Options{Workers: 8, SharedPool: sp}))
+		if len(res) != len(exps) {
+			t.Fatalf("pooled iter %d: got %d results, want %d", iter, len(res), len(exps))
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("pooled iter %d: %s failed: %v", iter, exps[i].ID, r.Err)
+			}
+			if fresh[i].Err != nil {
+				t.Fatalf("fresh run: %s failed: %v", exps[i].ID, fresh[i].Err)
+			}
+			if r.Rendered != fresh[i].Rendered {
+				t.Errorf("%s: pooled iter %d differs from fresh serial:\n%s", exps[i].ID, iter,
+					trace.UnifiedDiff("fresh-j1", "pooled-j8", fresh[i].Rendered, r.Rendered))
+			}
+		}
+	}
+}

@@ -24,23 +24,35 @@ import (
 // The remote cache protocol promotes the on-disk point cache to a
 // network service, shaped like a remote build cache:
 //
-//	GET /cache/{sum}  -> 200 + record JSON (+ X-Content-SHA256), 404 miss
-//	PUT /cache/{sum}  <- record JSON + X-Content-SHA256, 204 on store
+//	GET /cache/{sum}  -> 200 + record bytes (+ X-Content-SHA256), 404 miss
+//	PUT /cache/{sum}  <- record bytes + X-Content-SHA256, 204 on store
 //
 // {sum} is the content address: hex sha256 of the record's full point
-// key (runner.CacheKeySum). Verification happens on both ends. The
-// server refuses a PUT whose body digest does not match its header or
-// whose embedded key does not hash to the addressed sum, so a client
-// can never misfile an entry; the client re-verifies the body digest
-// and the embedded key on GET, so a poisoned server entry is detected
-// (counted as a mismatch, mirroring the on-disk cache) and recomputed,
-// never served.
+// key (runner.CacheKeySum). Record bytes travel in the compact binary
+// encoding (bench.PointRecord.EncodeBinary, "IPR1" framing); both ends
+// sniff the framing and still accept legacy JSON records, so an old
+// client or a cache directory of loose JSON entries interoperates.
+// Verification happens on both ends. The server refuses a PUT whose
+// body digest does not match its header or whose embedded key does not
+// hash to the addressed sum, so a client can never misfile an entry;
+// the client re-verifies the body digest and the embedded key on GET,
+// so a poisoned server entry is detected (counted as a mismatch,
+// mirroring the on-disk cache) and recomputed, never served.
 
 const shaHeader = "X-Content-SHA256"
 
 func bodySum(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// decodeRecordBytes parses record bytes in either wire form: the binary
+// framing is sniffed by magic, anything else must be legacy JSON.
+func decodeRecordBytes(data []byte, rec *bench.PointRecord) error {
+	if bench.IsBinaryRecord(data) {
+		return rec.DecodeBinary(data)
+	}
+	return json.Unmarshal(data, rec)
 }
 
 func validSum(sum string) bool {
@@ -77,7 +89,11 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.proto.getHits.Add(1)
-	w.Header().Set("Content-Type", "application/json")
+	if bench.IsBinaryRecord(data) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
 	w.Header().Set(shaHeader, bodySum(data))
 	w.Write(data)
 }
@@ -117,7 +133,7 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rec bench.PointRecord
-	if err := json.Unmarshal(body, &rec); err != nil {
+	if err := decodeRecordBytes(body, &rec); err != nil {
 		s.proto.rejected.Add(1)
 		http.Error(w, "interfd: cache entry is not a point record", http.StatusBadRequest)
 		return
@@ -356,7 +372,7 @@ func (rc *RemoteCache) loadOnce(fullKey string) (rec bench.PointRecord, ok, mism
 		// server computed over what it stored.
 		return bench.PointRecord{}, false, false, true, true, 0
 	}
-	if err := json.Unmarshal(body, &rec); err != nil {
+	if err := decodeRecordBytes(body, &rec); err != nil {
 		return bench.PointRecord{}, false, false, true, true, 0
 	}
 	if rec.Schema != bench.PointSchema {
@@ -373,10 +389,7 @@ func (rc *RemoteCache) loadOnce(fullKey string) (rec bench.PointRecord, ok, mism
 // transient failures.
 func (rc *RemoteCache) Store(fullKey string, rec bench.PointRecord) error {
 	rec.Key = fullKey
-	body, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
+	body := rec.EncodeBinary()
 	for attempt := 0; ; attempt++ {
 		err, transient, retryAfter := rc.storeOnce(fullKey, body)
 		if !transient || attempt >= rc.retries || !rc.allowRetry() {
@@ -394,7 +407,7 @@ func (rc *RemoteCache) storeOnce(fullKey string, body []byte) (err error, transi
 	if err != nil {
 		return err, false, 0
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(shaHeader, bodySum(body))
 	resp, err := rc.client.Do(req)
 	if err != nil {

@@ -257,6 +257,11 @@ func (s *Server) Drain(ctx context.Context) error {
 					s.logf("drain: syncing journal: %v", err)
 				}
 			}
+			if s.cache != nil {
+				if err := s.cache.Flush(); err != nil {
+					s.logf("drain: flushing point cache: %v", err)
+				}
+			}
 			s.syncStateLog()
 			return nil
 		}
@@ -286,8 +291,13 @@ func (s *Server) Close() error {
 
 	s.pool.Close()
 	var err error
+	if s.cache != nil {
+		err = s.cache.Close()
+	}
 	if s.journal != nil {
-		err = s.journal.Close()
+		if jerr := s.journal.Close(); err == nil {
+			err = jerr
+		}
 	}
 	if stateLog != nil {
 		if cerr := stateLog.Close(); err == nil {
@@ -568,6 +578,13 @@ func (s *Server) runCampaign(c *campaign) *CampaignResponse {
 	}
 	resp.Cache = summarize(stats)
 	s.cacheTotals.Add(stats)
+	if s.cache != nil {
+		// One pack flush per campaign: the write-behind buffer's records
+		// become durable without paying per-point file I/O.
+		if err := s.cache.Flush(); err != nil {
+			s.logf("campaign %s: flushing point cache: %v", c.id[:12], err)
+		}
+	}
 	if atomic.LoadInt64(&stats.Degraded) != 0 {
 		resp.Degraded = true
 		s.degradedCampaigns.Add(1)

@@ -354,10 +354,10 @@ func TestCacheProtocolVerification(t *testing.T) {
 	if got := hdr.Get(shaHeader); got != bodySum(served) {
 		t.Fatalf("served digest %q does not cover the served bytes", got)
 	}
-	var back struct {
-		Key string `json:"key"`
-	}
-	if err := json.Unmarshal(served, &back); err != nil || back.Key != rec.Key {
+	// The PUT was legacy JSON; the server re-encodes into the binary
+	// wire form, so decode with the same sniffing the client uses.
+	var back bench.PointRecord
+	if err := decodeRecordBytes(served, &back); err != nil || back.Key != rec.Key {
 		t.Fatalf("round-tripped record key %q, want %q (err %v)", back.Key, rec.Key, err)
 	}
 	m := s.Metrics()
@@ -404,7 +404,7 @@ func TestServerMetricsEndpoint(t *testing.T) {
 // a mismatch, recomputed locally, and never change the output.
 func TestRemoteCachePoisoned(t *testing.T) {
 	cacheDir := filepath.Join(t.TempDir(), "cache")
-	_, ts := newTestServer(t, Config{CacheDir: cacheDir})
+	s, ts := newTestServer(t, Config{CacheDir: cacheDir})
 	rc := NewRemoteCache(ts.URL)
 
 	env, err := core.Env("henri", 1, 1)
@@ -439,27 +439,36 @@ func TestRemoteCachePoisoned(t *testing.T) {
 	}
 
 	// Poison every stored entry: keep it a valid record, but for a
-	// different key than its content address claims.
+	// different key than its content address claims. Flush the daemon's
+	// write-behind buffer into pack segments (the PUTs arrived outside a
+	// server-side campaign, so nothing flushed them yet), rewrite every
+	// packed record as a poisoned loose file, drop the packs, and hand
+	// the directory to a fresh daemon — the restarted-with-a-tampered-
+	// store scenario.
+	if err := s.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := runner.OpenPointCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	poisoned := 0
-	err = filepath.Walk(cacheDir, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() || filepath.Ext(path) != ".json" {
+	err = disk.Entries(func(sum string, data []byte) error {
+		var rec bench.PointRecord
+		if bench.IsBinaryRecord(data) {
+			if err := rec.DecodeBinary(data); err != nil {
+				return err
+			}
+		} else if err := json.Unmarshal(data, &rec); err != nil {
 			return err
 		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		var m map[string]any
-		if err := json.Unmarshal(data, &m); err != nil {
-			return err
-		}
-		m["key"] = "poisoned/" + m["key"].(string)
-		out, err := json.Marshal(m)
+		rec.Key = "poisoned/" + rec.Key
+		out, err := json.Marshal(rec)
 		if err != nil {
 			return err
 		}
 		poisoned++
-		return os.WriteFile(path, out, 0o644)
+		return os.WriteFile(filepath.Join(cacheDir, sum[:2], sum+".json"), out, 0o644)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -467,6 +476,11 @@ func TestRemoteCachePoisoned(t *testing.T) {
 	if poisoned == 0 {
 		t.Fatal("no cache entries found to poison")
 	}
+	if err := os.RemoveAll(filepath.Join(cacheDir, "packs")); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{CacheDir: cacheDir})
+	rc = NewRemoteCache(ts2.URL)
 
 	after, got := campaign()
 	if got != want {

@@ -72,12 +72,48 @@ type Kernel struct {
 	procs  int // live (not yet finished) processes
 	nsteps uint64
 	free   []*event // recycled event storage
+	// freeProcs holds finished processes whose goroutines are parked in
+	// their run loop, ready for the next Spawn; freeSigs holds recycled
+	// signals (see GetSignal). Both make the steady-state churn of a
+	// simulation — and of a whole pooled world — allocation-free.
+	freeProcs []*Proc
+	freeSigs  []*Signal
 }
 
 // NewKernel returns a simulation kernel whose random source is seeded
 // with seed. The same seed always produces the same simulation.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset rewinds an idle kernel to the state NewKernel(seed) returns,
+// keeping its recycled event, process and signal storage. Resetting a
+// kernel with pending events or live processes panics: their wakeups
+// would leak into the next simulation.
+func (k *Kernel) Reset(seed int64) {
+	if len(k.events) != 0 {
+		panic("sim: Reset with pending events")
+	}
+	if k.procs != 0 {
+		panic("sim: Reset with live processes")
+	}
+	k.now = 0
+	k.seq = 0
+	k.nsteps = 0
+	k.rng.Seed(seed)
+}
+
+// Shutdown terminates the goroutines of the kernel's parked (recycled)
+// processes. Call it before abandoning a kernel that was used with
+// pooled Spawn so its idle goroutines don't outlive it; the kernel
+// remains usable, but the next Spawn starts a fresh goroutine.
+func (k *Kernel) Shutdown() {
+	for i, p := range k.freeProcs {
+		p.fn = nil
+		p.resumeCh <- struct{}{}
+		k.freeProcs[i] = nil
+	}
+	k.freeProcs = k.freeProcs[:0]
 }
 
 // Now returns the current simulated instant.

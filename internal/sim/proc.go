@@ -19,41 +19,78 @@ type Proc struct {
 	finished bool
 	panicVal any
 	blocked  bool // waiting on a Signal (not a timer)
-	// runFn is the p.run method value, captured once at Spawn so the
-	// hot wake paths (Sleep, Signal) don't allocate a fresh bound-method
-	// closure per block.
+	// runFn is the p.run method value, captured once at first Spawn so
+	// the hot wake paths (Sleep, Signal) don't allocate a fresh
+	// bound-method closure per block.
 	runFn func()
+	// fn is the body of the current incarnation. Finished processes park
+	// their goroutine in loop() and are recycled by the next Spawn with a
+	// new fn; a nil fn on wake terminates the goroutine (Shutdown).
+	fn func(*Proc)
 }
 
 // Spawn creates a process running fn. The process starts at the current
-// instant, after already-scheduled events for this instant.
+// instant, after already-scheduled events for this instant. Process
+// storage — including the goroutine and its channels — is recycled
+// from previously finished processes of this kernel, so steady-state
+// process churn allocates nothing.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{
-		k:        k,
-		name:     name,
-		resumeCh: make(chan struct{}),
-		yieldCh:  make(chan struct{}),
+	var p *Proc
+	if n := len(k.freeProcs); n > 0 {
+		p = k.freeProcs[n-1]
+		k.freeProcs[n-1] = nil
+		k.freeProcs = k.freeProcs[:n-1]
+		p.name = name
+		p.finished = false
+		p.fn = fn
+	} else {
+		p = &Proc{
+			k:        k,
+			name:     name,
+			resumeCh: make(chan struct{}),
+			yieldCh:  make(chan struct{}),
+			fn:       fn,
+		}
+		p.runFn = p.run
+		go p.loop()
 	}
-	p.runFn = p.run
 	k.procs++
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				p.panicVal = r
-			}
-			p.finished = true
-			p.yieldCh <- struct{}{}
-		}()
-		<-p.resumeCh
-		fn(p)
-	}()
 	k.At(k.now, p.runFn)
 	return p
 }
 
+// loop is the body of a process goroutine: it runs one incarnation per
+// wake, yields the final time, and parks until Spawn hands it the next
+// body (or Shutdown wakes it with none).
+func (p *Proc) loop() {
+	for {
+		<-p.resumeCh
+		fn := p.fn
+		if fn == nil {
+			return
+		}
+		p.call(fn)
+		p.yieldCh <- struct{}{}
+	}
+}
+
+// call runs one incarnation, capturing a panic so the kernel can
+// re-raise it from event context without losing the goroutine.
+func (p *Proc) call(fn func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicVal = r
+		}
+		p.finished = true
+	}()
+	fn(p)
+}
+
 // run transfers control to the process and blocks the kernel until the
 // process yields (blocks) or finishes. Only ever called from kernel
-// (event handler) context.
+// (event handler) context. A finished process is parked for reuse
+// before any panic it raised is re-thrown: the goroutine survives
+// either way.
 func (p *Proc) run() {
 	if p.finished {
 		return
@@ -62,8 +99,11 @@ func (p *Proc) run() {
 	<-p.yieldCh
 	if p.finished {
 		p.k.procs--
-		if p.panicVal != nil {
-			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicVal))
+		p.fn = nil
+		p.k.freeProcs = append(p.k.freeProcs, p)
+		if pv := p.panicVal; pv != nil {
+			p.panicVal = nil
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, pv))
 		}
 	}
 }
@@ -101,10 +141,45 @@ func (p *Proc) Sleep(d Duration) {
 type Signal struct {
 	k       *Kernel
 	waiters []*Proc
+	// broadcastFn caches the Broadcast method value so completion hooks
+	// (e.g. fluid-flow OnDone) don't allocate a bound closure per use.
+	broadcastFn func()
 }
 
 // NewSignal returns a Signal bound to kernel k.
 func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// GetSignal returns a signal bound to k, recycled from PutSignal when
+// possible. The hot transfer paths acquire their completion signals
+// here so steady-state signal churn allocates nothing.
+func (k *Kernel) GetSignal() *Signal {
+	if n := len(k.freeSigs); n > 0 {
+		s := k.freeSigs[n-1]
+		k.freeSigs[n-1] = nil
+		k.freeSigs = k.freeSigs[:n-1]
+		return s
+	}
+	return &Signal{k: k}
+}
+
+// PutSignal recycles a signal for a later GetSignal. A signal that
+// still has waiters is silently dropped instead: recycling it would
+// strand them.
+func (k *Kernel) PutSignal(s *Signal) {
+	if s == nil || len(s.waiters) != 0 {
+		return
+	}
+	k.freeSigs = append(k.freeSigs, s)
+}
+
+// BroadcastFn returns the signal's Broadcast bound-method value,
+// allocated once per signal lifetime (pool recycling included).
+func (s *Signal) BroadcastFn() func() {
+	if s.broadcastFn == nil {
+		s.broadcastFn = s.Broadcast
+	}
+	return s.broadcastFn
+}
 
 // Wait suspends p until another process or event calls Signal or
 // Broadcast.
@@ -115,13 +190,18 @@ func (s *Signal) Wait(p *Proc) {
 }
 
 // Signal wakes the oldest waiter, if any. The waiter resumes at the
-// current instant, after events already scheduled for it.
+// current instant, after events already scheduled for it. The queue
+// shifts in place so the waiter array's capacity is retained across
+// wait/wake cycles.
 func (s *Signal) Signal() {
-	if len(s.waiters) == 0 {
+	n := len(s.waiters)
+	if n == 0 {
 		return
 	}
 	p := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	copy(s.waiters, s.waiters[1:])
+	s.waiters[n-1] = nil
+	s.waiters = s.waiters[:n-1]
 	p.blocked = false
 	s.k.At(s.k.now, p.runFn)
 }
